@@ -1,0 +1,101 @@
+"""Ablation: duplicate-access removal (Sec. 2's first listed optimization).
+
+"Several optimizations can be performed to reduce the amount of
+communication, including the removal of duplicate accesses and message
+coalescing."  This bench compares gather traffic with the deduplicated
+schedule (sort2) against the naive schedule that ships one copy per
+*reference*: on a mesh, a boundary vertex is typically referenced by 2-3
+of the neighbor rank's vertices, so dedup cuts gather volume accordingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit_table
+from repro.net.cluster import sun4_cluster
+from repro.net.spmd import run_spmd
+from repro.partition.intervals import partition_list
+from repro.partition.rcb import RCBOrdering
+from repro.runtime.executor import gather
+from repro.runtime.schedule_builders import (
+    build_schedule_no_dedup,
+    build_schedule_sort2,
+)
+
+WS_SETS = (2, 3, 5)
+N_GATHERS = 10
+
+
+def measure(graph, p: int, dedup: bool):
+    cluster = sun4_cluster(p)
+    part = partition_list(graph.num_vertices, cluster.speeds)
+    builder = build_schedule_sort2 if dedup else build_schedule_no_dedup
+
+    def fn(ctx):
+        sched = builder(graph, part, ctx.rank)
+        lo, hi = part.interval(ctx.rank)
+        local = np.zeros(hi - lo)
+        t0 = ctx.clock
+        for _ in range(N_GATHERS):
+            gather(ctx, sched, local)
+            ctx.barrier()
+        return (ctx.clock - t0) / N_GATHERS, sched.ghost_size
+
+    res = run_spmd(cluster, fn, trace=True)
+    per_gather = max(t for t, _ in res.values)
+    ghost_total = sum(g for _, g in res.values)
+    bytes_total = res.trace.bytes_sent()
+    return per_gather, ghost_total, bytes_total
+
+
+@pytest.fixture(scope="module")
+def ordered_graph(workload):
+    g = workload.graph
+    return g.permute(RCBOrdering()(g))
+
+
+@pytest.mark.parametrize("dedup", [True, False], ids=["dedup", "no-dedup"])
+def test_gather_benchmark(benchmark, ordered_graph, dedup):
+    benchmark.pedantic(
+        measure, args=(ordered_graph, 3, dedup), rounds=1, iterations=1
+    )
+
+
+def test_dedup_report(benchmark, ordered_graph):
+    def compute():
+        return {
+            p: (measure(ordered_graph, p, True), measure(ordered_graph, p, False))
+            for p in WS_SETS
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for p, (with_d, without_d) in results.items():
+        rows.append([
+            p,
+            with_d[1], without_d[1], without_d[1] / max(with_d[1], 1),
+            with_d[0], without_d[0],
+        ])
+    emit_table(
+        "ablation_dedup",
+        ["Processors", "ghosts dedup", "ghosts naive", "volume ratio",
+         "gather s (dedup)", "gather s (naive)"],
+        rows,
+        title="Ablation: duplicate-access removal (Sec. 2)",
+        paper_note="dedup cuts gather volume by the mean boundary "
+                   "multiplicity (1.2-1.4x on this sparse mesh; 2-3x on "
+                   "full triangulations)",
+        float_fmt="{:.4g}",
+    )
+    for p, (with_d, without_d) in results.items():
+        # The naive schedule ships strictly more data and is never faster.
+        assert without_d[1] > with_d[1]
+        assert without_d[0] >= with_d[0] * 0.99
+    # On a mesh the multiplicity is meaningful.  The paper-ratio mesh is
+    # sparse (mean degree ~3), so boundary vertices are re-referenced
+    # ~1.2-1.4x; denser triangulations reach 2-3x.
+    assert all(
+        results[p][1][1] / results[p][0][1] > 1.15 for p in WS_SETS
+    )

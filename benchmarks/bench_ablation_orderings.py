@@ -1,0 +1,85 @@
+"""Ablation: choice of one-dimensional locality transformation.
+
+Sec. 3.1 lists RCB, inertial bisection, spectral methods, and index-based
+(space-filling-curve) partitioners.  This bench scores each ordering two
+ways on the paper workload: (a) the edge-cut curve of contiguous splits,
+and (b) the end-to-end virtual makespan of a short program run — showing
+the ordering's cut quality actually propagates to runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import emit_table
+from repro.graph.metrics import cut_curve, mean_edge_span
+from repro.net.cluster import sun4_cluster
+from repro.partition.inertial import InertialOrdering
+from repro.partition.ordering import RandomOrdering
+from repro.partition.rcb import RCBOrdering
+from repro.partition.sfc import HilbertOrdering, MortonOrdering
+from repro.partition.spectral import SpectralOrdering
+from repro.runtime.program import ProgramConfig, run_program
+
+METHODS = [
+    RCBOrdering(),
+    InertialOrdering(),
+    SpectralOrdering(leaf_size=128),
+    HilbertOrdering(),
+    MortonOrdering(),
+    RandomOrdering(seed=0),
+]
+PART_COUNTS = (4, 16)
+RUN_ITERATIONS = 10
+
+
+@pytest.mark.parametrize("method", METHODS, ids=lambda m: m.name)
+def test_ordering_benchmark(benchmark, workload, method):
+    perm = benchmark.pedantic(
+        method, args=(workload.graph,), rounds=1, iterations=1
+    )
+    assert perm.size == workload.graph.num_vertices
+
+
+def test_ordering_ablation_report(benchmark, workload):
+    g = workload.graph
+
+    def compute():
+        out = {}
+        for method in METHODS:
+            perm = method(g)
+            rep = run_program(
+                g, sun4_cluster(4),
+                ProgramConfig(iterations=RUN_ITERATIONS, ordering=method),
+                y0=workload.y0,
+            )
+            out[method.name] = (
+                mean_edge_span(g, perm),
+                cut_curve(g, perm, PART_COUNTS),
+                rep.makespan,
+            )
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [name, span] + [curve[p] for p in PART_COUNTS] + [makespan]
+        for name, (span, curve, makespan) in results.items()
+    ]
+    emit_table(
+        "ablation_orderings",
+        ["Ordering", "Mean span"] + [f"cut@{p}" for p in PART_COUNTS]
+        + [f"makespan@{RUN_ITERATIONS} iters (4 ws)"],
+        rows,
+        title="Ablation: 1-D transformations on the paper workload",
+        paper_note="Sec. 3.1's heuristic families; locality -> lower "
+                   "communication -> lower makespan",
+        float_fmt="{:.3f}",
+    )
+    rand = results["random"]
+    for name, (span, curve, makespan) in results.items():
+        if name == "random":
+            continue
+        assert span < rand[0] / 3
+        assert curve[16] < rand[1][16] / 2
+        # Cut quality propagates to end-to-end time.
+        assert makespan < rand[2]

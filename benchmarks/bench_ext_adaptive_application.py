@@ -1,0 +1,88 @@
+"""Extension bench: adaptive *applications* (paper footnote 1).
+
+A refinement hotspot sweeps the mesh, shifting computational weight every
+``adapt_interval`` iterations.  Compared: keeping the initial partition
+(phase B never re-runs) versus weighted repartitioning at every adaptation
+(redistribute + inspector rebuild) — quantifying when re-running phase B is
+worth its cost, on homogeneous and heterogeneous pools.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit_table
+from repro.apps.adaptive_refinement import MovingHotspot, run_adaptive_application
+from repro.graph.generators import paper_mesh
+from repro.net.cluster import sun4_cluster, uniform_cluster
+
+ITERATIONS = 60
+ADAPT_INTERVAL = 10
+
+
+@pytest.fixture(scope="module")
+def adaptive_setup(workload):
+    g = workload.graph
+    hotspot = MovingHotspot(g, amplitude=14.0, radius_fraction=0.12,
+                            n_phases=ITERATIONS // ADAPT_INTERVAL)
+    return g, workload.y0, hotspot
+
+
+def run_pair(g, y0, hotspot, cluster):
+    kw = dict(
+        iterations=ITERATIONS, adapt_interval=ADAPT_INTERVAL,
+        hotspot=hotspot, y0=y0,
+    )
+    static = run_adaptive_application(g, cluster, repartition=False, **kw)
+    adaptive = run_adaptive_application(g, cluster, repartition=True, **kw)
+    return static, adaptive
+
+
+def test_adaptive_app_benchmark(benchmark, adaptive_setup):
+    g, y0, hotspot = adaptive_setup
+    benchmark.pedantic(
+        run_pair, args=(g, y0, hotspot, uniform_cluster(4)),
+        rounds=1, iterations=1,
+    )
+
+
+def test_adaptive_application_report(benchmark, adaptive_setup):
+    g, y0, hotspot = adaptive_setup
+
+    def compute():
+        out = {}
+        for label, cluster in (
+            ("uniform x4", uniform_cluster(4)),
+            ("sun4 x4", sun4_cluster(4, ethernet=True)),
+        ):
+            out[label] = run_pair(g, y0, hotspot, cluster)
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for label, (static, adaptive) in results.items():
+        rows.append([
+            label,
+            static.makespan,
+            adaptive.makespan,
+            static.makespan / adaptive.makespan,
+            adaptive.num_repartitions,
+            adaptive.repartition_time,
+        ])
+    emit_table(
+        "ext_adaptive_application",
+        ["Cluster", "static part.", "weighted repart.", "speedup",
+         "reparts", "repart cost"],
+        rows,
+        title="Extension: adaptive application (moving refinement hotspot, "
+              f"{ITERATIONS} iterations)",
+        paper_note="footnote 1: phase B re-runs whenever the computational "
+                   "structure adapts",
+        float_fmt="{:.4f}",
+    )
+    for label, (static, adaptive) in results.items():
+        assert adaptive.makespan < static.makespan
+        assert adaptive.num_repartitions == ITERATIONS // ADAPT_INTERVAL - 1
+        # Repartition cost stays a modest fraction of the run.
+        assert adaptive.repartition_time < 0.35 * adaptive.makespan

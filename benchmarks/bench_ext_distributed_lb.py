@@ -1,0 +1,89 @@
+"""Extension bench: centralized vs distributed load balancing.
+
+Sec. 3.5 says centralized balancing suits small clusters and names
+distributed strategies as future work.  This bench measures the per-check
+cost of both protocols as the cluster grows, on a multicast-capable
+Ethernet and on a unicast-only network — showing where the distributed
+protocol wins (no controller serialization, O(p) multicasts) and where it
+loses (O(p^2) unicast fallback).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit_table
+from repro.net.cluster import uniform_cluster
+from repro.net.network import PointToPointNetwork, SharedEthernet
+from repro.net.spmd import run_spmd
+from repro.partition.intervals import partition_list
+from repro.runtime.controller import LoadBalanceConfig, controller_check
+from repro.runtime.distributed_lb import distributed_check
+
+SIZES = (4, 8, 16)
+N_CHECKS = 5
+
+
+def check_cost(p: int, *, style: str, multicast: bool) -> float:
+    factory = SharedEthernet if multicast else PointToPointNetwork
+    cluster = uniform_cluster(p, network_factory=factory)
+    part = partition_list(50_000, np.ones(p))
+    config = LoadBalanceConfig(style=style)
+    times = 1e-4 * (1.0 + 0.01 * np.arange(p))  # nearly balanced: no remap
+
+    def fn(ctx):
+        t0 = ctx.clock
+        for _ in range(N_CHECKS):
+            if style == "distributed":
+                distributed_check(ctx, part, times[ctx.rank], 100, config)
+            else:
+                controller_check(ctx, part, times[ctx.rank], 100, config)
+            ctx.barrier()
+        return (ctx.clock - t0) / N_CHECKS
+
+    return run_spmd(cluster, fn).makespan / N_CHECKS
+
+
+@pytest.mark.parametrize("style", ["centralized", "distributed"])
+def test_check_benchmark(benchmark, style):
+    benchmark.pedantic(
+        check_cost, args=(8,), kwargs={"style": style, "multicast": True},
+        rounds=1, iterations=1,
+    )
+
+
+def test_distributed_lb_report(benchmark):
+    def compute():
+        rows = {}
+        for p in SIZES:
+            rows[p] = (
+                check_cost(p, style="centralized", multicast=True),
+                check_cost(p, style="distributed", multicast=True),
+                check_cost(p, style="centralized", multicast=False),
+                check_cost(p, style="distributed", multicast=False),
+            )
+        return rows
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [p, ce, de, cp, dp] for p, (ce, de, cp, dp) in results.items()
+    ]
+    emit_table(
+        "ext_distributed_lb",
+        ["Processors", "central/eth", "distrib/eth", "central/p2p",
+         "distrib/p2p"],
+        rows,
+        title="Extension: load-balance check cost per protocol (virtual s)",
+        paper_note="Sec. 3.5 future work; distributed wins with multicast, "
+                   "loses at scale without it",
+        float_fmt="{:.5f}",
+    )
+    for p, (ce, de, cp, dp) in results.items():
+        # With multicast the distributed check is competitive (within 2x).
+        assert de < 2.0 * ce
+    # Without multicast the distributed protocol degrades faster with p
+    # than the centralized one.
+    growth_d = results[16][3] / results[4][3]
+    growth_c = results[16][2] / results[4][2]
+    assert growth_d > growth_c

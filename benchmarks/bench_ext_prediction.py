@@ -1,0 +1,76 @@
+"""Extension bench: capability prediction from multiple phases.
+
+Paper footnote 2 suggests predicting resources "based on more than one
+previous phase".  Scenario where it matters: a competing load *ramping up*
+on one machine.  The last-value controller always lags one check behind; a
+trend predictor anticipates the decline and sizes the slow machine's block
+for the load it will have, not the load it had.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import emit_table
+from repro.net.cluster import sun4_cluster
+from repro.net.loadmodel import RampLoad
+from repro.runtime.controller import LoadBalanceConfig
+from repro.runtime.program import ProgramConfig, run_program
+
+PREDICTORS = (None, "last", "moving-average", "ewma", "trend")
+
+
+def run_with_predictor(workload, predictor: str | None, *, lb: bool = True):
+    # Load on workstation 1 ramps from 0 to 3 competing processes over the
+    # first 60% of the (no-LB) run.
+    base = run_program(
+        workload.graph, sun4_cluster(4),
+        ProgramConfig(iterations=workload.iterations), y0=workload.y0,
+    )
+    ramp_end = 0.6 * base.makespan * 2.0
+    cluster = sun4_cluster(4).with_load(
+        0, RampLoad(0.0, ramp_end, 0.0, 3.0, n_steps=24)
+    )
+    cfg = ProgramConfig(
+        iterations=workload.iterations,
+        initial_capabilities="equal",
+        load_balance=(
+            LoadBalanceConfig(check_interval=10, predictor=predictor)
+            if lb
+            else None
+        ),
+    )
+    return run_program(workload.graph, cluster, cfg, y0=workload.y0)
+
+
+def test_prediction_report(benchmark, workload):
+    def compute():
+        out = {"no-LB": run_with_predictor(workload, None, lb=False)}
+        for pred in PREDICTORS:
+            label = pred if pred is not None else "none (paper)"
+            out[label] = run_with_predictor(workload, pred)
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [label, rep.makespan, rep.num_remaps]
+        for label, rep in results.items()
+    ]
+    emit_table(
+        "ext_prediction",
+        ["Predictor", "Time (virt s)", "remaps"],
+        rows,
+        title="Extension: capability predictors under a ramping load "
+              "(footnote 2)",
+        paper_note="any LB beats none; multi-phase predictors handle the "
+                   "ramp at least as well as last-value",
+        float_fmt="{:.4f}",
+    )
+    no_lb = results["no-LB"].makespan
+    for label, rep in results.items():
+        if label == "no-LB":
+            continue
+        assert rep.makespan < no_lb  # all LB variants beat no LB
+    # The trend predictor is no worse than the paper's last-phase rule
+    # (small tolerance: both remap at the same checkpoints).
+    assert results["trend"].makespan <= results["none (paper)"].makespan * 1.10

@@ -1,0 +1,96 @@
+"""Table 4: execution time and efficiency in static environments.
+
+Paper (500 iterations of the Fig. 8 loop, 30,269-vertex mesh):
+
+    Workstations | Time (s) | Efficiency
+    1            | 97.61    | 1
+    1,2          | 55.68    | 0.88
+    1,2,3        | 42.27    | 0.77
+    1,2,3,4      | 34.06    | 0.72
+    1,2,3,4,5    | 31.50    | 0.62
+
+Shapes to preserve: time decreases monotonically as (slower) workstations
+are added; the Sec. 4 nonuniform efficiency declines from 1 toward ~0.6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit_table
+from repro.net.cluster import sun4_cluster
+from repro.runtime.efficiency import nonuniform_efficiency
+from repro.runtime.kernels import run_sequential
+from repro.runtime.program import ProgramConfig, run_program
+
+WS_SETS = (1, 2, 3, 4, 5)
+PAPER = {1: (97.61, 1.0), 2: (55.68, 0.88), 3: (42.27, 0.77),
+         4: (34.06, 0.72), 5: (31.50, 0.62)}
+
+
+def run_static(workload, p: int):
+    return run_program(
+        workload.graph,
+        sun4_cluster(p),
+        ProgramConfig(iterations=workload.iterations),
+        y0=workload.y0,
+    )
+
+
+@pytest.mark.parametrize("p", (1, 3, 5))
+def test_static_run_benchmark(benchmark, workload, p):
+    """Host-time one full static run per pool size (reduced iterations)."""
+    small = ProgramConfig(iterations=5)
+    benchmark.pedantic(
+        run_program, args=(workload.graph, sun4_cluster(p), small),
+        kwargs={"y0": workload.y0}, rounds=1, iterations=1,
+    )
+
+
+def test_table4_report(benchmark, workload):
+    def compute():
+        # Measured single-machine times give the efficiency denominator,
+        # exactly as the paper defines T(p_i).
+        singles = [
+            run_program(
+                workload.graph, sun4_cluster(5).subset([i]),
+                ProgramConfig(iterations=workload.iterations), y0=workload.y0,
+            ).makespan
+            for i in range(5)
+        ]
+        reports = {p: run_static(workload, p) for p in WS_SETS}
+        return singles, reports
+
+    singles, reports = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    effs = {}
+    for p in WS_SETS:
+        rep = reports[p]
+        eff = nonuniform_efficiency(rep.makespan, singles[:p])
+        effs[p] = eff
+        rows.append([
+            f"1..{p}", rep.makespan, eff, PAPER[p][0], PAPER[p][1],
+        ])
+    emit_table(
+        "table4_static",
+        ["Workstations", "Time (virt s)", "Efficiency", "Paper time", "Paper eff"],
+        rows,
+        title=f"Table 4: static environments, {workload.iterations} iterations "
+              f"of the parallel loop ({workload.label})",
+        paper_note="time falls monotonically; efficiency declines ~1 -> ~0.6",
+        float_fmt="{:.3f}",
+    )
+    times = [reports[p].makespan for p in WS_SETS]
+    assert all(b < a for a, b in zip(times, times[1:]))
+    # Efficiency anchored at 1 for one machine, declining with pool size.
+    assert effs[1] == pytest.approx(1.0, abs=1e-6)
+    assert all(effs[p + 1] < effs[p] + 1e-9 for p in range(1, 5))
+    # Paper: E(5 ws) = 0.62.  At the reduced scale our efficiency lands in
+    # the paper's band (~0.64); at REPRO_FULL scale the compute/comm ratio
+    # is larger, so the decline is gentler (~0.86) — see EXPERIMENTS.md.
+    assert 0.45 <= effs[5] <= 0.90
+
+    # The parallel runs compute the right answer.
+    oracle = run_sequential(workload.graph, workload.y0, workload.iterations)
+    np.testing.assert_allclose(reports[5].values, oracle, atol=1e-9)

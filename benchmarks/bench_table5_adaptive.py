@@ -1,0 +1,116 @@
+"""Table 5: adaptive environment, with and without load balancing.
+
+Paper (competing load on workstation 1, decomposition assumes equal
+capability, check after 10 iterations, 500 iterations total):
+
+    Workstations | with LB | without LB | LB check | LB cost
+    1            | 290.93  |            |          |
+    1,2          | 88.96   | 166.2      | 0.005    | 0.58
+    1,2,3        | 57.22   | 115.6      | 0.007    | 0.39
+    1,2,3,4      | 43.52   | 92.54      | 0.008    | 0.19
+    1,2,3,4,5    | 40.56   | 79.32      | 0.011    | 0.17
+
+Shapes to preserve: load balancing roughly halves execution time; the remap
+(LB) cost is on the order of a few loop iterations; the check cost is an
+order of magnitude below the remap cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit_table
+from repro.apps.workloads import adaptive_testbed
+from repro.runtime.controller import LoadBalanceConfig
+from repro.runtime.kernels import run_sequential
+from repro.runtime.program import ProgramConfig, run_program
+
+WS_SETS = (1, 2, 3, 4, 5)
+PAPER = {
+    1: (290.93, None, None, None),
+    2: (88.96, 166.2, 0.005, 0.58),
+    3: (57.22, 115.6, 0.007, 0.39),
+    4: (43.52, 92.54, 0.008, 0.19),
+    5: (40.56, 79.32, 0.011, 0.17),
+}
+COMPETING_LOAD = 2.0  # paper's 1-ws adaptive/static ratio implies ~2
+
+
+def run_adaptive(workload, p: int, *, lb: bool):
+    cfg = ProgramConfig(
+        iterations=workload.iterations,
+        initial_capabilities="equal",
+        load_balance=LoadBalanceConfig(check_interval=10) if lb else None,
+    )
+    cluster = adaptive_testbed(p, competing_load=COMPETING_LOAD)
+    return run_program(workload.graph, cluster, cfg, y0=workload.y0)
+
+
+@pytest.mark.parametrize("lb", [True, False], ids=["with-lb", "without-lb"])
+def test_adaptive_run_benchmark(benchmark, workload, lb):
+    benchmark.pedantic(
+        run_adaptive, args=(workload, 3), kwargs={"lb": lb},
+        rounds=1, iterations=1,
+    )
+
+
+def test_table5_report(benchmark, workload):
+    def compute():
+        rows = {}
+        for p in WS_SETS:
+            with_lb = run_adaptive(workload, p, lb=True)
+            without = run_adaptive(workload, p, lb=False) if p > 1 else None
+            rows[p] = (with_lb, without)
+        return rows
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table_rows = []
+    for p in WS_SETS:
+        with_lb, without = results[p]
+        stats = with_lb.rank_stats[0]
+        per_check = (
+            with_lb.lb_check_time / stats.num_checks if stats.num_checks else 0.0
+        )
+        table_rows.append([
+            f"1..{p}",
+            with_lb.makespan,
+            without.makespan if without else float("nan"),
+            per_check,
+            with_lb.remap_time,
+            with_lb.num_remaps,
+            f"paper: {PAPER[p]}",
+        ])
+    emit_table(
+        "table5_adaptive",
+        ["Workstations", "with LB", "without LB", "check cost", "LB cost",
+         "remaps", "paper (wLB, w/oLB, check, LB)"],
+        table_rows,
+        title=f"Table 5: adaptive environment ({workload.label}, "
+              f"{workload.iterations} iterations, competing load "
+              f"{COMPETING_LOAD} on ws 1)",
+        paper_note="LB roughly halves time; check cost << LB cost",
+        float_fmt="{:.4f}",
+    )
+
+    # Correctness first: LB never changes the computed values.
+    oracle = run_sequential(workload.graph, workload.y0, workload.iterations)
+    np.testing.assert_allclose(results[3][0].values, oracle, atol=1e-9)
+
+    for p in (2, 3, 4, 5):
+        with_lb, without = results[p]
+        # Load balancing is a clear win...
+        assert with_lb.makespan < without.makespan * 0.85
+        assert with_lb.num_remaps >= 1
+        # ...whose one-time cost is on the order of a few iterations...
+        per_iter = without.makespan / workload.iterations
+        assert with_lb.remap_time < 20 * per_iter
+        # ...and whose check cost is far below the remap cost.
+        stats = with_lb.rank_stats[0]
+        per_check = with_lb.lb_check_time / max(stats.num_checks, 1)
+        per_remap = with_lb.remap_time / max(stats.num_remaps, 1)
+        assert per_check < per_remap
+
+    # More workstations still help in the adaptive environment.
+    lb_times = [results[p][0].makespan for p in WS_SETS]
+    assert lb_times[0] > lb_times[1] > lb_times[2]

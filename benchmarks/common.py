@@ -1,0 +1,40 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section (see DESIGN.md's per-experiment index).  Results are printed AND
+written to ``benchmarks/results/<name>.txt`` so they survive pytest's output
+capture; EXPERIMENTS.md records paper-vs-measured from these files.
+
+Scale: reduced by default (minutes for the whole harness); set
+``REPRO_FULL=1`` for the paper's full 30,269-vertex mesh and 500 iterations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.utils.tables import format_table
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+__all__ = ["RESULTS_DIR", "emit_table"]
+
+
+def emit_table(
+    name: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str,
+    paper_note: str = "",
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render, print, and persist one benchmark table."""
+    text = format_table(headers, rows, title=title, float_fmt=float_fmt)
+    if paper_note:
+        text += f"\n\npaper reference: {paper_note}"
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print("\n" + text)
+    return text

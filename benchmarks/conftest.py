@@ -1,0 +1,19 @@
+"""Benchmark fixtures: the paper workload at harness scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.workloads import paper_workload
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The Tables 3-5 workload (reduced scale unless REPRO_FULL=1)."""
+    return paper_workload(seed=1995)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2026)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Beyond Fig. 8: an irregular sparse matrix-vector kernel (power
+iteration) on the same runtime machinery.
+
+Shows the library is not wired to one kernel: any computation with a
+symmetric access pattern gets schedules from the same inspector and data
+movement from the same executor.
+
+Run:  python examples/spmv_power_iteration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import (
+    SymmetricPatternMatrix,
+    run_parallel_spmv,
+    spmv_sequential,
+)
+from repro.graph import paper_mesh
+from repro.net import sun4_cluster
+
+
+def main() -> None:
+    graph = paper_mesh(2_500, seed=13)
+    base = SymmetricPatternMatrix.laplacian_like(graph, shift=0.5)
+    # Boost one diagonal entry so the dominant eigenvalue is well separated
+    # (a mesh Laplacian's top eigenvalues are clustered, which would make
+    # power iteration converge impractically slowly for a demo).
+    diag = base.diag.copy()
+    diag[0] += 25.0
+    mat = SymmetricPatternMatrix(graph=graph, offdiag=base.offdiag, diag=diag)
+    x0 = np.ones(graph.num_vertices)
+    iterations = 40
+
+    # Sequential power iteration (the oracle).
+    x = x0.copy()
+    for _ in range(iterations):
+        y = spmv_sequential(mat, x)
+        x = y / np.linalg.norm(y)
+
+    x_par, makespan = run_parallel_spmv(
+        mat, sun4_cluster(4), x0, iterations=iterations
+    )
+    print(f"virtual makespan over 4 workstations: {makespan:.3f} s")
+
+    # Floating-point summation order differs between the sequential and the
+    # distributed normalization, so the meaningful comparison is the
+    # eigenpair quality, not bit-identical vectors.
+    def rayleigh(v: np.ndarray) -> float:
+        return float(np.dot(v, spmv_sequential(mat, v)) / np.dot(v, v))
+
+    lam_seq, lam_par = rayleigh(x), rayleigh(x_par)
+    resid = np.linalg.norm(
+        spmv_sequential(mat, x_par) - lam_par * x_par
+    ) / np.linalg.norm(x_par)
+    print(f"dominant eigenvalue: sequential {lam_seq:.9f}, parallel {lam_par:.9f}")
+    print(f"parallel eigenpair residual: {resid:.2e}")
+    assert abs(lam_seq - lam_par) < 1e-9
+    assert resid < 1e-6
+    print("parallel power iteration found the same dominant eigenpair")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy entry point: lets `pip install -e .` work offline (no wheel pkg)."""
+from setuptools import setup
+
+setup()

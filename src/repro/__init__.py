@@ -1,0 +1,29 @@
+"""STANCE reproduction: runtime support for data-parallel applications on
+adaptive and nonuniform computational environments.
+
+Reproduction of Kaddoura & Ranka (HPDC 1996).  Subpackages:
+
+* :mod:`repro.net` -- simulated heterogeneous cluster (processors, load
+  traces, network models, SPMD runner);
+* :mod:`repro.graph` -- computational graphs, unstructured meshes, metrics;
+* :mod:`repro.partition` -- 1-D locality orderings, interval partitioning,
+  the MinimizeCostRedistribution arrangement optimizer;
+* :mod:`repro.runtime` -- inspector/executor, translation tables,
+  communication schedules, redistribution, adaptive load balancing;
+* :mod:`repro.apps` -- example applications built on the public API.
+
+Quickstart::
+
+    from repro.graph import paper_mesh
+    from repro.net import sun4_cluster
+    from repro.runtime import ProgramConfig, run_program
+
+    report = run_program(paper_mesh(2000), sun4_cluster(4),
+                         ProgramConfig(iterations=50))
+    print(report.makespan)
+"""
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,100 @@
+"""Workload builders shared by the examples and the benchmark harness.
+
+Centralizes experiment scaling: by default benches run a reduced mesh so the
+whole suite finishes in minutes; ``REPRO_FULL=1`` switches to the paper's
+full 30,269-vertex mesh and 500 iterations (DESIGN.md "scaled defaults").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import paper_mesh
+from repro.net.cluster import ClusterSpec, adaptive_cluster, sun4_cluster
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "full_scale",
+    "Workload",
+    "paper_workload",
+    "random_capabilities",
+    "adaptive_testbed",
+]
+
+
+def full_scale() -> bool:
+    """True when the harness should run at the paper's full scale."""
+    return os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One experiment workload: the mesh graph, initial values, iterations."""
+
+    graph: CSRGraph
+    y0: np.ndarray
+    iterations: int
+    label: str
+
+    @property
+    def n(self) -> int:
+        return self.graph.num_vertices
+
+
+def paper_workload(
+    *,
+    seed: SeedLike = 1995,
+    n_vertices: int | None = None,
+    iterations: int | None = None,
+) -> Workload:
+    """The Tables 3-5 workload: the Fig. 9-like mesh + Fig. 8 loop.
+
+    Defaults: 6,000 vertices / 60 iterations reduced scale, or the paper's
+    30,269 vertices / 500 iterations under ``REPRO_FULL=1``.
+    """
+    if n_vertices is None:
+        n_vertices = 30_269 if full_scale() else 6_000
+    if iterations is None:
+        iterations = 500 if full_scale() else 60
+    graph = paper_mesh(n_vertices, seed=seed)
+    rng = as_generator(seed)
+    y0 = rng.uniform(0.0, 100.0, size=graph.num_vertices)
+    return Workload(
+        graph=graph,
+        y0=y0,
+        iterations=iterations,
+        label=f"mesh(n={graph.num_vertices}, m={graph.num_edges})",
+    )
+
+
+def random_capabilities(
+    p: int, rng: np.random.Generator, *, floor: float = 0.02
+) -> np.ndarray:
+    """A random normalized capability vector with no near-zero entries.
+
+    Used for Table 2's "100 randomly generated samples" of adapting
+    capability ratios.
+    """
+    caps = rng.dirichlet(np.ones(p))
+    caps = np.maximum(caps, floor)
+    return caps / caps.sum()
+
+
+def adaptive_testbed(
+    n_workstations: int,
+    *,
+    competing_load: float = 2.0,
+) -> ClusterSpec:
+    """The Table 5 environment.
+
+    The paper's single-workstation adaptive run (290.93 s) is ~3x its
+    static run (97.61 s), implying roughly two competing processes on the
+    loaded machine — hence the default ``competing_load=2.0``.
+    """
+    return adaptive_cluster(
+        n_workstations, loaded_rank=0, competing_load=competing_load
+    )

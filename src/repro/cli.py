@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror what a downstream user evaluating the runtime wants first:
+
+* ``info`` — library version and a one-line inventory;
+* ``run`` — execute the Fig. 8 loop on a synthetic mesh over a simulated
+  cluster, with optional adaptive load balancing, and report the paper's
+  metrics (time, efficiency, LB costs);
+* ``orderings`` — compare 1-D locality transformations on a mesh;
+* ``mcr`` — run MinimizeCostRedistribution on given capability vectors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STANCE runtime reproduction (Kaddoura & Ranka, HPDC 1996)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print version and inventory")
+
+    run = sub.add_parser("run", help="run the irregular loop on a simulated cluster")
+    run.add_argument("--vertices", type=int, default=4000)
+    run.add_argument("--iterations", type=int, default=60)
+    run.add_argument("--workstations", type=int, default=4, choices=range(1, 6))
+    run.add_argument("--strategy", default="sort2",
+                     choices=("simple", "sort1", "sort2"))
+    run.add_argument("--load-balance", action="store_true",
+                     help="enable phase-D adaptive load balancing")
+    run.add_argument("--competing-load", type=float, default=0.0,
+                     help="competing load on workstation 1 (Table 5: 2.0)")
+    run.add_argument("--check-interval", type=int, default=10)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--verify", action="store_true",
+                     help="check the result against the sequential oracle")
+
+    orderings = sub.add_parser("orderings", help="compare 1-D transformations")
+    orderings.add_argument("--vertices", type=int, default=3000)
+    orderings.add_argument("--parts", type=int, nargs="+", default=[2, 4, 8, 16])
+    orderings.add_argument("--seed", type=int, default=0)
+
+    mcr = sub.add_parser("mcr", help="run MinimizeCostRedistribution")
+    mcr.add_argument("--old", type=float, nargs="+", required=True,
+                     help="old capability ratios")
+    mcr.add_argument("--new", type=float, nargs="+", required=True,
+                     help="new capability ratios")
+    mcr.add_argument("--elements", type=int, default=100)
+    return parser
+
+
+def _cmd_info() -> int:
+    from repro import __version__
+
+    print(f"repro {__version__} — STANCE runtime reproduction")
+    print("subpackages: repro.net (simulated cluster), repro.graph,")
+    print("             repro.partition (phase A + MCR), repro.runtime")
+    print("             (phases B-D), repro.apps")
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.graph import paper_mesh
+    from repro.net import adaptive_cluster, sun4_cluster
+    from repro.runtime import (
+        LoadBalanceConfig,
+        ProgramConfig,
+        cluster_efficiency,
+        run_program,
+        run_sequential,
+    )
+
+    graph = paper_mesh(args.vertices, seed=args.seed)
+    if args.competing_load > 0:
+        cluster = adaptive_cluster(
+            args.workstations, loaded_rank=0, competing_load=args.competing_load
+        )
+    else:
+        cluster = sun4_cluster(args.workstations)
+    y0 = np.random.default_rng(args.seed).uniform(0, 100, graph.num_vertices)
+    config = ProgramConfig(
+        iterations=args.iterations,
+        strategy=args.strategy,
+        initial_capabilities="equal" if args.competing_load > 0 else "speeds",
+        load_balance=(
+            LoadBalanceConfig(check_interval=args.check_interval)
+            if args.load_balance
+            else None
+        ),
+    )
+    report = run_program(graph, cluster, config, y0=y0)
+    print(f"workload: {graph}")
+    print(f"cluster:  {args.workstations} workstations "
+          f"(speeds {cluster.speeds.tolist()})")
+    print(f"virtual time: {report.makespan:.4f} s")
+    eff = cluster_efficiency(cluster, report.makespan, report.total_work_seconds)
+    print(f"efficiency (Sec. 4): {eff:.3f}")
+    if args.load_balance:
+        print(f"remaps: {report.num_remaps}, check cost {report.lb_check_time:.4f} s, "
+              f"remap cost {report.remap_time:.4f} s")
+    if args.verify:
+        oracle = run_sequential(graph, y0, args.iterations)
+        err = float(np.abs(report.values - oracle).max())
+        print(f"max deviation from sequential oracle: {err:.2e}")
+        if err > 1e-9:
+            print("VERIFICATION FAILED", file=sys.stderr)
+            return 1
+        print("verified against sequential oracle")
+    return 0
+
+
+def _cmd_orderings(args: argparse.Namespace) -> int:
+    from repro.graph import paper_mesh
+    from repro.partition import (
+        HilbertOrdering,
+        IdentityOrdering,
+        InertialOrdering,
+        MortonOrdering,
+        RandomOrdering,
+        RCBOrdering,
+        SpectralOrdering,
+        compare_orderings,
+    )
+    from repro.utils import format_table
+
+    graph = paper_mesh(args.vertices, seed=args.seed)
+    methods = [
+        RCBOrdering(), InertialOrdering(), SpectralOrdering(leaf_size=128),
+        HilbertOrdering(), MortonOrdering(), IdentityOrdering(),
+        RandomOrdering(seed=args.seed),
+    ]
+    reports = compare_orderings(graph, methods, args.parts)
+    rows = [r.as_row(args.parts) for r in reports]
+    print(
+        format_table(
+            ["ordering", "mean span", "bandwidth"]
+            + [f"cut@{p}" for p in args.parts],
+            rows,
+            title=f"1-D transformations on {graph}",
+            float_fmt="{:.1f}",
+        )
+    )
+    return 0
+
+
+def _cmd_mcr(args: argparse.Namespace) -> int:
+    from repro.partition import (
+        message_count,
+        minimize_cost_redistribution,
+        overlap_elements,
+        partition_list,
+    )
+
+    if len(args.old) != len(args.new):
+        print("--old and --new must have the same length", file=sys.stderr)
+        return 2
+    p = len(args.old)
+    arrangement = minimize_cost_redistribution(
+        np.arange(p), args.old, args.new, args.elements
+    )
+    old = partition_list(args.elements, args.old)
+    ident = partition_list(args.elements, args.new)
+    chosen = partition_list(args.elements, args.new, arrangement)
+    print(f"MCR arrangement: {arrangement.tolist()}")
+    print(
+        f"identity: overlap {overlap_elements(old, ident)}/{args.elements}, "
+        f"{message_count(old, ident)} messages"
+    )
+    print(
+        f"MCR:      overlap {overlap_elements(old, chosen)}/{args.elements}, "
+        f"{message_count(old, chosen)} messages"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "orderings":
+        return _cmd_orderings(args)
+    if args.command == "mcr":
+        return _cmd_mcr(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the STANCE reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything originating here with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate untouched.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CommunicationError",
+    "MailboxClosedError",
+    "RankFailedError",
+    "PartitionError",
+    "OrderingError",
+    "TranslationError",
+    "ScheduleError",
+    "RedistributionError",
+    "LoadBalanceError",
+    "GraphError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid cluster, network, or runtime configuration was supplied."""
+
+
+class CommunicationError(ReproError):
+    """A message-passing operation failed (bad rank, tag, or buffer)."""
+
+
+class MailboxClosedError(CommunicationError):
+    """A receive was attempted on a mailbox that has been shut down."""
+
+
+class RankFailedError(ReproError):
+    """One or more SPMD ranks raised an exception.
+
+    Attributes
+    ----------
+    failures:
+        Mapping of rank -> the exception raised by that rank.
+    """
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        ranks = ", ".join(str(r) for r in sorted(self.failures))
+        first = next(iter(self.failures.values()))
+        super().__init__(
+            f"{len(self.failures)} SPMD rank(s) failed (ranks {ranks}); "
+            f"first error: {first!r}"
+        )
+
+
+class PartitionError(ReproError):
+    """Interval partitioning or arrangement computation failed."""
+
+
+class OrderingError(PartitionError):
+    """A one-dimensional ordering is invalid (not a permutation, etc.)."""
+
+
+class TranslationError(ReproError):
+    """Global-to-local index translation failed (index out of range, etc.)."""
+
+
+class ScheduleError(ReproError):
+    """Communication-schedule construction or application failed."""
+
+
+class RedistributionError(ReproError):
+    """Data redistribution between interval partitions failed."""
+
+
+class LoadBalanceError(ReproError):
+    """The adaptive load-balancing protocol failed."""
+
+
+class GraphError(ReproError):
+    """A computational graph or mesh is malformed."""

@@ -1,0 +1,200 @@
+"""Compressed-sparse-row computational graphs.
+
+The paper (Sec. 3.1) views unstructured data-parallel applications as
+*computational graphs*: vertices are concurrent tasks (mesh nodes), edges are
+interactions.  A :class:`CSRGraph` stores the symmetric adjacency structure
+in CSR form — exactly the "indirection array" layout of the Fig. 8 loop
+(``ia`` is our ``indices``; the per-vertex counts are encoded by ``indptr``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.utils.validation import check_permutation
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An undirected graph in CSR form.
+
+    Invariants (validated at construction):
+
+    * ``indptr`` has length ``n + 1``, is non-decreasing, starts at 0;
+    * ``indices[indptr[v]:indptr[v+1]]`` are the neighbors of vertex ``v``;
+    * adjacency is symmetric (u in adj(v) iff v in adj(u)) with no
+      self-loops — the symmetry is what schedule_sort1/sort2 exploit;
+    * ``coords`` (optional) holds the vertices' physical 2-D/3-D positions,
+      required by the coordinate-based orderings (RCB, inertial, SFC).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    coords: np.ndarray | None = None
+    vertex_weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        indptr = np.ascontiguousarray(self.indptr, dtype=np.intp)
+        indices = np.ascontiguousarray(self.indices, dtype=np.intp)
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        if indptr.ndim != 1 or indptr.size < 1:
+            raise GraphError("indptr must be a 1-D array of length n+1")
+        if indptr[0] != 0:
+            raise GraphError("indptr must start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if indptr[-1] != indices.size:
+            raise GraphError(
+                f"indptr[-1]={indptr[-1]} disagrees with len(indices)={indices.size}"
+            )
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise GraphError("neighbor indices out of range")
+        if self.coords is not None:
+            coords = np.ascontiguousarray(self.coords, dtype=np.float64)
+            object.__setattr__(self, "coords", coords)
+            if coords.ndim != 2 or coords.shape[0] != n or coords.shape[1] not in (2, 3):
+                raise GraphError(
+                    f"coords must be (n, 2) or (n, 3), got {coords.shape}"
+                )
+        if self.vertex_weights is not None:
+            w = np.ascontiguousarray(self.vertex_weights, dtype=np.float64)
+            object.__setattr__(self, "vertex_weights", w)
+            if w.shape != (n,):
+                raise GraphError(f"vertex_weights must have shape ({n},)")
+            if np.any(w < 0):
+                raise GraphError("vertex_weights must be non-negative")
+        self._check_symmetric()
+
+    def _check_symmetric(self) -> None:
+        n = self.num_vertices
+        if self.indices.size == 0:
+            return
+        src = np.repeat(np.arange(n, dtype=np.intp), np.diff(self.indptr))
+        if np.any(src == self.indices):
+            raise GraphError("graph has self-loops")
+        fwd = src * n + self.indices
+        rev = self.indices * n + src
+        if not np.array_equal(np.sort(fwd), np.sort(rev)):
+            raise GraphError("adjacency is not symmetric")
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vertices(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected edge count (each edge stored twice in CSR)."""
+        return self.indices.size // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    @property
+    def dim(self) -> int | None:
+        """Embedding dimension (2 or 3), or None for abstract graphs."""
+        return None if self.coords is None else self.coords.shape[1]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbor view for vertex *v* (no copy)."""
+        if not (0 <= v < self.num_vertices):
+            raise GraphError(f"vertex {v} out of range")
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def weights(self) -> np.ndarray:
+        """Vertex computational weights (default: uniform 1.0)."""
+        if self.vertex_weights is not None:
+            return self.vertex_weights
+        return np.ones(self.num_vertices)
+
+    def edge_array(self) -> np.ndarray:
+        """(m, 2) array of undirected edges with u < v, sorted."""
+        n = self.num_vertices
+        src = np.repeat(np.arange(n, dtype=np.intp), np.diff(self.indptr))
+        mask = src < self.indices
+        edges = np.stack([src[mask], self.indices[mask]], axis=1)
+        order = np.lexsort((edges[:, 1], edges[:, 0]))
+        return edges[order]
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        for u, v in self.edge_array():
+            yield int(u), int(v)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def from_edges(
+        n: int,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        *,
+        coords: np.ndarray | None = None,
+        vertex_weights: np.ndarray | None = None,
+    ) -> "CSRGraph":
+        """Build a symmetric CSR graph from an undirected edge list.
+
+        Duplicate edges and self-loops are dropped.
+        """
+        if n < 0:
+            raise GraphError(f"vertex count must be >= 0, got {n}")
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if arr.size == 0:
+            arr = np.empty((0, 2), dtype=np.intp)
+        arr = arr.reshape(-1, 2).astype(np.intp)
+        if arr.size and (arr.min() < 0 or arr.max() >= n):
+            raise GraphError("edge endpoints out of range")
+        arr = arr[arr[:, 0] != arr[:, 1]]  # drop self-loops
+        lo = np.minimum(arr[:, 0], arr[:, 1])
+        hi = np.maximum(arr[:, 0], arr[:, 1])
+        if lo.size:
+            key = lo * np.intp(n) + hi
+            _, unique_idx = np.unique(key, return_index=True)
+            lo, hi = lo[unique_idx], hi[unique_idx]
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        indptr = np.zeros(n + 1, dtype=np.intp)
+        np.add.at(indptr, src + 1, 1)
+        indptr = np.cumsum(indptr)
+        return CSRGraph(indptr, dst, coords=coords, vertex_weights=vertex_weights)
+
+    def permute(self, perm: Sequence[int] | np.ndarray) -> "CSRGraph":
+        """Relabel vertices: new label of old vertex ``v`` is ``perm[v]``.
+
+        This applies the 1-D locality transformation T: V -> {0..n-1} of
+        Sec. 3.1: vertex ``v`` of the input becomes vertex ``perm[v]`` of
+        the output, with coords and weights carried along.
+        """
+        n = self.num_vertices
+        perm = check_permutation(perm, n)
+        inv = np.empty(n, dtype=np.intp)
+        inv[perm] = np.arange(n, dtype=np.intp)
+        edges = self.edge_array()
+        new_edges = perm[edges]
+        coords = None if self.coords is None else self.coords[inv]
+        weights = (
+            None if self.vertex_weights is None else self.vertex_weights[inv]
+        )
+        return CSRGraph.from_edges(
+            n, new_edges, coords=coords, vertex_weights=weights
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"dim={self.dim})"
+        )

@@ -1,0 +1,119 @@
+"""Save/load graphs and meshes.
+
+Two formats:
+
+* ``.npz`` — exact binary round-trip via numpy (preferred).
+* Chaco/METIS-style text — one header line ``n m`` then one line of
+  neighbors per vertex (1-based), optionally preceded by coordinates; kept
+  for interchange with classic partitioning tools, which is how meshes like
+  Fig. 9's circulated in the mid-90s.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.mesh import Mesh
+
+__all__ = [
+    "save_graph_npz",
+    "load_graph_npz",
+    "save_mesh_npz",
+    "load_mesh_npz",
+    "write_chaco",
+    "read_chaco",
+]
+
+
+def save_graph_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Save a graph (structure + coords + weights) to an ``.npz`` file."""
+    payload: dict[str, np.ndarray] = {
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+    }
+    if graph.coords is not None:
+        payload["coords"] = graph.coords
+    if graph.vertex_weights is not None:
+        payload["vertex_weights"] = graph.vertex_weights
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_graph_npz(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph saved by :func:`save_graph_npz`."""
+    with np.load(Path(path)) as data:
+        return CSRGraph(
+            indptr=data["indptr"],
+            indices=data["indices"],
+            coords=data["coords"] if "coords" in data else None,
+            vertex_weights=(
+                data["vertex_weights"] if "vertex_weights" in data else None
+            ),
+        )
+
+
+def save_mesh_npz(mesh: Mesh, path: str | os.PathLike) -> None:
+    """Save a mesh (points + cells) to an ``.npz`` file."""
+    np.savez_compressed(Path(path), points=mesh.points, cells=mesh.cells)
+
+
+def load_mesh_npz(path: str | os.PathLike) -> Mesh:
+    """Load a mesh saved by :func:`save_mesh_npz`."""
+    with np.load(Path(path)) as data:
+        return Mesh(points=data["points"], cells=data["cells"])
+
+
+def write_chaco(graph: CSRGraph, path: str | os.PathLike, *, coords: bool = True) -> None:
+    """Write a graph in Chaco/METIS text format (1-based adjacency lists)."""
+    n = graph.num_vertices
+    with open(Path(path), "w", encoding="ascii") as fh:
+        has_coords = coords and graph.coords is not None
+        fh.write(f"{n} {graph.num_edges}\n")
+        for v in range(n):
+            neigh = " ".join(str(int(u) + 1) for u in graph.neighbors(v))
+            if has_coords:
+                xy = " ".join(f"{c:.10g}" for c in graph.coords[v])
+                fh.write(f"# {xy}\n")
+            fh.write(neigh + "\n")
+
+
+def read_chaco(path: str | os.PathLike) -> CSRGraph:
+    """Read a graph written by :func:`write_chaco`."""
+    lines = Path(path).read_text(encoding="ascii").splitlines()
+    if not lines:
+        raise GraphError(f"{path}: empty Chaco file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphError(f"{path}: malformed header {lines[0]!r}")
+    n, m = int(header[0]), int(header[1])
+    edges: list[tuple[int, int]] = []
+    coords: list[list[float]] = []
+    v = 0
+    for line in lines[1:]:
+        line = line.strip()
+        if not line:
+            v += 1  # isolated vertex: empty adjacency line
+            continue
+        if line.startswith("#"):
+            coords.append([float(x) for x in line[1:].split()])
+            continue
+        for tok in line.split():
+            u = int(tok) - 1
+            if not (0 <= u < n):
+                raise GraphError(f"{path}: neighbor {tok} out of range")
+            if u > v:
+                edges.append((v, u))
+        v += 1
+    if v != n:
+        raise GraphError(f"{path}: expected {n} adjacency lines, got {v}")
+    coord_arr = np.array(coords) if len(coords) == n else None
+    graph = CSRGraph.from_edges(n, edges, coords=coord_arr)
+    if graph.num_edges != m:
+        raise GraphError(
+            f"{path}: header claims {m} edges, file has {graph.num_edges}"
+        )
+    return graph

@@ -1,0 +1,158 @@
+"""Partition and ordering quality metrics.
+
+These quantify the two goals of Sec. 1 — load balance and data locality —
+plus 1-D-specific measures of how well an ordering "encapsulates the
+locality" of the graph (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.utils.validation import check_permutation
+
+__all__ = [
+    "edge_cut",
+    "boundary_vertices",
+    "partition_sizes",
+    "load_imbalance",
+    "ordering_bandwidth",
+    "mean_edge_span",
+    "locality_profile",
+    "cut_curve",
+]
+
+
+def _check_labels(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:
+    labels = np.asarray(labels, dtype=np.intp)
+    if labels.shape != (graph.num_vertices,):
+        raise PartitionError(
+            f"labels shape {labels.shape} != ({graph.num_vertices},)"
+        )
+    if labels.size and labels.min() < 0:
+        raise PartitionError("negative partition labels")
+    return labels
+
+
+def edge_cut(graph: CSRGraph, labels: np.ndarray) -> int:
+    """Number of undirected edges whose endpoints lie in different parts.
+
+    Each cross edge is one nonlocal access per iteration in each direction,
+    so the cut is the communication *volume* proxy the partitioners minimize.
+    """
+    labels = _check_labels(graph, labels)
+    edges = graph.edge_array()
+    if edges.size == 0:
+        return 0
+    return int(np.count_nonzero(labels[edges[:, 0]] != labels[edges[:, 1]]))
+
+
+def boundary_vertices(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:
+    """Boolean mask of vertices with at least one cross-partition edge.
+
+    These are exactly the vertices the executor must gather/scatter.
+    """
+    labels = _check_labels(graph, labels)
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.intp), np.diff(graph.indptr))
+    cross = labels[src] != labels[graph.indices]
+    mask = np.zeros(n, dtype=bool)
+    np.logical_or.at(mask, src[cross], True)
+    return mask
+
+
+def partition_sizes(labels: np.ndarray, num_parts: int) -> np.ndarray:
+    """Vertex count per part (length ``num_parts``)."""
+    labels = np.asarray(labels, dtype=np.intp)
+    if labels.size and labels.max() >= num_parts:
+        raise PartitionError(
+            f"label {labels.max()} out of range for {num_parts} parts"
+        )
+    return np.bincount(labels, minlength=num_parts)
+
+
+def load_imbalance(
+    labels: np.ndarray,
+    weights: np.ndarray,
+    capabilities: np.ndarray,
+) -> float:
+    """max over parts of (assigned weight share / capability share).
+
+    1.0 means every processor got work exactly proportional to its power
+    (the paper's load-balance goal); 2.0 means some processor got twice its
+    fair share.
+    """
+    labels = np.asarray(labels, dtype=np.intp)
+    weights = np.asarray(weights, dtype=np.float64)
+    cap = np.asarray(capabilities, dtype=np.float64)
+    if weights.shape != labels.shape:
+        raise PartitionError("weights and labels must have equal length")
+    if np.any(cap <= 0):
+        raise PartitionError("capabilities must be positive")
+    p = cap.size
+    part_w = np.bincount(labels, weights=weights, minlength=p)
+    if labels.size and labels.max() >= p:
+        raise PartitionError(f"label {labels.max()} >= {p} parts")
+    share = part_w / weights.sum()
+    fair = cap / cap.sum()
+    return float(np.max(share / fair))
+
+
+def ordering_bandwidth(graph: CSRGraph, perm: np.ndarray) -> int:
+    """max |perm[u] - perm[v]| over edges: worst-case 1-D stretch."""
+    perm = check_permutation(perm, graph.num_vertices)
+    edges = graph.edge_array()
+    if edges.size == 0:
+        return 0
+    return int(np.abs(perm[edges[:, 0]] - perm[edges[:, 1]]).max())
+
+
+def mean_edge_span(graph: CSRGraph, perm: np.ndarray) -> float:
+    """mean |perm[u] - perm[v]| over edges: average 1-D stretch.
+
+    A good locality-improving transformation keeps this near the O(sqrt(n))
+    of a planar mesh; a random permutation pushes it to ~n/3.
+    """
+    perm = check_permutation(perm, graph.num_vertices)
+    edges = graph.edge_array()
+    if edges.size == 0:
+        return 0.0
+    return float(np.abs(perm[edges[:, 0]] - perm[edges[:, 1]]).mean())
+
+
+def cut_curve(
+    graph: CSRGraph, perm: np.ndarray, part_counts: list[int] | np.ndarray
+) -> dict[int, int]:
+    """Edge cut of contiguous equal splits of the 1-D list, per part count.
+
+    This operationalizes Sec. 3.1's goal — "achieve good partitioning for a
+    wide range of partitions": one ordering is evaluated under many
+    partition counts by splitting [0, n) into equal contiguous blocks.
+    """
+    perm = check_permutation(perm, graph.num_vertices)
+    n = graph.num_vertices
+    result: dict[int, int] = {}
+    for p in part_counts:
+        p = int(p)
+        if p < 1:
+            raise PartitionError(f"part count must be >= 1, got {p}")
+        # Equal contiguous blocks over the 1-D positions.
+        labels_1d = (perm.astype(np.float64) * p / n).astype(np.intp)
+        labels_1d = np.minimum(labels_1d, p - 1)
+        result[p] = edge_cut(graph, labels_1d)
+    return result
+
+
+def locality_profile(
+    graph: CSRGraph,
+    perm: np.ndarray,
+    part_counts: list[int] | np.ndarray = (2, 4, 8, 16, 32),
+) -> dict[str, object]:
+    """Summary of an ordering's 1-D locality quality."""
+    return {
+        "bandwidth": ordering_bandwidth(graph, perm),
+        "mean_span": mean_edge_span(graph, perm),
+        "cut_curve": cut_curve(graph, perm, list(part_counts)),
+    }

@@ -1,0 +1,86 @@
+"""Simulated cluster substrate: processors, load traces, networks, SPMD.
+
+This package replaces the paper's physical testbed (SUN4 workstations + P4
+over Ethernet) with a virtual-time simulation; see DESIGN.md section 2 for
+the substitution argument.
+"""
+
+from repro.net.cluster import (
+    SUN4_SPEEDS,
+    ClusterSpec,
+    adaptive_cluster,
+    heterogeneous_cluster,
+    sun4_cluster,
+    uniform_cluster,
+)
+from repro.net.comm import Communicator, RankContext
+from repro.net.loadmodel import (
+    CompositeLoad,
+    ConstantLoad,
+    LoadTrace,
+    NoLoad,
+    RampLoad,
+    RandomWalkLoad,
+    StepLoad,
+    advance_clock,
+    work_done_in,
+)
+from repro.net.message import ANY_SOURCE, ANY_TAG, Message, Tags, payload_nbytes
+from repro.net.network import (
+    ETHERNET_10MBIT,
+    ETHERNET_100MBIT,
+    NetworkModel,
+    PointToPointNetwork,
+    SharedEthernet,
+    SwitchedNetwork,
+)
+from repro.net.processor import ProcessorSpec
+from repro.net.report import (
+    RankBreakdown,
+    UtilizationReport,
+    analyze_trace,
+    render_timeline,
+)
+from repro.net.spmd import SPMDResult, SPMDRunner, run_spmd
+from repro.net.trace import TraceEvent, TraceLog
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "ClusterSpec",
+    "Communicator",
+    "CompositeLoad",
+    "ConstantLoad",
+    "ETHERNET_100MBIT",
+    "ETHERNET_10MBIT",
+    "LoadTrace",
+    "Message",
+    "NetworkModel",
+    "NoLoad",
+    "PointToPointNetwork",
+    "ProcessorSpec",
+    "RampLoad",
+    "RankBreakdown",
+    "UtilizationReport",
+    "analyze_trace",
+    "render_timeline",
+    "RandomWalkLoad",
+    "RankContext",
+    "SPMDResult",
+    "SPMDRunner",
+    "SUN4_SPEEDS",
+    "SharedEthernet",
+    "StepLoad",
+    "SwitchedNetwork",
+    "Tags",
+    "TraceEvent",
+    "TraceLog",
+    "adaptive_cluster",
+    "advance_clock",
+    "heterogeneous_cluster",
+    "payload_nbytes",
+    "run_spmd",
+    "sun4_cluster",
+    "uniform_cluster",
+    "work_done_in",
+]

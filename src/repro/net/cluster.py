@@ -1,0 +1,165 @@
+"""Cluster specifications: a set of processors plus a network model.
+
+Factory helpers build the environments used throughout the paper's
+evaluation: a homogeneous workstation pool, the heterogeneous SUN4-like pool
+of Tables 3-5, and adaptive variants with a competing load injected on one
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.loadmodel import ConstantLoad, LoadTrace, NoLoad
+from repro.net.network import ETHERNET_10MBIT, NetworkModel, PointToPointNetwork
+from repro.net.processor import ProcessorSpec
+
+__all__ = [
+    "ClusterSpec",
+    "uniform_cluster",
+    "heterogeneous_cluster",
+    "sun4_cluster",
+    "adaptive_cluster",
+    "SUN4_SPEEDS",
+]
+
+#: Relative speeds for the five-workstation pool used to mimic the paper's
+#: Tables 3-5.  Workstation 1 is the fastest; later machines are slower, so
+#: adding them raises throughput but lowers parallel efficiency, matching the
+#: declining efficiency column of Table 4.
+SUN4_SPEEDS: tuple[float, ...] = (1.0, 0.95, 0.80, 0.70, 0.55)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """An immutable description of a simulated cluster."""
+
+    processors: tuple[ProcessorSpec, ...]
+    network_factory: Callable[[], NetworkModel] = field(default=PointToPointNetwork)
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if not self.processors:
+            raise ConfigurationError("a cluster needs at least one processor")
+
+    @property
+    def size(self) -> int:
+        return len(self.processors)
+
+    @property
+    def speeds(self) -> np.ndarray:
+        """Relative base speeds as a float vector."""
+        return np.array([p.speed for p in self.processors], dtype=np.float64)
+
+    def capability_ratios(self, t: float = 0.0) -> np.ndarray:
+        """Normalized effective speeds at virtual time *t*.
+
+        This is the paper's "computational capability ratio" vector (e.g.
+        P0=0.27, P1=0.18, ... in Sec. 3.4): effective speeds normalized to
+        sum to one.
+        """
+        eff = np.array([p.effective_speed(t) for p in self.processors])
+        return eff / eff.sum()
+
+    def make_network(self) -> NetworkModel:
+        """Instantiate a fresh network model (contention state reset)."""
+        net = self.network_factory()
+        net.reset()
+        return net
+
+    def subset(self, ranks: Sequence[int]) -> "ClusterSpec":
+        """A cluster using only the listed processors (paper's "workstations
+        1,2,3" notation selects prefixes of the pool)."""
+        ranks = list(ranks)
+        if not ranks:
+            raise ConfigurationError("subset needs at least one rank")
+        if any(r < 0 or r >= self.size for r in ranks):
+            raise ConfigurationError(f"subset ranks out of range: {ranks}")
+        return replace(
+            self,
+            processors=tuple(self.processors[r] for r in ranks),
+            name=f"{self.name}[{','.join(map(str, ranks))}]",
+        )
+
+    def prefix(self, n: int) -> "ClusterSpec":
+        """The first *n* workstations (the paper's 1..n pools)."""
+        return self.subset(range(n))
+
+    def with_load(self, rank: int, load: LoadTrace) -> "ClusterSpec":
+        """A copy with a competing-load trace attached to one processor."""
+        if rank < 0 or rank >= self.size:
+            raise ConfigurationError(f"rank {rank} out of range for with_load")
+        procs = list(self.processors)
+        procs[rank] = procs[rank].with_load(load)
+        return replace(self, processors=tuple(procs))
+
+
+def uniform_cluster(
+    n: int,
+    *,
+    speed: float = 1.0,
+    network_factory: Callable[[], NetworkModel] = PointToPointNetwork,
+    name: str = "uniform",
+) -> ClusterSpec:
+    """*n* identical dedicated workstations."""
+    if n < 1:
+        raise ConfigurationError(f"cluster size must be >= 1, got {n}")
+    procs = tuple(
+        ProcessorSpec(speed=speed, load=NoLoad(), name=f"ws{i}") for i in range(n)
+    )
+    return ClusterSpec(procs, network_factory, name)
+
+
+def heterogeneous_cluster(
+    speeds: Sequence[float],
+    *,
+    network_factory: Callable[[], NetworkModel] = PointToPointNetwork,
+    name: str = "hetero",
+) -> ClusterSpec:
+    """Workstations with the given relative speeds (nonuniform environment)."""
+    if len(speeds) < 1:
+        raise ConfigurationError("need at least one speed")
+    procs = tuple(
+        ProcessorSpec(speed=float(s), load=NoLoad(), name=f"ws{i}")
+        for i, s in enumerate(speeds)
+    )
+    return ClusterSpec(procs, network_factory, name)
+
+
+def sun4_cluster(
+    n: int = 5,
+    *,
+    ethernet: bool = True,
+    name: str = "sun4",
+) -> ClusterSpec:
+    """The paper's testbed: up to five SUN4-class workstations on Ethernet.
+
+    ``n`` selects the prefix (the paper reports pools "1,2", "1,2,3", ...).
+    """
+    if not (1 <= n <= len(SUN4_SPEEDS)):
+        raise ConfigurationError(
+            f"sun4_cluster supports 1..{len(SUN4_SPEEDS)} workstations, got {n}"
+        )
+    factory: Callable[[], NetworkModel] = (
+        ETHERNET_10MBIT if ethernet else PointToPointNetwork
+    )
+    return heterogeneous_cluster(
+        SUN4_SPEEDS[:n], network_factory=factory, name=name
+    )
+
+
+def adaptive_cluster(
+    n: int = 5,
+    *,
+    loaded_rank: int = 0,
+    competing_load: float = 1.0,
+    ethernet: bool = True,
+) -> ClusterSpec:
+    """The Table-5 environment: the SUN4 pool with a constant competing load
+    on one workstation (the paper loads "processor 1", its first machine)."""
+    base = sun4_cluster(n, ethernet=ethernet, name="sun4-adaptive")
+    return base.with_load(loaded_rank, ConstantLoad(competing_load))

@@ -1,0 +1,144 @@
+"""Collective operations over :class:`~repro.net.comm.RankContext`.
+
+Implemented with the library's own point-to-point primitives (plus hardware
+multicast where the network supports it), the way the paper's library built
+its collectives over P4.  Every collective is *symmetric*: all ranks of the
+communicator must call it, in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence, TYPE_CHECKING
+
+from repro.errors import CommunicationError
+from repro.net.message import Tags
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.comm import RankContext
+
+__all__ = [
+    "bcast",
+    "gather",
+    "allgather",
+    "scatter",
+    "reduce",
+    "allreduce",
+    "alltoallv",
+]
+
+
+def bcast(ctx: "RankContext", payload: Any, *, root: int = 0, tag: int = Tags.BCAST) -> Any:
+    """Broadcast from *root*; returns the payload on every rank.
+
+    Uses one multicast transmission when the network supports it (Sec. 3.6);
+    otherwise the root sends p-1 unicasts.
+    """
+    if ctx.size == 1:
+        return payload
+    if ctx.rank == root:
+        dests = [r for r in range(ctx.size) if r != root]
+        ctx.multicast(dests, payload, tag=tag)
+        return payload
+    return ctx.recv(root, tag)
+
+
+def gather(
+    ctx: "RankContext", payload: Any, *, root: int = 0, tag: int = Tags.GATHER
+) -> list[Any] | None:
+    """Gather one value per rank at *root* (rank order); None elsewhere."""
+    if ctx.rank != root:
+        ctx.send(root, payload, tag)
+        return None
+    values: list[Any] = [None] * ctx.size
+    values[root] = payload
+    for _ in range(ctx.size - 1):
+        msg = ctx.recv(tag=tag, return_message=True)
+        if values[msg.source] is not None and msg.source != root:
+            raise CommunicationError(
+                f"gather: duplicate contribution from rank {msg.source}"
+            )
+        values[msg.source] = msg.payload
+    return values
+
+
+def allgather(ctx: "RankContext", payload: Any) -> list[Any]:
+    """Gather at rank 0, then broadcast the full list."""
+    values = gather(ctx, payload, root=0, tag=Tags.GATHER)
+    return bcast(ctx, values, root=0, tag=Tags.BCAST)
+
+
+def scatter(
+    ctx: "RankContext", parts: Sequence[Any] | None, *, root: int = 0
+) -> Any:
+    """Scatter ``parts[r]`` to each rank *r* from *root*."""
+    if ctx.rank == root:
+        if parts is None or len(parts) != ctx.size:
+            raise CommunicationError(
+                f"scatter root needs exactly {ctx.size} parts, got "
+                f"{None if parts is None else len(parts)}"
+            )
+        for r in range(ctx.size):
+            if r != root:
+                ctx.send(r, parts[r], Tags.SCATTER)
+        return parts[root]
+    return ctx.recv(root, Tags.SCATTER)
+
+
+def reduce(
+    ctx: "RankContext",
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    *,
+    root: int = 0,
+) -> Any | None:
+    """Reduce with *op* at *root* in rank order; None elsewhere.
+
+    Rank-ordered application keeps results deterministic even for
+    non-commutative ``op``.
+    """
+    values = gather(ctx, value, root=root, tag=Tags.REDUCE)
+    if ctx.rank != root:
+        return None
+    assert values is not None
+    acc = values[0]
+    for v in values[1:]:
+        acc = op(acc, v)
+    return acc
+
+
+def allreduce(ctx: "RankContext", value: Any, op: Callable[[Any, Any], Any]) -> Any:
+    """Reduce at rank 0, then broadcast the result."""
+    result = reduce(ctx, value, op, root=0)
+    return bcast(ctx, result, root=0, tag=Tags.BCAST)
+
+
+def alltoallv(
+    ctx: "RankContext",
+    outgoing: dict[int, Any],
+    recv_from: Iterable[int],
+    *,
+    tag: int = Tags.ALLTOALL,
+) -> dict[int, Any]:
+    """Personalized exchange with a *known* communication pattern.
+
+    ``outgoing`` maps destination rank -> payload; ``recv_from`` lists the
+    ranks this rank expects a message from.  The pattern must be globally
+    consistent (rank s lists d in ``outgoing`` iff rank d lists s in
+    ``recv_from``) — in this library both sides always derive the pattern
+    from the replicated interval lists, so no pattern-discovery round is
+    needed (one of the paper's arguments for the 1-D representation).
+
+    Sends are issued before receives, so the exchange cannot deadlock for
+    any consistent pattern.
+    """
+    for dest, payload in sorted(outgoing.items()):
+        if dest == ctx.rank:
+            continue
+        ctx.send(dest, payload, tag)
+    received: dict[int, Any] = {}
+    if ctx.rank in outgoing:
+        received[ctx.rank] = outgoing[ctx.rank]
+    expected = sorted(set(r for r in recv_from if r != ctx.rank))
+    for src in expected:
+        received[src] = ctx.recv(src, tag)
+    return received

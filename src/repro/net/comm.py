@@ -1,0 +1,311 @@
+"""The communicator: virtual-clock message passing between SPMD ranks.
+
+A :class:`Communicator` owns the mailboxes, the network model instance, and
+the per-rank virtual clocks for one SPMD run.  Each rank interacts with it
+through a :class:`RankContext`, which exposes an MPI-like API (``send`` /
+``recv`` / collectives) plus :meth:`RankContext.compute` for charging
+computation time through the rank's processor speed and competing-load trace.
+
+Real OS threads give true SPMD concurrency (ranks block on receives exactly
+as P4 processes would); **all reported time is virtual**, so results do not
+depend on the host machine, the GIL, or thread scheduling — except that the
+shared-Ethernet model orders contended frames by thread arrival (see
+:mod:`repro.net.network`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CommunicationError, ConfigurationError
+from repro.net.cluster import ClusterSpec
+from repro.net.mailbox import Mailbox
+from repro.net.message import ANY_SOURCE, ANY_TAG, Message, Tags, payload_nbytes
+from repro.net.trace import TraceEvent, TraceLog
+
+__all__ = ["Communicator", "RankContext"]
+
+#: Default *host* timeout for blocking receives, to surface deadlocks in
+#: tests instead of hanging forever.
+DEFAULT_RECV_TIMEOUT = 120.0
+
+
+class Communicator:
+    """Shared state for one SPMD run over a cluster."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        *,
+        trace: bool = False,
+        recv_timeout: float = DEFAULT_RECV_TIMEOUT,
+        recv_overhead: float = 2.0e-4,
+        barrier_overhead: float = 1.0e-4,
+    ):
+        self.cluster = cluster
+        self.size = cluster.size
+        self.network = cluster.make_network()
+        self.mailboxes = [Mailbox(r) for r in range(self.size)]
+        self.clocks = [0.0] * self.size
+        self.trace = TraceLog(enabled=trace)
+        self.recv_timeout = recv_timeout
+        self.recv_overhead = recv_overhead
+        self.barrier_overhead = barrier_overhead
+        self._seq_lock = threading.Lock()
+        self._seq = 0
+        self._barrier_max = 0.0
+        self._barrier = threading.Barrier(self.size, action=self._barrier_action)
+
+    def _next_seq(self) -> int:
+        with self._seq_lock:
+            self._seq += 1
+            return self._seq
+
+    def _barrier_action(self) -> None:
+        # Runs in exactly one thread once all ranks have arrived.
+        self._barrier_max = max(self.clocks)
+
+    def context(self, rank: int) -> "RankContext":
+        if not (0 <= rank < self.size):
+            raise ConfigurationError(f"rank {rank} out of range 0..{self.size - 1}")
+        return RankContext(self, rank)
+
+    def shutdown(self) -> None:
+        """Close all mailboxes (wakes every blocked receiver)."""
+        for box in self.mailboxes:
+            box.close()
+
+    @property
+    def makespan(self) -> float:
+        """Max virtual clock across ranks (total parallel execution time)."""
+        return max(self.clocks)
+
+
+class RankContext:
+    """Per-rank handle: the API SPMD rank functions program against."""
+
+    def __init__(self, comm: Communicator, rank: int):
+        self._comm = comm
+        self.rank = rank
+        self.size = comm.size
+        self.proc = comm.cluster.processors[rank]
+
+    # ------------------------------------------------------------------ #
+    # virtual clock
+    # ------------------------------------------------------------------ #
+
+    @property
+    def clock(self) -> float:
+        """This rank's virtual time in seconds."""
+        return self._comm.clocks[self.rank]
+
+    @clock.setter
+    def clock(self, value: float) -> None:
+        self._comm.clocks[self.rank] = value
+
+    def charge(self, seconds: float) -> None:
+        """Advance the clock by raw virtual *seconds* (no speed scaling).
+
+        Used for fixed software overheads such as sorting during schedule
+        construction, where we charge measured host time scaled by the
+        processor speed via :meth:`compute` instead when appropriate.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self.clock += seconds
+
+    def compute(self, work_seconds: float, *, label: str = "") -> None:
+        """Charge *work_seconds* of unit-speed computation.
+
+        The actual elapsed virtual time is larger on slow or loaded
+        processors: it is found by integrating the processor's effective
+        speed (base speed / (1 + competing load)) from the current clock.
+        """
+        t0 = self.clock
+        t1 = self.proc.finish_time(t0, work_seconds)
+        self.clock = t1
+        self._comm.trace.record(
+            TraceEvent("compute", self.rank, t0, t1, label=label)
+        )
+
+    def compute_items(self, n_items: int, sec_per_item: float, *, label: str = "") -> None:
+        """Charge computation proportional to a number of data items."""
+        if n_items < 0 or sec_per_item < 0:
+            raise ValueError("n_items and sec_per_item must be >= 0")
+        self.compute(n_items * sec_per_item, label=label)
+
+    # ------------------------------------------------------------------ #
+    # point-to-point
+    # ------------------------------------------------------------------ #
+
+    def send(self, dest: int, payload: Any, tag: int = Tags.USER_BASE) -> None:
+        """Buffered (non-blocking-complete) send, like P4/MPI eager sends."""
+        comm = self._comm
+        if not (0 <= dest < self.size):
+            raise CommunicationError(f"send to invalid rank {dest}")
+        if dest == self.rank:
+            # Self-sends bypass the network (local memory copy).
+            nbytes = payload_nbytes(payload)
+            msg = Message(
+                self.rank, dest, tag, payload, nbytes,
+                send_time=self.clock, arrival_time=self.clock,
+                seq=comm._next_seq(),
+            )
+            comm.mailboxes[dest].deposit(msg)
+            return
+        nbytes = payload_nbytes(payload)
+        t0 = self.clock
+        arrival = comm.network.send(self.rank, dest, nbytes, t0)
+        self.clock = comm.network.injection_done(self.rank, dest, nbytes, t0)
+        msg = Message(
+            self.rank, dest, tag, payload, nbytes,
+            send_time=t0, arrival_time=arrival, seq=comm._next_seq(),
+        )
+        comm.trace.record(
+            TraceEvent("send", self.rank, t0, self.clock, nbytes=nbytes,
+                       peer=dest, tag=tag)
+        )
+        comm.mailboxes[dest].deposit(msg)
+
+    def multicast(
+        self, dests: Sequence[int], payload: Any, tag: int = Tags.USER_BASE
+    ) -> None:
+        """One logical transmission to several destinations (Sec. 3.6).
+
+        Uses hardware multicast when the network supports it (one frame on
+        Ethernet); otherwise degrades to sequential unicasts.
+        """
+        comm = self._comm
+        dests = [d for d in dests if d != self.rank]
+        for d in dests:
+            if not (0 <= d < self.size):
+                raise CommunicationError(f"multicast to invalid rank {d}")
+        if not dests:
+            return
+        nbytes = payload_nbytes(payload)
+        t0 = self.clock
+        arrivals = comm.network.multicast(self.rank, dests, nbytes, t0)
+        self.clock = comm.network.injection_done(self.rank, dests[0], nbytes, t0)
+        kind = "multicast" if comm.network.supports_multicast else "send"
+        comm.trace.record(
+            TraceEvent(kind, self.rank, t0, self.clock, nbytes=nbytes,
+                       peer=-1, tag=tag, label=f"x{len(dests)}")
+        )
+        for d, arrival in zip(dests, arrivals):
+            msg = Message(
+                self.rank, d, tag, payload, nbytes,
+                send_time=t0, arrival_time=arrival, seq=comm._next_seq(),
+            )
+            comm.mailboxes[d].deposit(msg)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        return_message: bool = False,
+    ) -> Any:
+        """Blocking receive; advances the clock to the message arrival."""
+        comm = self._comm
+        msg = comm.mailboxes[self.rank].receive(
+            source, tag, timeout=comm.recv_timeout
+        )
+        t0 = self.clock
+        self.clock = max(self.clock, msg.arrival_time) + comm.recv_overhead
+        comm.trace.record(
+            TraceEvent("recv", self.rank, t0, self.clock, nbytes=msg.nbytes,
+                       peer=msg.source, tag=msg.tag)
+        )
+        return msg if return_message else msg.payload
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking check for a buffered matching message."""
+        return self._comm.mailboxes[self.rank].probe(source, tag)
+
+    def sendrecv(
+        self,
+        dest: int,
+        payload: Any,
+        source: int,
+        *,
+        send_tag: int = Tags.USER_BASE,
+        recv_tag: int | None = None,
+    ) -> Any:
+        """Exchange: send to *dest*, then receive from *source*."""
+        self.send(dest, payload, send_tag)
+        return self.recv(source, recv_tag if recv_tag is not None else send_tag)
+
+    # ------------------------------------------------------------------ #
+    # collectives (implemented in repro.net.collectives)
+    # ------------------------------------------------------------------ #
+
+    def barrier(self) -> None:
+        """Synchronize all ranks; exit clocks equal the max entry clock."""
+        comm = self._comm
+        t0 = self.clock
+        comm._barrier.wait()
+        self.clock = comm._barrier_max + comm.barrier_overhead
+        comm.trace.record(TraceEvent("barrier", self.rank, t0, self.clock))
+
+    def bcast(self, payload: Any, root: int = 0, *, tag: int = Tags.BCAST) -> Any:
+        from repro.net.collectives import bcast
+
+        return bcast(self, payload, root=root, tag=tag)
+
+    def gather(self, payload: Any, root: int = 0, *, tag: int = Tags.GATHER) -> list[Any] | None:
+        from repro.net.collectives import gather
+
+        return gather(self, payload, root=root, tag=tag)
+
+    def allgather(self, payload: Any) -> list[Any]:
+        from repro.net.collectives import allgather
+
+        return allgather(self, payload)
+
+    def scatter(self, parts: Sequence[Any] | None, root: int = 0) -> Any:
+        from repro.net.collectives import scatter
+
+        return scatter(self, parts, root=root)
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Any | None:
+        from repro.net.collectives import reduce as _reduce
+
+        return _reduce(self, value, op, root=root)
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        from repro.net.collectives import allreduce
+
+        return allreduce(self, value, op)
+
+    def alltoallv(
+        self,
+        outgoing: dict[int, Any],
+        recv_from: Iterable[int],
+        *,
+        tag: int = Tags.ALLTOALL,
+    ) -> dict[int, Any]:
+        from repro.net.collectives import alltoallv
+
+        return alltoallv(self, outgoing, recv_from, tag=tag)
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+
+    @property
+    def trace(self) -> TraceLog:
+        return self._comm.trace
+
+    def capability_snapshot(self) -> np.ndarray:
+        """Current normalized effective speeds of all processors.
+
+        Available because the interval list (and hence cluster composition)
+        is replicated, mirroring the paper's replicated translation list.
+        """
+        return self._comm.cluster.capability_ratios(self.clock)
+
+    def __repr__(self) -> str:
+        return f"RankContext(rank={self.rank}, size={self.size}, clock={self.clock:.6f})"

@@ -1,0 +1,263 @@
+"""Competing-load traces for adaptive computational environments.
+
+The paper's adaptive experiments (Table 5) add "a constant competing load" to
+one workstation: the data-parallel process then receives only a fraction of
+that machine's cycles.  We model the environment's adaptivity with a *load
+trace* L(t): the number of competing processes at virtual time ``t``.  With
+fair CPU sharing, the application's instantaneous rate on a processor of base
+speed ``s`` is ``s / (1 + L(t))``.
+
+All traces are piecewise-constant in time (ramps and random walks are
+discretized at construction), which lets :func:`advance_clock` integrate the
+rate exactly, segment by segment.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "LoadTrace",
+    "NoLoad",
+    "ConstantLoad",
+    "StepLoad",
+    "RampLoad",
+    "RandomWalkLoad",
+    "CompositeLoad",
+    "advance_clock",
+    "work_done_in",
+]
+
+
+class LoadTrace:
+    """Base class: a piecewise-constant competing load L(t) >= 0."""
+
+    def load_at(self, t: float) -> float:
+        """Competing load at virtual time *t* (t >= 0)."""
+        raise NotImplementedError
+
+    def next_change_after(self, t: float) -> float:
+        """The next breakpoint strictly after *t*, or ``math.inf``."""
+        raise NotImplementedError
+
+    def mean_load(self, t0: float, t1: float) -> float:
+        """Time-averaged load over [t0, t1] (t1 > t0)."""
+        if t1 <= t0:
+            return self.load_at(t0)
+        total = 0.0
+        t = t0
+        while t < t1:
+            nxt = min(self.next_change_after(t), t1)
+            total += self.load_at(t) * (nxt - t)
+            t = nxt
+        return total / (t1 - t0)
+
+
+@dataclass(frozen=True)
+class NoLoad(LoadTrace):
+    """A dedicated machine: no competing processes, ever."""
+
+    def load_at(self, t: float) -> float:
+        return 0.0
+
+    def next_change_after(self, t: float) -> float:
+        return math.inf
+
+
+@dataclass(frozen=True)
+class ConstantLoad(LoadTrace):
+    """A constant competing load (the paper's Table 5 setup).
+
+    ``load=1.0`` means one competing process: the application gets half the
+    machine.
+    """
+
+    load: float
+
+    def __post_init__(self) -> None:
+        check_positive("load", self.load, strict=False)
+
+    def load_at(self, t: float) -> float:
+        return self.load
+
+    def next_change_after(self, t: float) -> float:
+        return math.inf
+
+
+class StepLoad(LoadTrace):
+    """Piecewise-constant load given explicitly as (time, load) steps.
+
+    ``StepLoad([(0, 0), (10, 2), (50, 0)])`` is unloaded until t=10, has two
+    competing processes until t=50, then is unloaded again.
+    """
+
+    def __init__(self, steps: Sequence[tuple[float, float]]):
+        if not steps:
+            raise ValueError("StepLoad needs at least one (time, load) step")
+        times = [float(t) for t, _ in steps]
+        loads = [float(l) for _, l in steps]
+        if times != sorted(times):
+            raise ValueError("StepLoad step times must be non-decreasing")
+        if any(l < 0 for l in loads):
+            raise ValueError("StepLoad loads must be non-negative")
+        if times[0] > 0:
+            times.insert(0, 0.0)
+            loads.insert(0, 0.0)
+        self._times = times
+        self._loads = loads
+
+    def load_at(self, t: float) -> float:
+        idx = bisect_right(self._times, t) - 1
+        return self._loads[max(idx, 0)]
+
+    def next_change_after(self, t: float) -> float:
+        idx = bisect_right(self._times, t)
+        if idx >= len(self._times):
+            return math.inf
+        return self._times[idx]
+
+
+class RampLoad(StepLoad):
+    """A linear ramp from ``load0`` at ``t0`` to ``load1`` at ``t1``.
+
+    Discretized into ``n_steps`` constant segments so integration stays
+    exact; outside [t0, t1] the load holds its endpoint value.
+    """
+
+    def __init__(
+        self,
+        t0: float,
+        t1: float,
+        load0: float,
+        load1: float,
+        *,
+        n_steps: int = 32,
+    ):
+        if t1 <= t0:
+            raise ValueError(f"ramp needs t1 > t0, got [{t0}, {t1}]")
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        edges = np.linspace(t0, t1, n_steps + 1)
+        mids = (edges[:-1] + edges[1:]) / 2.0
+        frac = (mids - t0) / (t1 - t0)
+        vals = load0 + frac * (load1 - load0)
+        steps = [(0.0, float(load0))]
+        steps += [(float(e), float(v)) for e, v in zip(edges[:-1], vals)]
+        steps.append((float(t1), float(load1)))
+        super().__init__(steps)
+
+
+class RandomWalkLoad(StepLoad):
+    """A bounded random-walk load, resampled every ``dt`` seconds.
+
+    Models the "dynamic" resource class from Section 1 of the paper.  The
+    walk is precomputed over ``horizon`` seconds at construction from an
+    explicit seed, so a given experiment is reproducible; past the horizon
+    the final value holds.
+    """
+
+    def __init__(
+        self,
+        *,
+        horizon: float,
+        dt: float,
+        max_load: float = 3.0,
+        step_scale: float = 0.5,
+        seed: SeedLike = None,
+        initial: float = 0.0,
+    ):
+        check_positive("horizon", horizon)
+        check_positive("dt", dt)
+        check_positive("max_load", max_load)
+        rng = as_generator(seed)
+        n = int(math.ceil(horizon / dt)) + 1
+        loads = np.empty(n)
+        loads[0] = min(max(initial, 0.0), max_load)
+        increments = rng.normal(0.0, step_scale, size=n - 1)
+        for i in range(1, n):
+            loads[i] = min(max(loads[i - 1] + increments[i - 1], 0.0), max_load)
+        steps = [(i * dt, float(loads[i])) for i in range(n)]
+        super().__init__(steps)
+
+
+class CompositeLoad(LoadTrace):
+    """Sum of several traces (independent competing users)."""
+
+    def __init__(self, traces: Sequence[LoadTrace]):
+        if not traces:
+            raise ValueError("CompositeLoad needs at least one trace")
+        self._traces = list(traces)
+
+    def load_at(self, t: float) -> float:
+        return sum(tr.load_at(t) for tr in self._traces)
+
+    def next_change_after(self, t: float) -> float:
+        return min(tr.next_change_after(t) for tr in self._traces)
+
+
+def advance_clock(
+    t0: float,
+    work_seconds: float,
+    speed: float,
+    trace: LoadTrace,
+    *,
+    max_segments: int = 10_000_000,
+) -> float:
+    """Return the virtual time at which *work_seconds* of unit-speed work
+    finishes, starting at *t0* on a processor of relative *speed* whose
+    competing load follows *trace*.
+
+    Solves  ∫_{t0}^{t1}  speed / (1 + L(s)) ds = work_seconds  exactly for
+    piecewise-constant L.
+    """
+    check_positive("speed", speed)
+    if work_seconds < 0:
+        raise ValueError(f"work_seconds must be >= 0, got {work_seconds}")
+    if work_seconds == 0:
+        return t0
+    remaining = float(work_seconds)
+    t = float(t0)
+    for _ in range(max_segments):
+        rate = speed / (1.0 + trace.load_at(t))
+        boundary = trace.next_change_after(t)
+        if boundary == math.inf:
+            return t + remaining / rate
+        span = boundary - t
+        capacity = rate * span
+        if capacity >= remaining:
+            return t + remaining / rate
+        remaining -= capacity
+        t = boundary
+    raise RuntimeError("advance_clock exceeded segment budget (runaway trace?)")
+
+
+def work_done_in(
+    t0: float,
+    t1: float,
+    speed: float,
+    trace: LoadTrace,
+) -> float:
+    """Unit-speed work completed on the processor during [t0, t1].
+
+    The inverse of :func:`advance_clock`; used by the Section-4 adaptive
+    efficiency metric (the fraction f_i(T) each processor *could* have done).
+    """
+    check_positive("speed", speed)
+    if t1 < t0:
+        raise ValueError(f"need t1 >= t0, got [{t0}, {t1}]")
+    total = 0.0
+    t = float(t0)
+    while t < t1:
+        rate = speed / (1.0 + trace.load_at(t))
+        boundary = min(trace.next_change_after(t), t1)
+        total += rate * (boundary - t)
+        t = boundary
+    return total

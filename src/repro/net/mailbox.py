@@ -1,0 +1,110 @@
+"""Thread-safe per-rank mailboxes with (source, tag) matching.
+
+Each rank owns one :class:`Mailbox`.  Senders deposit :class:`Message`
+objects; the owning rank blocks in :meth:`Mailbox.receive` until a matching
+message arrives.  Matching supports the ``ANY_SOURCE`` / ``ANY_TAG``
+wildcards with FIFO order preserved per (source, tag) channel, which is the
+ordering guarantee P4 (and MPI) provide.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import CommunicationError, MailboxClosedError
+from repro.net.message import ANY_SOURCE, ANY_TAG, Message
+
+__all__ = ["Mailbox"]
+
+
+class Mailbox:
+    """Unbounded buffered mailbox for a single receiving rank."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self._cond = threading.Condition()
+        self._queues: dict[tuple[int, int], Deque[Message]] = {}
+        self._arrival_order: Deque[Message] = deque()
+        self._closed = False
+
+    def deposit(self, msg: Message) -> None:
+        """Called by a sender thread; never blocks."""
+        if msg.dest != self.rank:
+            raise CommunicationError(
+                f"message for rank {msg.dest} deposited in mailbox {self.rank}"
+            )
+        with self._cond:
+            if self._closed:
+                raise MailboxClosedError(
+                    f"mailbox {self.rank} is closed; dropping message from "
+                    f"{msg.source} tag {msg.tag}"
+                )
+            self._queues.setdefault((msg.source, msg.tag), deque()).append(msg)
+            self._arrival_order.append(msg)
+            self._cond.notify_all()
+
+    def _match(self, source: int, tag: int) -> Optional[Message]:
+        """Pop the first matching message, or None. Caller holds the lock."""
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            q = self._queues.get((source, tag))
+            if q:
+                msg = q.popleft()
+                self._arrival_order.remove(msg)
+                return msg
+            return None
+        # Wildcard: take the earliest-deposited message that matches.
+        for msg in self._arrival_order:
+            if (source == ANY_SOURCE or msg.source == source) and (
+                tag == ANY_TAG or msg.tag == tag
+            ):
+                self._arrival_order.remove(msg)
+                self._queues[(msg.source, msg.tag)].remove(msg)
+                return msg
+        return None
+
+    def receive(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        timeout: float | None = None,
+    ) -> Message:
+        """Block until a message matching (source, tag) is available.
+
+        ``timeout`` is a *real* (host) timeout guarding against deadlocks in
+        tests; expiry raises :class:`CommunicationError`.
+        """
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise MailboxClosedError(f"mailbox {self.rank} closed")
+                msg = self._match(source, tag)
+                if msg is not None:
+                    return msg
+                if not self._cond.wait(timeout=timeout):
+                    raise CommunicationError(
+                        f"rank {self.rank}: receive(source={source}, tag={tag}) "
+                        f"timed out after {timeout}s"
+                    )
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True if a matching message is already buffered (non-blocking)."""
+        with self._cond:
+            for msg in self._arrival_order:
+                if (source == ANY_SOURCE or msg.source == source) and (
+                    tag == ANY_TAG or msg.tag == tag
+                ):
+                    return True
+            return False
+
+    def pending_count(self) -> int:
+        with self._cond:
+            return len(self._arrival_order)
+
+    def close(self) -> None:
+        """Wake all blocked receivers with :class:`MailboxClosedError`."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,110 @@
+"""Message records and tag constants for the simulated message-passing layer.
+
+The paper's experiments ran on P4 over Ethernet; our substitute is an
+in-memory message-passing substrate whose messages carry *virtual* timestamps
+assigned by a :class:`repro.net.network.NetworkModel`.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Tags",
+    "Message",
+    "payload_nbytes",
+]
+
+#: Wildcard source rank for :meth:`repro.net.comm.Communicator.recv`.
+ANY_SOURCE: int = -1
+#: Wildcard tag for :meth:`repro.net.comm.Communicator.recv`.
+ANY_TAG: int = -1
+
+
+class Tags:
+    """Reserved message tags used by the runtime library.
+
+    User code should use tags >= :attr:`USER_BASE`.  Collective operations
+    and the load-balancing protocol reserve the low tag space so they never
+    collide with application point-to-point traffic.
+    """
+
+    BARRIER = 0
+    BCAST = 1
+    GATHER = 2
+    SCATTER = 3
+    REDUCE = 4
+    ALLTOALL = 5
+    SCHEDULE_REQUEST = 6
+    SCHEDULE_REPLY = 7
+    EXECUTOR_GATHER = 8
+    EXECUTOR_SCATTER = 9
+    REDISTRIBUTE = 10
+    LOAD_REPORT = 11
+    LB_DECISION = 12
+    USER_BASE = 100
+
+
+@dataclass
+class Message:
+    """One in-flight message.
+
+    ``send_time`` is the sender's virtual clock when the send was issued;
+    ``arrival_time`` is assigned by the network model and is when the payload
+    becomes available at the destination (the receiver's clock is advanced to
+    at least this value on receipt).
+    """
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    send_time: float
+    arrival_time: float = 0.0
+    seq: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.source < 0 or self.dest < 0:
+            raise ValueError(
+                f"message endpoints must be concrete ranks, got "
+                f"source={self.source} dest={self.dest}"
+            )
+        if self.tag < 0:
+            raise ValueError(f"message tag must be >= 0, got {self.tag}")
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Estimate the wire size of *payload* in bytes.
+
+    numpy arrays count their buffer size exactly (the common case for the
+    executor's gather/scatter traffic); scalars count their itemsize; other
+    Python objects fall back to their pickled length, mirroring how P4 (and
+    mpi4py's lowercase API) would serialize them.  Every path adds a small
+    fixed header, so even empty messages have nonzero cost.
+    """
+    header = 16
+    if isinstance(payload, np.ndarray):
+        return header + int(payload.nbytes)
+    if isinstance(payload, (np.generic,)):
+        return header + int(payload.itemsize)
+    if isinstance(payload, (bool, int, float)):
+        return header + 8
+    if payload is None:
+        return header
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return header + len(payload)
+    if isinstance(payload, (tuple, list)) and all(
+        isinstance(x, np.ndarray) for x in payload
+    ):
+        return header + sum(int(x.nbytes) for x in payload)
+    try:
+        return header + len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # unpicklable payloads still need *some* size
+        return header + 64

@@ -1,0 +1,298 @@
+"""Network cost models for the simulated cluster.
+
+Three models, matching the environments the paper discusses:
+
+* :class:`PointToPointNetwork` — contention-free store-and-forward links;
+  fully deterministic, the default for unit tests.
+* :class:`SharedEthernet` — a single shared medium (10 Mbit/s Ethernet in
+  the paper): only one frame in flight at a time, with **hardware
+  multicast** (Sec. 3.6) so one frame reaches any number of destinations.
+* :class:`SwitchedNetwork` — an ATM-like switched fabric with per-port
+  serialization; multicast is replicated at the switch so the sender pays
+  for one injection.
+
+All times are virtual seconds.  The models are thread-safe: the SPMD runner
+calls into them concurrently from one thread per rank.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "NetworkModel",
+    "PointToPointNetwork",
+    "SharedEthernet",
+    "SwitchedNetwork",
+    "ETHERNET_10MBIT",
+    "ETHERNET_100MBIT",
+]
+
+
+class NetworkModel:
+    """Base class: maps (send time, size, destinations) -> arrival time."""
+
+    #: True if a single transmission can reach several destinations at once.
+    supports_multicast: bool = False
+
+    def send(self, source: int, dest: int, nbytes: int, t_send: float) -> float:
+        """Arrival time of a point-to-point message issued at *t_send*."""
+        raise NotImplementedError
+
+    def multicast(
+        self, source: int, dests: Sequence[int], nbytes: int, t_send: float
+    ) -> list[float]:
+        """Arrival times for a one-to-many transmission.
+
+        The default falls back to sequential unicasts (what a sender must do
+        when the network has no multicast support, as Sec. 3.6 notes).
+        """
+        arrivals = []
+        t = t_send
+        for d in dests:
+            arrival = self.send(source, d, nbytes, t)
+            arrivals.append(arrival)
+            # Sequential unicast: the sender can inject the next copy only
+            # after the previous frame left its interface.
+            t = max(t, self.injection_done(source, d, nbytes, t))
+        return arrivals
+
+    def injection_done(
+        self, source: int, dest: int, nbytes: int, t_send: float
+    ) -> float:
+        """Virtual time at which the sender's interface is free again.
+
+        Defaults to the serialization time of the frame; models override if
+        contention delays injection.
+        """
+        return t_send + self.serialization_time(nbytes)
+
+    def serialization_time(self, nbytes: int) -> float:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget contention state (start of a new SPMD run)."""
+
+
+@dataclass
+class _LinkParams:
+    latency: float
+    bandwidth: float  # bytes / second
+    per_message_overhead: float
+
+    def __post_init__(self) -> None:
+        check_positive("latency", self.latency, strict=False)
+        check_positive("bandwidth", self.bandwidth)
+        check_positive("per_message_overhead", self.per_message_overhead, strict=False)
+
+
+class PointToPointNetwork(NetworkModel):
+    """Contention-free network: cost = overhead + latency + nbytes/bandwidth.
+
+    Deterministic regardless of thread interleaving, hence the default model
+    for tests.  ``latency`` covers propagation plus protocol processing;
+    ``per_message_overhead`` is the sender-side software cost (the dominant
+    term for the many small messages the "simple" schedule strategy sends,
+    which is what makes it lose to the sorting strategies in Table 3).
+    """
+
+    def __init__(
+        self,
+        *,
+        latency: float = 1e-3,
+        bandwidth: float = 1.25e6,
+        per_message_overhead: float = 5e-4,
+    ):
+        self._p = _LinkParams(latency, bandwidth, per_message_overhead)
+
+    @property
+    def latency(self) -> float:
+        return self._p.latency
+
+    @property
+    def bandwidth(self) -> float:
+        return self._p.bandwidth
+
+    @property
+    def per_message_overhead(self) -> float:
+        return self._p.per_message_overhead
+
+    def serialization_time(self, nbytes: int) -> float:
+        return nbytes / self._p.bandwidth
+
+    def send(self, source: int, dest: int, nbytes: int, t_send: float) -> float:
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        p = self._p
+        return t_send + p.per_message_overhead + p.latency + nbytes / p.bandwidth
+
+    def message_cost(self, nbytes: int) -> float:
+        """Total end-to-end cost of one message (used by cost estimators)."""
+        p = self._p
+        return p.per_message_overhead + p.latency + nbytes / p.bandwidth
+
+    def injection_done(
+        self, source: int, dest: int, nbytes: int, t_send: float
+    ) -> float:
+        # The sending CPU is busy for the software overhead plus the copy
+        # onto the wire (workstation NICs of the era were CPU-driven).
+        return t_send + self._p.per_message_overhead + self.serialization_time(nbytes)
+
+
+class SharedEthernet(PointToPointNetwork):
+    """A single shared medium: one frame in flight cluster-wide.
+
+    A transmission issued at ``t_send`` waits for the medium to free, holds
+    it for the frame's serialization time, and arrives ``latency`` after the
+    frame finishes.  Hardware multicast sends one frame to all destinations
+    (Sec. 3.6: "our library has the ability to use multicast ... if the
+    network supports multicast (e.g., Ethernet)").
+
+    Contention ordering follows the (real) order in which rank threads call
+    :meth:`send`, so virtual times under contention can vary run to run by
+    up to the contention delay; benchmark assertions use shapes, not exact
+    values.
+    """
+
+    supports_multicast = True
+
+    def __init__(
+        self,
+        *,
+        latency: float = 1e-3,
+        bandwidth: float = 1.25e6,
+        per_message_overhead: float = 5e-4,
+    ):
+        super().__init__(
+            latency=latency,
+            bandwidth=bandwidth,
+            per_message_overhead=per_message_overhead,
+        )
+        self._lock = threading.Lock()
+        self._medium_free = 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._medium_free = 0.0
+
+    def _acquire_medium(self, t_ready: float, hold: float) -> float:
+        """Reserve the medium from max(t_ready, free); return start time."""
+        with self._lock:
+            start = max(t_ready, self._medium_free)
+            self._medium_free = start + hold
+            return start
+
+    def send(self, source: int, dest: int, nbytes: int, t_send: float) -> float:
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        p = self._p
+        frame = nbytes / p.bandwidth
+        start = self._acquire_medium(t_send + p.per_message_overhead, frame)
+        return start + frame + p.latency
+
+    def injection_done(
+        self, source: int, dest: int, nbytes: int, t_send: float
+    ) -> float:
+        # The sender is busy until its frame has left the shared medium; we
+        # approximate with serialization time from the send instant (the
+        # reservation itself already happened inside :meth:`send`).
+        return t_send + self._p.per_message_overhead + self.serialization_time(nbytes)
+
+    def multicast(
+        self, source: int, dests: Sequence[int], nbytes: int, t_send: float
+    ) -> list[float]:
+        if not dests:
+            return []
+        p = self._p
+        frame = nbytes / p.bandwidth
+        start = self._acquire_medium(t_send + p.per_message_overhead, frame)
+        arrival = start + frame + p.latency
+        return [arrival] * len(dests)
+
+
+class SwitchedNetwork(NetworkModel):
+    """ATM-like switched fabric: serialization per destination input port.
+
+    Each destination's ingress port is a resource; concurrent senders to
+    different destinations do not contend.  Multicast is replicated by the
+    switch: the sender injects once, and each destination port delivers a
+    copy (so multicast costs the sender one injection but each receiver
+    still pays port serialization).
+    """
+
+    supports_multicast = True
+
+    def __init__(
+        self,
+        *,
+        latency: float = 5e-4,
+        bandwidth: float = 1.9375e7,  # ~155 Mbit/s OC-3 ATM
+        per_message_overhead: float = 3e-4,
+    ):
+        self._p = _LinkParams(latency, bandwidth, per_message_overhead)
+        self._lock = threading.Lock()
+        self._port_free: dict[int, float] = {}
+
+    @property
+    def latency(self) -> float:
+        return self._p.latency
+
+    @property
+    def bandwidth(self) -> float:
+        return self._p.bandwidth
+
+    @property
+    def per_message_overhead(self) -> float:
+        return self._p.per_message_overhead
+
+    def reset(self) -> None:
+        with self._lock:
+            self._port_free.clear()
+
+    def serialization_time(self, nbytes: int) -> float:
+        return nbytes / self._p.bandwidth
+
+    def message_cost(self, nbytes: int) -> float:
+        p = self._p
+        return p.per_message_overhead + p.latency + nbytes / p.bandwidth
+
+    def _deliver(self, dest: int, t_ready: float, hold: float) -> float:
+        with self._lock:
+            start = max(t_ready, self._port_free.get(dest, 0.0))
+            self._port_free[dest] = start + hold
+            return start + hold
+
+    def send(self, source: int, dest: int, nbytes: int, t_send: float) -> float:
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        p = self._p
+        hold = nbytes / p.bandwidth
+        done = self._deliver(dest, t_send + p.per_message_overhead, hold)
+        return done + p.latency
+
+    def injection_done(
+        self, source: int, dest: int, nbytes: int, t_send: float
+    ) -> float:
+        return t_send + self._p.per_message_overhead + self.serialization_time(nbytes)
+
+    def multicast(
+        self, source: int, dests: Sequence[int], nbytes: int, t_send: float
+    ) -> list[float]:
+        p = self._p
+        hold = nbytes / p.bandwidth
+        t_ready = t_send + p.per_message_overhead
+        return [self._deliver(d, t_ready, hold) + p.latency for d in dests]
+
+
+def ETHERNET_10MBIT() -> SharedEthernet:
+    """The paper's network: 10 Mbit/s shared Ethernet, ~1 ms latency."""
+    return SharedEthernet(latency=1e-3, bandwidth=1.25e6, per_message_overhead=5e-4)
+
+
+def ETHERNET_100MBIT() -> SharedEthernet:
+    """A faster shared Ethernet for sensitivity studies."""
+    return SharedEthernet(latency=2e-4, bandwidth=1.25e7, per_message_overhead=2e-4)

@@ -1,0 +1,57 @@
+"""Virtual processor specifications.
+
+The paper's testbed is a pool of SUN4 workstations with *nonuniform*
+computational capabilities.  A :class:`ProcessorSpec` captures what the
+runtime needs to know about one machine: a relative speed (work units per
+virtual second at no competing load) and a competing-load trace describing
+how the machine's availability adapts over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.net.loadmodel import LoadTrace, NoLoad, advance_clock, work_done_in
+from repro.utils.validation import check_positive
+
+__all__ = ["ProcessorSpec"]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """One simulated workstation.
+
+    Parameters
+    ----------
+    speed:
+        Relative computational capability; a speed-2.0 machine finishes the
+        same work in half the virtual time of a speed-1.0 machine (at equal
+        competing load).
+    load:
+        Competing-load trace (defaults to a dedicated machine).
+    name:
+        Human-readable label used in reports.
+    """
+
+    speed: float = 1.0
+    load: LoadTrace = field(default_factory=NoLoad)
+    name: str = "ws"
+
+    def __post_init__(self) -> None:
+        check_positive("speed", self.speed)
+
+    def with_load(self, load: LoadTrace) -> "ProcessorSpec":
+        """A copy of this spec with a different competing-load trace."""
+        return replace(self, load=load)
+
+    def effective_speed(self, t: float) -> float:
+        """Instantaneous application-visible speed at virtual time *t*."""
+        return self.speed / (1.0 + self.load.load_at(t))
+
+    def finish_time(self, t0: float, work_seconds: float) -> float:
+        """Virtual time when *work_seconds* of unit-speed work completes."""
+        return advance_clock(t0, work_seconds, self.speed, self.load)
+
+    def capacity(self, t0: float, t1: float) -> float:
+        """Unit-speed work this processor can complete during [t0, t1]."""
+        return work_done_in(t0, t1, self.speed, self.load)

@@ -1,0 +1,175 @@
+"""Trace analysis: utilization breakdowns and text timelines.
+
+Turns a :class:`~repro.net.trace.TraceLog` into the diagnostics a runtime
+developer actually reads: per-rank virtual time split into compute /
+communication / barrier-wait, message statistics per tag, and a coarse
+ASCII timeline for eyeballing imbalance (which rank stalls, and when).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.trace import TraceLog
+from repro.utils.tables import format_table
+
+__all__ = ["RankBreakdown", "UtilizationReport", "analyze_trace", "render_timeline"]
+
+#: Event kinds counted as communication time.
+_COMM_KINDS = ("send", "recv", "multicast")
+
+
+@dataclass
+class RankBreakdown:
+    """One rank's virtual-time budget."""
+
+    rank: int
+    compute: float = 0.0
+    communication: float = 0.0
+    barrier: float = 0.0
+    total: float = 0.0
+
+    @property
+    def accounted(self) -> float:
+        return self.compute + self.communication + self.barrier
+
+    @property
+    def other(self) -> float:
+        """Unattributed time (schedule charges without events, etc.)."""
+        return max(self.total - self.accounted, 0.0)
+
+    def utilization(self) -> float:
+        """Fraction of the rank's final clock spent computing."""
+        return self.compute / self.total if self.total > 0 else 0.0
+
+
+@dataclass
+class UtilizationReport:
+    """Whole-run summary derived from a trace."""
+
+    breakdowns: list[RankBreakdown]
+    messages_by_tag: dict[int, int] = field(default_factory=dict)
+    bytes_by_tag: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return max((b.total for b in self.breakdowns), default=0.0)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.breakdowns:
+            return 0.0
+        return float(np.mean([b.utilization() for b in self.breakdowns]))
+
+    def to_text(self) -> str:
+        rows = [
+            [b.rank, b.compute, b.communication, b.barrier, b.other,
+             b.total, b.utilization()]
+            for b in self.breakdowns
+        ]
+        table = format_table(
+            ["rank", "compute", "comm", "barrier", "other", "total", "util"],
+            rows,
+            title="Per-rank virtual time breakdown",
+            float_fmt="{:.4f}",
+        )
+        msg_rows = [
+            [tag, self.messages_by_tag[tag], self.bytes_by_tag.get(tag, 0)]
+            for tag in sorted(self.messages_by_tag)
+        ]
+        if msg_rows:
+            table += "\n\n" + format_table(
+                ["tag", "messages", "bytes"], msg_rows,
+                title="Traffic by message tag",
+            )
+        return table
+
+
+def analyze_trace(trace: TraceLog, final_clocks: list[float]) -> UtilizationReport:
+    """Aggregate a trace into per-rank budgets and per-tag traffic."""
+    if not trace.enabled and len(trace) == 0 and any(c > 0 for c in final_clocks):
+        raise ConfigurationError(
+            "trace is empty; run with trace=True to collect events"
+        )
+    breakdowns = [
+        RankBreakdown(rank=r, total=c) for r, c in enumerate(final_clocks)
+    ]
+    messages: dict[int, int] = {}
+    byte_counts: dict[int, int] = {}
+    for ev in trace:
+        if ev.rank >= len(breakdowns):
+            continue
+        span = ev.t_end - ev.t_start
+        b = breakdowns[ev.rank]
+        if ev.kind == "compute":
+            b.compute += span
+        elif ev.kind in _COMM_KINDS:
+            b.communication += span
+        elif ev.kind == "barrier":
+            b.barrier += span
+        if ev.kind in ("send", "multicast"):
+            messages[ev.tag] = messages.get(ev.tag, 0) + 1
+            byte_counts[ev.tag] = byte_counts.get(ev.tag, 0) + ev.nbytes
+    return UtilizationReport(
+        breakdowns=breakdowns,
+        messages_by_tag=messages,
+        bytes_by_tag=byte_counts,
+    )
+
+
+def render_timeline(
+    trace: TraceLog,
+    final_clocks: list[float],
+    *,
+    width: int = 72,
+) -> str:
+    """A coarse ASCII timeline: one row per rank, one glyph per time bucket.
+
+    Glyphs: ``#`` compute-dominated bucket, ``~`` communication, ``.``
+    barrier/idle, space for time after the rank finished.  Useful for
+    spotting the staircase of an imbalanced run at a glance.
+    """
+    if width < 8:
+        raise ConfigurationError(f"timeline width must be >= 8, got {width}")
+    makespan = max(final_clocks, default=0.0)
+    if makespan <= 0:
+        return "(empty timeline)"
+    n_ranks = len(final_clocks)
+    dt = makespan / width
+    # Accumulate per-bucket spans by category.
+    compute = np.zeros((n_ranks, width))
+    comm = np.zeros((n_ranks, width))
+    for ev in trace:
+        if ev.rank >= n_ranks:
+            continue
+        if ev.kind == "compute":
+            target = compute
+        elif ev.kind in _COMM_KINDS:
+            target = comm
+        else:
+            continue
+        b0 = min(int(ev.t_start / dt), width - 1)
+        b1 = min(int(ev.t_end / dt), width - 1)
+        for b in range(b0, b1 + 1):
+            lo = max(ev.t_start, b * dt)
+            hi = min(ev.t_end, (b + 1) * dt)
+            target[ev.rank, b] += max(hi - lo, 0.0)
+    lines = []
+    for r in range(n_ranks):
+        end_bucket = min(int(final_clocks[r] / dt), width)
+        chars = []
+        for b in range(width):
+            if b >= end_bucket:
+                chars.append(" ")
+            elif compute[r, b] >= comm[r, b] and compute[r, b] > 0.1 * dt:
+                chars.append("#")
+            elif comm[r, b] > 0.1 * dt:
+                chars.append("~")
+            else:
+                chars.append(".")
+        lines.append(f"rank {r:2d} |{''.join(chars)}|")
+    lines.append(f"        0{' ' * (width - 10)}{makespan:.3f}s")
+    return "\n".join(lines)

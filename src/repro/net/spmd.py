@@ -1,0 +1,133 @@
+"""The SPMD runner: execute one function on every rank of a simulated cluster.
+
+This is the substitute for ``mpiexec -n p python app.py`` over P4: the same
+program runs on all ranks (the paper's Sec. 2 SPMD model), each as an OS
+thread with its own :class:`~repro.net.comm.RankContext`.
+
+Failure semantics: if any rank raises, all mailboxes are closed so blocked
+peers wake with :class:`~repro.errors.MailboxClosedError`, and the runner
+raises :class:`~repro.errors.RankFailedError` carrying the *original* per-rank
+exceptions (secondary mailbox-closed errors are filtered out).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import MailboxClosedError, RankFailedError
+from repro.net.cluster import ClusterSpec
+from repro.net.comm import Communicator, RankContext, DEFAULT_RECV_TIMEOUT
+from repro.net.trace import TraceLog
+
+__all__ = ["SPMDResult", "SPMDRunner", "run_spmd"]
+
+
+@dataclass
+class SPMDResult:
+    """Outcome of one SPMD run."""
+
+    values: list[Any]
+    clocks: list[float]
+    trace: TraceLog
+    cluster: ClusterSpec
+
+    @property
+    def makespan(self) -> float:
+        """Virtual parallel execution time: the max final rank clock."""
+        return max(self.clocks)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean of final clocks (1.0 = perfectly balanced finish)."""
+        mean = float(np.mean(self.clocks))
+        return self.makespan / mean if mean > 0 else 1.0
+
+    def value(self, rank: int = 0) -> Any:
+        return self.values[rank]
+
+
+class SPMDRunner:
+    """Runs rank functions over a cluster specification."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        *,
+        trace: bool = False,
+        recv_timeout: float = DEFAULT_RECV_TIMEOUT,
+    ):
+        self.cluster = cluster
+        self.trace = trace
+        self.recv_timeout = recv_timeout
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        **kwargs: Any,
+    ) -> SPMDResult:
+        """Execute ``fn(ctx, *args, **kwargs)`` on every rank.
+
+        *args*/*kwargs* are shared across ranks (rank-specific data should
+        be derived from ``ctx.rank``, as in any SPMD program).  Returns the
+        per-rank return values and final virtual clocks.
+        """
+        comm = Communicator(
+            self.cluster, trace=self.trace, recv_timeout=self.recv_timeout
+        )
+        size = comm.size
+        values: list[Any] = [None] * size
+        failures: dict[int, BaseException] = {}
+        failure_lock = threading.Lock()
+
+        def worker(rank: int) -> None:
+            ctx = comm.context(rank)
+            try:
+                values[rank] = fn(ctx, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                with failure_lock:
+                    failures[rank] = exc
+                comm.shutdown()  # wake peers blocked in recv/barrier
+                comm._barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}")
+            for rank in range(size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if failures:
+            primary = {
+                r: e
+                for r, e in failures.items()
+                if not isinstance(e, (MailboxClosedError, threading.BrokenBarrierError))
+            }
+            raise RankFailedError(primary or failures)
+
+        return SPMDResult(
+            values=values,
+            clocks=list(comm.clocks),
+            trace=comm.trace,
+            cluster=self.cluster,
+        )
+
+
+def run_spmd(
+    cluster: ClusterSpec,
+    fn: Callable[..., Any],
+    *args: Any,
+    trace: bool = False,
+    recv_timeout: float = DEFAULT_RECV_TIMEOUT,
+    **kwargs: Any,
+) -> SPMDResult:
+    """One-shot convenience wrapper around :class:`SPMDRunner`."""
+    return SPMDRunner(cluster, trace=trace, recv_timeout=recv_timeout).run(
+        fn, *args, **kwargs
+    )

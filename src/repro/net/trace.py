@@ -1,0 +1,83 @@
+"""Event tracing for the simulated cluster.
+
+A :class:`TraceLog` records sends, receives, barriers, compute blocks, and
+load-balancing events with their virtual time spans.  Benchmarks use it to
+count messages and bytes (e.g. Fig. 5's "number of messages needed to
+redistribute the data"); tests use it to assert communication patterns
+(e.g. schedule_sort1 builds its schedule with zero messages).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["TraceEvent", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event.
+
+    ``kind`` is one of ``send``, ``recv``, ``multicast``, ``compute``,
+    ``barrier``, ``collective``, ``remap``, ``lb-check``.
+    """
+
+    kind: str
+    rank: int
+    t_start: float
+    t_end: float
+    nbytes: int = 0
+    peer: int = -1
+    tag: int = -1
+    label: str = ""
+
+
+class TraceLog:
+    """Thread-safe append-only event log (one per SPMD run)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._events.append(event)
+
+    def events(self, kind: str | None = None, rank: int | None = None) -> list[TraceEvent]:
+        """Snapshot of events, optionally filtered by kind and/or rank."""
+        with self._lock:
+            evs = list(self._events)
+        if kind is not None:
+            evs = [e for e in evs if e.kind == kind]
+        if rank is not None:
+            evs = [e for e in evs if e.rank == rank]
+        return evs
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def message_count(self, *, kinds: Iterable[str] = ("send", "multicast")) -> int:
+        """Number of transmissions (a multicast counts once, as on Ethernet)."""
+        kindset = set(kinds)
+        return sum(1 for e in self.events() if e.kind in kindset)
+
+    def bytes_sent(self) -> int:
+        """Total payload bytes across sends and multicasts."""
+        return sum(e.nbytes for e in self.events() if e.kind in ("send", "multicast"))
+
+    def time_in(self, kind: str, rank: int) -> float:
+        """Total virtual time rank spent in events of *kind*."""
+        return sum(e.t_end - e.t_start for e in self.events(kind=kind, rank=rank))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()

@@ -1,0 +1,78 @@
+"""Ordering-quality sweeps (supports the Fig. 2 theme).
+
+The point of the 1-D transformation is "good partitioning for a wide range
+of partitions" from one permutation.  :func:`compare_orderings` evaluates a
+set of ordering methods on one graph across many partition counts and
+capability vectors, producing the rows the Fig. 2 benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.metrics import edge_cut, mean_edge_span, ordering_bandwidth
+from repro.partition.intervals import partition_list
+from repro.partition.ordering import OrderingMethod
+
+__all__ = ["OrderingReport", "evaluate_ordering", "compare_orderings"]
+
+
+@dataclass
+class OrderingReport:
+    """Quality of one ordering on one graph."""
+
+    name: str
+    mean_span: float
+    bandwidth: int
+    cuts: dict[int, int] = field(default_factory=dict)
+
+    def as_row(self, part_counts: Sequence[int]) -> list[object]:
+        return [self.name, self.mean_span, self.bandwidth] + [
+            self.cuts[p] for p in part_counts
+        ]
+
+
+def evaluate_ordering(
+    graph: CSRGraph,
+    method: OrderingMethod,
+    part_counts: Sequence[int] = (2, 4, 8, 16),
+    capabilities: np.ndarray | None = None,
+) -> OrderingReport:
+    """Edge cuts of contiguous splits of one ordering.
+
+    If *capabilities* is given (length must equal each part count is not
+    required — the vector is truncated/normalized per count), the splits are
+    proportional rather than equal, exercising the nonuniform case.
+    """
+    perm = method(graph)
+    report = OrderingReport(
+        name=getattr(method, "name", type(method).__name__),
+        mean_span=mean_edge_span(graph, perm),
+        bandwidth=ordering_bandwidth(graph, perm),
+    )
+    n = graph.num_vertices
+    for p in part_counts:
+        if capabilities is None:
+            caps = np.ones(p)
+        else:
+            caps = np.resize(np.asarray(capabilities, dtype=float), p)
+        part = partition_list(n, caps)
+        labels = part.to_labels()[perm]  # element at 1-D position perm[v]
+        report.cuts[int(p)] = edge_cut(graph, labels)
+    return report
+
+
+def compare_orderings(
+    graph: CSRGraph,
+    methods: Iterable[OrderingMethod],
+    part_counts: Sequence[int] = (2, 4, 8, 16),
+    capabilities: np.ndarray | None = None,
+) -> list[OrderingReport]:
+    """Evaluate several ordering methods on the same graph."""
+    return [
+        evaluate_ordering(graph, m, part_counts, capabilities) for m in methods
+    ]

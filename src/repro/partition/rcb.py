@@ -1,0 +1,131 @@
+"""Recursive coordinate bisection (RCB) indexing — paper Fig. 2.
+
+RCB repeatedly splits the point set at the median of its widest coordinate
+axis.  Used here not to produce p parts directly but to produce the full
+1-D *ordering*: recursing to singletons yields a permutation in which
+physically proximate vertices get nearby indices, so "partitioning is
+equivalent to assigning contiguous blocks" (Sec. 3.1) for any p.
+
+The recursion is implemented iteratively with an explicit stack and
+vectorized ``argpartition`` median splits, so it handles the paper's 30k
+vertex mesh in well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OrderingError
+from repro.graph.csr import CSRGraph
+from repro.partition.ordering import positions_from_order, require_coords
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["RCBOrdering", "rcb_order", "rcb_labels"]
+
+
+def _split_axis(coords: np.ndarray, idx: np.ndarray, axis: int | None) -> int:
+    """Choose the axis to split: widest extent, or the given axis."""
+    if axis is not None:
+        return axis
+    sub = coords[idx]
+    extents = sub.max(axis=0) - sub.min(axis=0)
+    return int(np.argmax(extents))
+
+
+def _median_split(
+    coords: np.ndarray,
+    idx: np.ndarray,
+    axis: int,
+    jitter: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split *idx* at the median of coordinate *axis*, sizes n//2 / n-n//2.
+
+    ``jitter`` (a tiny per-vertex tiebreak) makes the split deterministic
+    even with exactly-equal coordinates (structured grids).
+    """
+    keys = coords[idx, axis]
+    if jitter is not None:
+        keys = keys + jitter[idx]
+    half = idx.size // 2
+    part = np.argpartition(keys, half - 1) if half > 0 else np.arange(idx.size)
+    lo = idx[part[:half]]
+    hi = idx[part[half:]]
+    return lo, hi
+
+
+def rcb_order(
+    graph: CSRGraph,
+    *,
+    alternate_axes: bool = False,
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """RCB visit order: vertex ids in 1-D sequence.
+
+    ``alternate_axes=True`` cycles the split axis x, y, x, ... (the textbook
+    variant); the default picks the widest axis per box, which adapts to
+    anisotropic domains like the airfoil channel.
+    """
+    coords = require_coords(graph, "RCB")
+    n = graph.num_vertices
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    rng = as_generator(seed)
+    # Tiny deterministic jitter (1e-9 of the domain size) breaks coordinate
+    # ties without perturbing real orderings.
+    scale = max(float(np.ptp(coords)) if coords.size else 1.0, 1e-30)
+    jitter = rng.uniform(-1e-9, 1e-9, size=n) * scale
+    order = np.empty(n, dtype=np.intp)
+    out = 0
+    # Stack of (index array, depth); children pushed hi-first so lo side is
+    # emitted first, giving a left-to-right sweep like the paper's Fig. 2.
+    stack: list[tuple[np.ndarray, int]] = [(np.arange(n, dtype=np.intp), 0)]
+    while stack:
+        idx, depth = stack.pop()
+        if idx.size <= 1:
+            order[out : out + idx.size] = idx
+            out += idx.size
+            continue
+        axis = _split_axis(
+            coords, idx, depth % coords.shape[1] if alternate_axes else None
+        )
+        lo, hi = _median_split(coords, idx, axis, jitter)
+        stack.append((hi, depth + 1))
+        stack.append((lo, depth + 1))
+    if out != n:
+        raise OrderingError(f"RCB emitted {out} of {n} vertices (internal bug)")
+    return order
+
+
+def rcb_labels(
+    graph: CSRGraph, num_parts: int, *, seed: SeedLike = 0
+) -> np.ndarray:
+    """Direct RCB partition labels for *num_parts* equal parts.
+
+    Convenience wrapper: contiguous blocks of the RCB order.  Kept for
+    comparison against contiguous-interval partitioning of the ordering
+    (they coincide when num_parts is a power of two).
+    """
+    if num_parts < 1:
+        raise OrderingError(f"num_parts must be >= 1, got {num_parts}")
+    order = rcb_order(graph, seed=seed)
+    labels = np.empty(graph.num_vertices, dtype=np.intp)
+    bounds = np.linspace(0, graph.num_vertices, num_parts + 1).astype(np.intp)
+    for part in range(num_parts):
+        labels[order[bounds[part] : bounds[part + 1]]] = part
+    return labels
+
+
+@dataclass(frozen=True)
+class RCBOrdering:
+    """Recursive coordinate bisection as an :class:`OrderingMethod`."""
+
+    alternate_axes: bool = False
+    seed: SeedLike = 0
+    name: str = "rcb"
+
+    def __call__(self, graph: CSRGraph) -> np.ndarray:
+        return positions_from_order(
+            rcb_order(graph, alternate_axes=self.alternate_axes, seed=self.seed)
+        )

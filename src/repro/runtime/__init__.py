@@ -1,0 +1,102 @@
+"""Phases B-D: inspector, executor, redistribution, adaptive load balancing."""
+
+from repro.runtime.controller import Decision, LoadBalanceConfig, controller_check
+from repro.runtime.distributed_lb import distributed_check
+from repro.runtime.efficiency import (
+    adaptive_cluster_efficiency,
+    adaptive_efficiency,
+    cluster_efficiency,
+    nonuniform_efficiency,
+    sequential_times,
+)
+from repro.runtime.executor import ExecutorCostModel, gather, scatter
+from repro.runtime.inspector import STRATEGIES, InspectorResult, run_inspector
+from repro.runtime.kernels import (
+    KernelCostModel,
+    KernelPlan,
+    build_kernel_plan,
+    run_sequential,
+    sequential_kernel,
+    sequential_kernel_reference,
+)
+from repro.runtime.monitor import LoadMonitor
+from repro.runtime.prediction import (
+    CapabilityPredictor,
+    ExponentialSmoothingPredictor,
+    LastValuePredictor,
+    LinearTrendPredictor,
+    MovingAveragePredictor,
+    make_predictor,
+)
+from repro.runtime.program import (
+    ProgramConfig,
+    ProgramReport,
+    RankStats,
+    run_program,
+)
+from repro.runtime.redistribution import estimate_remap_cost, redistribute
+from repro.runtime.schedule import CommSchedule
+from repro.runtime.schedule_builders import (
+    InspectorCostModel,
+    build_schedule_no_dedup,
+    build_schedule_simple,
+    build_schedule_sort1,
+    build_schedule_sort2,
+    local_references,
+)
+from repro.runtime.verify import ConsistencyReport, check_global_consistency
+from repro.runtime.translation import (
+    DistributedTranslationTable,
+    IntervalTranslationTable,
+    ReplicatedTranslationTable,
+    table_home,
+)
+
+__all__ = [
+    "CapabilityPredictor",
+    "CommSchedule",
+    "ConsistencyReport",
+    "build_schedule_no_dedup",
+    "check_global_consistency",
+    "Decision",
+    "ExponentialSmoothingPredictor",
+    "LastValuePredictor",
+    "LinearTrendPredictor",
+    "MovingAveragePredictor",
+    "distributed_check",
+    "make_predictor",
+    "DistributedTranslationTable",
+    "ExecutorCostModel",
+    "InspectorCostModel",
+    "InspectorResult",
+    "IntervalTranslationTable",
+    "KernelCostModel",
+    "KernelPlan",
+    "LoadBalanceConfig",
+    "LoadMonitor",
+    "ProgramConfig",
+    "ProgramReport",
+    "RankStats",
+    "ReplicatedTranslationTable",
+    "STRATEGIES",
+    "adaptive_cluster_efficiency",
+    "adaptive_efficiency",
+    "build_kernel_plan",
+    "build_schedule_simple",
+    "build_schedule_sort1",
+    "build_schedule_sort2",
+    "cluster_efficiency",
+    "controller_check",
+    "estimate_remap_cost",
+    "gather",
+    "local_references",
+    "nonuniform_efficiency",
+    "run_inspector",
+    "run_program",
+    "run_sequential",
+    "scatter",
+    "sequential_kernel",
+    "sequential_kernel_reference",
+    "sequential_times",
+    "table_home",
+]

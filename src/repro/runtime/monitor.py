@@ -1,0 +1,65 @@
+"""Per-processor load monitoring (Sec. 3.5, phase D's first step).
+
+"One metric we have used is the average computation time per data item.
+Each processor computes this information by dividing the total time spent
+on the computation by the number of data elements it owned."
+
+:class:`LoadMonitor` accumulates (virtual compute seconds, items) samples
+between load-balance checks and reports the average time per item over the
+current window, which the controller inverts into a capability estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LoadBalanceError
+
+__all__ = ["LoadMonitor"]
+
+
+@dataclass
+class LoadMonitor:
+    """Sliding-window accumulator of compute time per data item."""
+
+    window_seconds: float = 0.0
+    window_items: int = 0
+    total_seconds: float = 0.0
+    total_items: int = 0
+    samples: int = field(default=0)
+
+    def record(self, compute_seconds: float, items: int) -> None:
+        """Record one phase's computation (one kernel sweep, typically)."""
+        if compute_seconds < 0 or items < 0:
+            raise LoadBalanceError(
+                f"negative monitor sample: {compute_seconds}s / {items} items"
+            )
+        self.window_seconds += compute_seconds
+        self.window_items += items
+        self.total_seconds += compute_seconds
+        self.total_items += items
+        self.samples += 1
+
+    @property
+    def has_window(self) -> bool:
+        return self.window_items > 0
+
+    def avg_time_per_item(self) -> float:
+        """Average compute seconds per data item over the current window."""
+        if self.window_items == 0:
+            raise LoadBalanceError(
+                "no items recorded since the last reset; cannot estimate load"
+            )
+        return self.window_seconds / self.window_items
+
+    def capability(self) -> float:
+        """Estimated capability (items per second) over the current window."""
+        t = self.avg_time_per_item()
+        if t <= 0:
+            raise LoadBalanceError("zero compute time recorded; cannot invert")
+        return 1.0 / t
+
+    def reset_window(self) -> None:
+        """Start a new observation window (after each load-balance check)."""
+        self.window_seconds = 0.0
+        self.window_items = 0

@@ -1,0 +1,169 @@
+"""Capability prediction from multiple past phases.
+
+The paper's footnote 2: the profitability analysis "could be extended to
+techniques that would predict the available computational resources based
+on more than one previous phase".  This module provides that extension:
+per-processor predictors fed one capability observation per load-balance
+check, whose forecast the controller can use instead of the last
+observation.
+
+Predictors are deliberately simple time-series models — the controller runs
+them every few iterations on p numbers, so anything heavier would dwarf the
+check cost the paper works to keep small.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Protocol
+
+import numpy as np
+
+from repro.errors import LoadBalanceError
+
+__all__ = [
+    "CapabilityPredictor",
+    "LastValuePredictor",
+    "MovingAveragePredictor",
+    "ExponentialSmoothingPredictor",
+    "LinearTrendPredictor",
+    "make_predictor",
+]
+
+
+class CapabilityPredictor(Protocol):
+    """One processor's capability forecaster."""
+
+    def observe(self, capability: float) -> None:
+        """Record the capability (items/second) measured in the last phase."""
+        ...
+
+    def predict(self) -> float:
+        """Forecast the capability of the next phase."""
+        ...
+
+
+class _BasePredictor:
+    def _check(self, capability: float) -> float:
+        if not np.isfinite(capability) or capability <= 0:
+            raise LoadBalanceError(
+                f"capability observations must be positive, got {capability}"
+            )
+        return float(capability)
+
+
+@dataclass
+class LastValuePredictor(_BasePredictor):
+    """The paper's implicit model: next phase == last phase."""
+
+    _last: float | None = None
+
+    def observe(self, capability: float) -> None:
+        self._last = self._check(capability)
+
+    def predict(self) -> float:
+        if self._last is None:
+            raise LoadBalanceError("no observations yet")
+        return self._last
+
+
+@dataclass
+class MovingAveragePredictor(_BasePredictor):
+    """Mean of the last *window* phases: smooths bursty competing load."""
+
+    window: int = 4
+    _history: Deque[float] = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise LoadBalanceError(f"window must be >= 1, got {self.window}")
+
+    def observe(self, capability: float) -> None:
+        self._history.append(self._check(capability))
+        while len(self._history) > self.window:
+            self._history.popleft()
+
+    def predict(self) -> float:
+        if not self._history:
+            raise LoadBalanceError("no observations yet")
+        return float(np.mean(self._history))
+
+
+@dataclass
+class ExponentialSmoothingPredictor(_BasePredictor):
+    """EWMA with factor *alpha* (1.0 degenerates to last-value)."""
+
+    alpha: float = 0.5
+    _state: float | None = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.alpha <= 1.0):
+            raise LoadBalanceError(f"alpha must be in (0, 1], got {self.alpha}")
+
+    def observe(self, capability: float) -> None:
+        c = self._check(capability)
+        self._state = c if self._state is None else (
+            self.alpha * c + (1.0 - self.alpha) * self._state
+        )
+
+    def predict(self) -> float:
+        if self._state is None:
+            raise LoadBalanceError("no observations yet")
+        return self._state
+
+
+@dataclass
+class LinearTrendPredictor(_BasePredictor):
+    """Least-squares line over the last *window* phases, extrapolated one
+    step — anticipates ramping competing load (someone's build job warming
+    up) instead of lagging it.
+
+    Forecasts are clamped to stay within [min_factor, max_factor] of the
+    last observation so a noisy fit cannot produce absurd extrapolations.
+    """
+
+    window: int = 4
+    min_factor: float = 0.25
+    max_factor: float = 4.0
+    _history: Deque[float] = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise LoadBalanceError(f"window must be >= 2, got {self.window}")
+        if not (0 < self.min_factor <= 1.0 <= self.max_factor):
+            raise LoadBalanceError("need min_factor <= 1 <= max_factor")
+
+    def observe(self, capability: float) -> None:
+        self._history.append(self._check(capability))
+        while len(self._history) > self.window:
+            self._history.popleft()
+
+    def predict(self) -> float:
+        if not self._history:
+            raise LoadBalanceError("no observations yet")
+        h = np.asarray(self._history)
+        if h.size == 1:
+            return float(h[0])
+        x = np.arange(h.size, dtype=np.float64)
+        slope, intercept = np.polyfit(x, h, 1)
+        forecast = intercept + slope * h.size
+        last = float(h[-1])
+        return float(
+            np.clip(forecast, last * self.min_factor, last * self.max_factor)
+        )
+
+
+def make_predictor(kind: str, **kwargs: object) -> CapabilityPredictor:
+    """Factory by name: 'last', 'moving-average', 'ewma', 'trend'."""
+    factories = {
+        "last": LastValuePredictor,
+        "moving-average": MovingAveragePredictor,
+        "ewma": ExponentialSmoothingPredictor,
+        "trend": LinearTrendPredictor,
+    }
+    if kind not in factories:
+        raise LoadBalanceError(
+            f"unknown predictor {kind!r}; pick from {sorted(factories)}"
+        )
+    return factories[kind](**kwargs)  # type: ignore[arg-type]

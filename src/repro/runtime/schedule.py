@@ -1,0 +1,128 @@
+"""Communication-schedule data structures (paper Sec. 3.2, Fig. 4).
+
+A :class:`CommSchedule` is one rank's view of a gather/scatter pattern:
+
+* **send lists** — "a list of arrays that store the local references of
+  processor P that must be sent to other processors";
+* **permutation list** — "an array that stores the placement order in the
+  local buffer of P for the data elements that processor P will receive",
+  stored per source as ghost-buffer positions;
+* **ghost globals** — the global index behind each ghost-buffer slot (used
+  by the kernel indirection and by invariant checks).
+
+The structure is strategy-agnostic: the simple, sort1 and sort2 builders in
+:mod:`repro.runtime.schedule_builders` all produce one of these, differing
+only in element order and build cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.partition.intervals import IntervalPartition
+
+__all__ = ["CommSchedule"]
+
+
+@dataclass
+class CommSchedule:
+    """One rank's gather/scatter schedule.
+
+    Invariant (validated): for matched ranks r, s the data r sends to s
+    (``send_lists[s]`` on r, as global indices) equals, elementwise and in
+    order, the data s expects from r (``recv_lists[r]`` positions into
+    ``ghost_globals`` on s).  :meth:`validate_pair` checks it in tests.
+    """
+
+    rank: int
+    partition: IntervalPartition
+    #: dest rank -> local indices (within this rank's block) to send.
+    send_lists: dict[int, np.ndarray] = field(default_factory=dict)
+    #: source rank -> ghost-buffer positions to place received data at.
+    recv_lists: dict[int, np.ndarray] = field(default_factory=dict)
+    #: global index behind each ghost slot (len == ghost_size).
+    ghost_globals: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.intp)
+    )
+
+    def __post_init__(self) -> None:
+        lo, hi = self.partition.interval(self.rank)
+        block = hi - lo
+        for dest, arr in self.send_lists.items():
+            arr = np.ascontiguousarray(arr, dtype=np.intp)
+            self.send_lists[dest] = arr
+            if arr.size and (arr.min() < 0 or arr.max() >= block):
+                raise ScheduleError(
+                    f"rank {self.rank}: send list for {dest} has local "
+                    f"indices outside [0, {block})"
+                )
+            if dest == self.rank:
+                raise ScheduleError(f"rank {self.rank}: send list to itself")
+        ghost = np.ascontiguousarray(self.ghost_globals, dtype=np.intp)
+        object.__setattr__(self, "ghost_globals", ghost)
+        seen = np.zeros(ghost.size, dtype=bool)
+        for src, pos in self.recv_lists.items():
+            pos = np.ascontiguousarray(pos, dtype=np.intp)
+            self.recv_lists[src] = pos
+            if pos.size and (pos.min() < 0 or pos.max() >= ghost.size):
+                raise ScheduleError(
+                    f"rank {self.rank}: recv positions for {src} out of "
+                    f"ghost buffer [0, {ghost.size})"
+                )
+            if np.any(seen[pos]):
+                raise ScheduleError(
+                    f"rank {self.rank}: ghost slots assigned to two sources"
+                )
+            seen[pos] = True
+            if src == self.rank:
+                raise ScheduleError(f"rank {self.rank}: recv list from itself")
+        if ghost.size and not seen.all():
+            raise ScheduleError(
+                f"rank {self.rank}: {int((~seen).sum())} ghost slots never filled"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ghost_size(self) -> int:
+        return int(self.ghost_globals.size)
+
+    @property
+    def num_send_messages(self) -> int:
+        return sum(1 for arr in self.send_lists.values() if arr.size)
+
+    @property
+    def num_recv_messages(self) -> int:
+        return sum(1 for arr in self.recv_lists.values() if arr.size)
+
+    @property
+    def send_volume(self) -> int:
+        """Total elements this rank sends per gather."""
+        return sum(int(arr.size) for arr in self.send_lists.values())
+
+    def send_globals(self, dest: int) -> np.ndarray:
+        """Global indices of the elements sent to *dest*, in send order."""
+        lo, _ = self.partition.interval(self.rank)
+        return self.send_lists.get(dest, np.empty(0, dtype=np.intp)) + lo
+
+    def recv_globals(self, src: int) -> np.ndarray:
+        """Global indices expected from *src*, in placement order."""
+        pos = self.recv_lists.get(src, np.empty(0, dtype=np.intp))
+        return self.ghost_globals[pos]
+
+    def validate_pair(self, other: "CommSchedule") -> None:
+        """Assert this rank's sends to *other* match its expectations.
+
+        Raises :class:`ScheduleError` on any mismatch; used by integration
+        tests and by the paired property tests.
+        """
+        mine_to_other = self.send_globals(other.rank)
+        other_expects = other.recv_globals(self.rank)
+        if not np.array_equal(mine_to_other, other_expects):
+            raise ScheduleError(
+                f"schedule mismatch {self.rank}->{other.rank}: sender ships "
+                f"{mine_to_other[:8]}..., receiver expects {other_expects[:8]}..."
+            )

@@ -1,0 +1,136 @@
+"""Global consistency checking for communication schedules.
+
+The per-rank schedule invariants live in
+:class:`~repro.runtime.schedule.CommSchedule`; this module checks the
+*cross-rank* properties a complete set of schedules must satisfy before the
+executor can trust them:
+
+* **pairwise agreement** — what r ships to s is exactly what s expects
+  from r, element for element, in order;
+* **coverage** — every off-processor reference of every rank has a ghost
+  slot (so the kernel plan can translate it);
+* **conservation** — total elements sent equals total elements expected.
+
+Used by the integration tests and available to applications that build
+custom schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.graph.csr import CSRGraph
+from repro.partition.intervals import IntervalPartition
+from repro.runtime.schedule import CommSchedule
+from repro.runtime.schedule_builders import local_references
+
+__all__ = ["ConsistencyReport", "check_global_consistency"]
+
+
+@dataclass
+class ConsistencyReport:
+    """Aggregate statistics from a successful consistency check."""
+
+    num_ranks: int
+    total_ghost_slots: int = 0
+    total_send_entries: int = 0
+    total_messages: int = 0
+    max_ghost_fraction: float = 0.0
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+
+def check_global_consistency(
+    schedules: list[CommSchedule],
+    graph: CSRGraph | None = None,
+    *,
+    strict: bool = True,
+) -> ConsistencyReport:
+    """Validate a complete set of per-rank schedules against each other.
+
+    With *graph* given, additionally checks coverage: every off-processor
+    reference of the Fig. 8 access pattern has a matching ghost slot.
+    Raises :class:`ScheduleError` on the first problem when ``strict``;
+    otherwise collects all issues into the report.
+    """
+    if not schedules:
+        raise ScheduleError("no schedules to check")
+    p = len(schedules)
+    report = ConsistencyReport(num_ranks=p)
+
+    def issue(msg: str) -> None:
+        if strict:
+            raise ScheduleError(msg)
+        report.issues.append(msg)
+
+    partition = schedules[0].partition
+    for r, sched in enumerate(schedules):
+        if sched.rank != r:
+            issue(f"schedule at position {r} claims rank {sched.rank}")
+        if sched.partition is not partition and not (
+            np.array_equal(sched.partition.bounds, partition.bounds)
+            and np.array_equal(sched.partition.owners, partition.owners)
+        ):
+            issue(f"rank {r} uses a different partition")
+
+    # Pairwise agreement.
+    total_sent = total_expected = 0
+    for a in schedules:
+        for b in schedules:
+            if a.rank == b.rank:
+                continue
+            shipped = a.send_globals(b.rank)
+            expected = b.recv_globals(a.rank)
+            if not np.array_equal(shipped, expected):
+                issue(
+                    f"mismatch {a.rank}->{b.rank}: ships {shipped.size} "
+                    f"elements, peer expects {expected.size} "
+                    f"(first diff near {_first_diff(shipped, expected)})"
+                )
+            total_sent += shipped.size
+            total_expected += expected.size
+    if total_sent != total_expected:
+        issue(
+            f"conservation violated: {total_sent} sent vs "
+            f"{total_expected} expected"
+        )
+
+    # Coverage against the actual access pattern.
+    if graph is not None:
+        for sched in schedules:
+            lo, hi = partition.interval(sched.rank)
+            _, nbr = local_references(graph, partition, sched.rank)
+            off = np.unique(nbr[(nbr < lo) | (nbr >= hi)])
+            ghost_set = np.unique(sched.ghost_globals)
+            missing = np.setdiff1d(off, ghost_set, assume_unique=True)
+            if missing.size:
+                issue(
+                    f"rank {sched.rank}: {missing.size} referenced elements "
+                    f"missing from ghost buffer (e.g. {missing[:4].tolist()})"
+                )
+
+    for sched in schedules:
+        report.total_ghost_slots += sched.ghost_size
+        report.total_send_entries += sched.send_volume
+        report.total_messages += sched.num_send_messages
+        lo, hi = partition.interval(sched.rank)
+        block = max(hi - lo, 1)
+        report.max_ghost_fraction = max(
+            report.max_ghost_fraction, sched.ghost_size / block
+        )
+    return report
+
+
+def _first_diff(a: np.ndarray, b: np.ndarray) -> object:
+    k = min(a.size, b.size)
+    if k:
+        diff = np.flatnonzero(a[:k] != b[:k])
+        if diff.size:
+            return int(a[diff[0]])
+    return "length"

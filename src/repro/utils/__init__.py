@@ -1,0 +1,20 @@
+"""Shared utilities: RNG handling, validation helpers, table formatting."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_fraction,
+    check_permutation,
+    check_positive,
+    check_probability_vector,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_fraction",
+    "check_permutation",
+    "check_positive",
+    "check_probability_vector",
+    "format_table",
+]

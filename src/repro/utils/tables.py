@@ -1,0 +1,60 @@
+"""Plain-text table formatting for benchmark harness output.
+
+Benchmarks print the same rows the paper's tables report; this module renders
+them in aligned ASCII so `pytest benchmarks/ --benchmark-only` output can be
+compared to the paper side by side (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_cell"]
+
+
+def format_cell(value: Any, *, float_fmt: str = "{:.4g}") -> str:
+    """Render one table cell: floats via *float_fmt*, everything else via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Format *rows* under *headers* as an aligned ASCII table.
+
+    Raises :class:`ValueError` if any row's length disagrees with the header.
+    """
+    str_rows: list[list[str]] = []
+    for row in rows:
+        cells = [format_cell(v, float_fmt=float_fmt) for v in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(headers)}: {cells}"
+            )
+        str_rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in str_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_line(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_line(cells) for cells in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Wall-clock timing helpers for the benchmark harness.
+
+Virtual (simulated) time lives in :mod:`repro.net`; this module only times
+*host* execution of algorithms whose real cost matters (e.g. Table 1 times
+the MCR heuristic itself, Table 3 times schedule construction).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = ["Stopwatch", "stopwatch", "time_call"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    ``with sw: ...`` accumulates the elapsed wall time of the block into
+    ``sw.total`` and increments ``sw.count``; ``sw.mean`` averages.
+    """
+
+    total: float = 0.0
+    count: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None, "stopwatch exited without entering"
+        self.total += time.perf_counter() - self._start
+        self.count += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed seconds per timed block (0 if never used)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self._start = None
+
+
+@contextmanager
+def stopwatch() -> Iterator[Stopwatch]:
+    """Time a single block: ``with stopwatch() as sw: ...; sw.total``."""
+    sw = Stopwatch()
+    with sw:
+        yield sw
+
+
+def time_call(fn: Callable[[], object], *, repeats: int = 1) -> tuple[float, object]:
+    """Call *fn* ``repeats`` times; return (mean seconds, last result)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    result: object = None
+    start = time.perf_counter()
+    for _ in range(repeats):
+        result = fn()
+    elapsed = (time.perf_counter() - start) / repeats
+    return elapsed, result

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_graph, paper_mesh, perturbed_grid_mesh
+from repro.net.cluster import heterogeneous_cluster, uniform_cluster
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> CSRGraph:
+    """An 8x8 grid graph (64 vertices, 112 edges) with coordinates."""
+    return grid_graph(8, 8)
+
+
+@pytest.fixture(scope="session")
+def small_mesh_graph() -> CSRGraph:
+    """An unstructured Delaunay mesh graph, ~400 vertices."""
+    return perturbed_grid_mesh(20, 20, seed=42).graph
+
+
+@pytest.fixture(scope="session")
+def tiny_paper_mesh() -> CSRGraph:
+    """A reduced paper_mesh (500 vertices at Fig. 9's edge ratio)."""
+    return paper_mesh(500, seed=7)
+
+
+@pytest.fixture
+def cluster3():
+    """Three equal dedicated workstations, deterministic network."""
+    return uniform_cluster(3)
+
+
+@pytest.fixture
+def hetero4():
+    """Four workstations with distinct speeds, deterministic network."""
+    return heterogeneous_cluster([1.0, 0.8, 0.6, 0.4])
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,183 @@
+"""Tests for the application layer (smoothing, SpMV, workloads, quality)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.mesh_smoothing import smooth_mesh, verify_against_sequential
+from repro.apps.sparse_matvec import (
+    SymmetricPatternMatrix,
+    run_parallel_spmv,
+    spmv_sequential,
+)
+from repro.apps.workloads import (
+    adaptive_testbed,
+    full_scale,
+    paper_workload,
+    random_capabilities,
+)
+from repro.errors import ConfigurationError
+from repro.graph.generators import grid_mesh, paper_mesh
+from repro.graph.ops import to_scipy
+from repro.net.cluster import sun4_cluster, uniform_cluster
+from repro.partition.ordering import IdentityOrdering
+from repro.partition.quality import compare_orderings, evaluate_ordering
+from repro.partition.rcb import RCBOrdering
+from repro.runtime.program import ProgramConfig
+
+
+class TestMeshSmoothing:
+    def test_accepts_mesh_object(self):
+        mesh = grid_mesh(8, 8)
+        res = smooth_mesh(mesh, uniform_cluster(2), iterations=5)
+        assert res.values.shape == (64,)
+        assert res.makespan > 0
+
+    def test_accepts_graph(self):
+        g = paper_mesh(300, seed=1)
+        res = smooth_mesh(g, uniform_cluster(2), iterations=5)
+        assert res.values.shape == (g.num_vertices,)
+
+    def test_verify_passes_for_correct_run(self):
+        g = paper_mesh(300, seed=1)
+        res = smooth_mesh(g, sun4_cluster(3), iterations=8)
+        err = verify_against_sequential(g, res)
+        assert err < 1e-9
+
+    def test_verify_catches_corruption(self):
+        g = paper_mesh(300, seed=1)
+        res = smooth_mesh(g, uniform_cluster(2), iterations=5)
+        res.values = res.values + 1.0
+        with pytest.raises(AssertionError):
+            verify_against_sequential(g, res)
+
+    def test_explicit_config_wins(self):
+        g = paper_mesh(300, seed=1)
+        cfg = ProgramConfig(iterations=4, strategy="sort1")
+        res = smooth_mesh(g, uniform_cluster(2), iterations=99, config=cfg)
+        assert res.report.config.iterations == 4
+
+    def test_custom_y0(self):
+        g = paper_mesh(300, seed=1)
+        y0 = np.linspace(0, 1, g.num_vertices)
+        res = smooth_mesh(g, uniform_cluster(2), iterations=5, y0=y0)
+        assert verify_against_sequential(g, res, y0=y0) < 1e-9
+
+
+class TestSparseMatvec:
+    def test_matrix_validation(self):
+        g = paper_mesh(100, seed=0)
+        with pytest.raises(ConfigurationError):
+            SymmetricPatternMatrix(g, np.ones(3), np.ones(g.num_vertices))
+        with pytest.raises(ConfigurationError):
+            SymmetricPatternMatrix(g, np.ones(g.indices.size), np.ones(3))
+
+    def test_sequential_matches_scipy(self):
+        g = paper_mesh(200, seed=2)
+        mat = SymmetricPatternMatrix.laplacian_like(g, shift=0.3)
+        import scipy.sparse as sp
+
+        A = sp.diags(mat.diag) - to_scipy(g)
+        x = np.random.default_rng(0).uniform(size=g.num_vertices)
+        np.testing.assert_allclose(spmv_sequential(mat, x), A @ x, rtol=1e-12)
+
+    def test_parallel_single_product_exact(self):
+        g = paper_mesh(200, seed=2)
+        mat = SymmetricPatternMatrix.laplacian_like(g)
+        x0 = np.random.default_rng(1).uniform(size=g.num_vertices)
+        seq = spmv_sequential(mat, x0)
+        par, makespan = run_parallel_spmv(
+            mat, uniform_cluster(3), x0, iterations=1, normalize=False
+        )
+        np.testing.assert_allclose(par, seq, rtol=1e-12)
+        assert makespan > 0
+
+    def test_permuted_matrix_consistent(self):
+        g = paper_mesh(150, seed=3)
+        mat = SymmetricPatternMatrix.laplacian_like(g)
+        perm = RCBOrdering()(g)
+        pm = mat.permuted(perm)
+        x = np.random.default_rng(2).uniform(size=g.num_vertices)
+        xp = np.empty_like(x)
+        xp[perm] = x
+        np.testing.assert_allclose(
+            spmv_sequential(pm, xp)[perm], spmv_sequential(mat, x), rtol=1e-12
+        )
+
+    def test_identity_ordering_supported(self):
+        g = paper_mesh(150, seed=3)
+        mat = SymmetricPatternMatrix.laplacian_like(g)
+        x0 = np.ones(g.num_vertices)
+        par, _ = run_parallel_spmv(
+            mat, uniform_cluster(2), x0, iterations=1, normalize=False,
+            ordering=IdentityOrdering(),
+        )
+        np.testing.assert_allclose(par, spmv_sequential(mat, x0), rtol=1e-12)
+
+    def test_input_validation(self):
+        g = paper_mesh(100, seed=0)
+        mat = SymmetricPatternMatrix.laplacian_like(g)
+        with pytest.raises(ConfigurationError):
+            run_parallel_spmv(mat, uniform_cluster(2), np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            run_parallel_spmv(mat, uniform_cluster(2),
+                              np.zeros(g.num_vertices), iterations=0)
+
+
+class TestWorkloads:
+    def test_paper_workload_shape(self):
+        w = paper_workload(n_vertices=400, iterations=7, seed=1)
+        assert w.n == w.graph.num_vertices
+        assert w.iterations == 7
+        assert w.y0.shape == (w.n,)
+        assert "mesh" in w.label
+
+    def test_paper_workload_reproducible(self):
+        a = paper_workload(n_vertices=400, iterations=5, seed=9)
+        b = paper_workload(n_vertices=400, iterations=5, seed=9)
+        np.testing.assert_array_equal(a.y0, b.y0)
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_scale()
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_scale()
+        w = paper_workload(seed=1, n_vertices=300)  # explicit n overrides
+        assert w.n <= 300
+
+    def test_random_capabilities_normalized(self):
+        rng = np.random.default_rng(0)
+        caps = random_capabilities(6, rng)
+        assert caps.sum() == pytest.approx(1.0)
+        assert caps.min() >= 0.019
+
+    def test_adaptive_testbed_load(self):
+        cl = adaptive_testbed(3, competing_load=2.0)
+        assert cl.processors[0].effective_speed(0.0) == pytest.approx(
+            cl.processors[0].speed / 3.0
+        )
+
+
+class TestOrderingQuality:
+    def test_evaluate_ordering_fields(self):
+        g = paper_mesh(300, seed=5)
+        rep = evaluate_ordering(g, RCBOrdering(), part_counts=(2, 4))
+        assert rep.name == "rcb"
+        assert set(rep.cuts) == {2, 4}
+        assert rep.mean_span > 0
+
+    def test_compare_orderings_rows(self):
+        g = paper_mesh(300, seed=5)
+        reps = compare_orderings(g, [RCBOrdering(), IdentityOrdering()], (2,))
+        assert len(reps) == 2
+        row = reps[0].as_row((2,))
+        assert row[0] == "rcb" and len(row) == 4
+
+    def test_nonuniform_capabilities_splits(self):
+        g = paper_mesh(300, seed=5)
+        rep = evaluate_ordering(
+            g, RCBOrdering(), part_counts=(3,),
+            capabilities=np.array([3.0, 1.0, 1.0]),
+        )
+        assert rep.cuts[3] >= 0

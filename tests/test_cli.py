@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.vertices == 4000
+        assert args.strategy == "sort2"
+        assert not args.load_balance
+
+    def test_run_rejects_bad_workstations(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workstations", "9"])
+
+    def test_run_rejects_bad_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--strategy", "magic"])
+
+    def test_mcr_requires_vectors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mcr"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "STANCE" in out
+
+    def test_run_verified(self, capsys):
+        rc = main([
+            "run", "--vertices", "400", "--iterations", "8",
+            "--workstations", "2", "--verify",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verified against sequential oracle" in out
+        assert "efficiency" in out
+
+    def test_run_with_load_balance(self, capsys):
+        rc = main([
+            "run", "--vertices", "400", "--iterations", "20",
+            "--workstations", "3", "--load-balance",
+            "--competing-load", "2.0", "--verify",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "remaps:" in out
+
+    def test_orderings(self, capsys):
+        rc = main(["orderings", "--vertices", "300", "--parts", "2", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rcb" in out and "cut@4" in out
+
+    def test_mcr_paper_example(self, capsys):
+        rc = main([
+            "mcr",
+            "--old", "0.27", "0.18", "0.34", "0.07", "0.14",
+            "--new", "0.10", "0.13", "0.29", "0.24", "0.24",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[0, 3, 1, 2, 4]" in out
+
+    def test_mcr_length_mismatch(self, capsys):
+        rc = main(["mcr", "--old", "0.5", "0.5", "--new", "1.0"])
+        assert rc == 2

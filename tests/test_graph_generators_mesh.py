@@ -1,0 +1,195 @@
+"""Tests for mesh structures and graph/mesh generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    PAPER_MESH_EDGES,
+    PAPER_MESH_VERTICES,
+    airfoil_mesh,
+    delaunay_mesh,
+    grid_graph,
+    grid_mesh,
+    paper_mesh,
+    perturbed_grid_mesh,
+    random_geometric_graph,
+    thin_to_edge_count,
+)
+from repro.graph.mesh import Mesh
+from repro.graph.ops import connected_components
+
+
+class TestMesh:
+    def test_basic(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        m = Mesh(pts, np.array([[0, 1, 2]]))
+        assert m.num_points == 3
+        assert m.num_cells == 1
+        assert m.num_edges == 3
+        assert m.dim == 2
+
+    def test_graph_carries_coords(self):
+        m = grid_mesh(3, 3)
+        assert m.graph.coords is not None
+        np.testing.assert_array_equal(m.graph.coords, m.points)
+
+    def test_rejects_bad_cells(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(GraphError):
+            Mesh(pts, np.array([[0, 1, 9]]))
+        with pytest.raises(GraphError):
+            Mesh(pts, np.array([[0, 1]]))  # wrong arity for 2-D
+
+    def test_rejects_bad_points(self):
+        with pytest.raises(GraphError):
+            Mesh(np.zeros((3, 5)), np.zeros((1, 6), dtype=int))
+
+    def test_graph_cached(self):
+        m = grid_mesh(3, 3)
+        assert m.graph is m.graph
+
+
+class TestGridGenerators:
+    def test_grid_graph_edge_count(self):
+        g = grid_graph(4, 5)
+        assert g.num_vertices == 20
+        assert g.num_edges == 4 * 4 + 3 * 5  # vert rows x horiz + ...
+
+    def test_grid_graph_degree_profile(self):
+        g = grid_graph(3, 3)
+        degs = sorted(g.degrees.tolist())
+        assert degs == [2, 2, 2, 2, 3, 3, 3, 3, 4]
+
+    def test_grid_graph_single_vertex(self):
+        g = grid_graph(1, 1)
+        assert g.num_vertices == 1 and g.num_edges == 0
+
+    def test_grid_graph_rejects_zero(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+
+    def test_grid_mesh_triangle_count(self):
+        m = grid_mesh(4, 3)
+        assert m.num_cells == 2 * 3 * 2
+
+    def test_grid_mesh_rejects_degenerate(self):
+        with pytest.raises(GraphError):
+            grid_mesh(1, 5)
+
+
+class TestUnstructuredGenerators:
+    def test_delaunay_connected(self):
+        rng = np.random.default_rng(0)
+        m = delaunay_mesh(rng.uniform(size=(50, 2)))
+        assert connected_components(m.graph)[0] == 1
+
+    def test_delaunay_rejects_too_few(self):
+        with pytest.raises(GraphError):
+            delaunay_mesh(np.zeros((2, 2)))
+
+    def test_delaunay_rejects_3d(self):
+        with pytest.raises(GraphError):
+            delaunay_mesh(np.zeros((10, 3)))
+
+    def test_perturbed_grid_reproducible(self):
+        a = perturbed_grid_mesh(10, 10, seed=5)
+        b = perturbed_grid_mesh(10, 10, seed=5)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_perturbed_grid_seed_changes_mesh(self):
+        a = perturbed_grid_mesh(10, 10, seed=5)
+        b = perturbed_grid_mesh(10, 10, seed=6)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_perturbed_grid_rejects_big_jitter(self):
+        with pytest.raises(GraphError):
+            perturbed_grid_mesh(5, 5, jitter=0.7)
+
+    def test_airfoil_nonconvex_hole(self):
+        m = airfoil_mesh(1200, seed=1, chord=4.0, thickness=0.5)
+        # No mesh point inside the elliptic airfoil.
+        inside = (m.points[:, 0] / 2.0) ** 2 + (m.points[:, 1] / 1.0) ** 2 < 1.0
+        assert not inside.any()
+        assert connected_components(m.graph)[0] >= 1
+
+    def test_airfoil_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            airfoil_mesh(10)
+
+    def test_random_geometric_connected(self):
+        g = random_geometric_graph(300, seed=2)
+        assert connected_components(g)[0] == 1
+        assert g.coords is not None
+
+    def test_random_geometric_3d(self):
+        g = random_geometric_graph(200, seed=3, dim=3)
+        assert g.coords.shape[1] == 3
+
+    def test_random_geometric_rejects_bad_dim(self):
+        with pytest.raises(GraphError):
+            random_geometric_graph(50, dim=4)
+
+
+class TestThinning:
+    def test_thin_exact_count(self):
+        g = perturbed_grid_mesh(12, 12, seed=1).graph
+        target = g.num_vertices + 50
+        thinned = thin_to_edge_count(g, target, seed=0)
+        assert thinned.num_edges == target
+
+    def test_thin_preserves_connectivity(self):
+        g = perturbed_grid_mesh(12, 12, seed=1).graph
+        thinned = thin_to_edge_count(g, g.num_vertices - 1, seed=0)
+        assert connected_components(thinned)[0] == 1
+
+    def test_thin_noop_at_current_count(self):
+        g = grid_graph(5, 5)
+        assert thin_to_edge_count(g, g.num_edges) is g
+
+    def test_thin_rejects_increase(self):
+        g = grid_graph(5, 5)
+        with pytest.raises(GraphError):
+            thin_to_edge_count(g, g.num_edges + 1)
+
+    def test_thin_rejects_below_tree(self):
+        g = grid_graph(5, 5)
+        with pytest.raises(GraphError):
+            thin_to_edge_count(g, g.num_vertices - 2)
+
+    def test_thin_keeps_short_edges(self):
+        g = perturbed_grid_mesh(10, 10, seed=4).graph
+        thinned = thin_to_edge_count(g, g.num_vertices + 20, seed=0)
+        def mean_len(gr):
+            e = gr.edge_array()
+            return np.linalg.norm(gr.coords[e[:, 0]] - gr.coords[e[:, 1]], axis=1).mean()
+        assert mean_len(thinned) <= mean_len(g) + 1e-9
+
+
+class TestPaperMesh:
+    def test_edge_ratio_matches_paper(self):
+        g = paper_mesh(3000, seed=1)
+        ratio = g.num_edges / g.num_vertices
+        paper_ratio = PAPER_MESH_EDGES / PAPER_MESH_VERTICES
+        assert abs(ratio - paper_ratio) < 0.05
+
+    def test_connected(self):
+        g = paper_mesh(1500, seed=2)
+        assert connected_components(g)[0] == 1
+
+    def test_has_coordinates(self):
+        assert paper_mesh(600, seed=3).coords is not None
+
+    def test_reproducible(self):
+        a, b = paper_mesh(800, seed=9), paper_mesh(800, seed=9)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_explicit_edge_target(self):
+        g = paper_mesh(1000, n_edges=1300, seed=4)
+        assert g.num_edges == 1300
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            paper_mesh(4)

@@ -1,0 +1,283 @@
+"""Tests for the communicator, collectives, and the SPMD runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError, RankFailedError
+from repro.net.cluster import heterogeneous_cluster, uniform_cluster
+from repro.net.comm import Communicator
+from repro.net.loadmodel import ConstantLoad
+from repro.net.message import Tags
+from repro.net.network import SharedEthernet
+from repro.net.spmd import SPMDRunner, run_spmd
+
+
+def eth_cluster(n):
+    return uniform_cluster(n, network_factory=SharedEthernet)
+
+
+class TestPointToPoint:
+    def test_send_recv_payload(self):
+        def fn(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, {"v": 42}, Tags.USER_BASE)
+                return None
+            return ctx.recv(0, Tags.USER_BASE)
+
+        res = run_spmd(uniform_cluster(2), fn)
+        assert res.values[1] == {"v": 42}
+
+    def test_recv_advances_clock_past_arrival(self):
+        def fn(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, np.zeros(1000))
+                return ctx.clock
+            before = ctx.clock
+            ctx.recv(0)
+            return (before, ctx.clock)
+
+        res = run_spmd(uniform_cluster(2), fn)
+        before, after = res.values[1]
+        assert before == 0.0
+        assert after > 0.0  # latency + transfer reflected
+
+    def test_sender_clock_advances_by_injection(self):
+        def fn(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, np.zeros(125_000))  # 1 MB at 1.25 MB/s = 0.8 s
+                return ctx.clock
+            ctx.recv(0)
+            return ctx.clock
+
+        res = run_spmd(uniform_cluster(2), fn)
+        assert res.values[0] == pytest.approx(0.8, rel=0.1)
+        assert res.values[1] > res.values[0]
+
+    def test_send_invalid_rank(self):
+        def fn(ctx):
+            ctx.send(99, "boom")
+
+        with pytest.raises(RankFailedError):
+            run_spmd(uniform_cluster(2), fn)
+
+    def test_self_send_allowed(self):
+        def fn(ctx):
+            ctx.send(ctx.rank, "self", 42)
+            return ctx.recv(ctx.rank, 42)
+
+        res = run_spmd(uniform_cluster(2), fn)
+        assert res.values == ["self", "self"]
+
+    def test_sendrecv_exchange(self):
+        def fn(ctx):
+            other = 1 - ctx.rank
+            return ctx.sendrecv(other, f"from{ctx.rank}", other)
+
+        res = run_spmd(uniform_cluster(2), fn)
+        assert res.values == ["from1", "from0"]
+
+    def test_probe(self):
+        def fn(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, "x", 7)
+                return True
+            ctx.recv(0, 7)  # ensure it arrived
+            return ctx.probe(0, 7)
+
+        res = run_spmd(uniform_cluster(2), fn)
+        assert res.values[1] is False  # consumed
+
+
+class TestCollectives:
+    def test_barrier_synchronizes_clocks(self):
+        def fn(ctx):
+            ctx.compute(float(ctx.rank + 1))  # 1s, 2s, 3s
+            ctx.barrier()
+            return ctx.clock
+
+        res = run_spmd(uniform_cluster(3), fn)
+        assert max(res.values) - min(res.values) < 1e-12
+        assert min(res.values) >= 3.0
+
+    def test_bcast_values(self):
+        def fn(ctx):
+            return ctx.bcast("hello" if ctx.rank == 0 else None, root=0)
+
+        res = run_spmd(eth_cluster(4), fn)
+        assert res.values == ["hello"] * 4
+
+    def test_bcast_nonzero_root(self):
+        def fn(ctx):
+            return ctx.bcast(ctx.rank if ctx.rank == 2 else None, root=2)
+
+        res = run_spmd(uniform_cluster(3), fn)
+        assert res.values == [2, 2, 2]
+
+    def test_bcast_single_rank(self):
+        res = run_spmd(uniform_cluster(1), lambda ctx: ctx.bcast("solo"))
+        assert res.values == ["solo"]
+
+    def test_gather_order(self):
+        def fn(ctx):
+            return ctx.gather(ctx.rank * 10, root=0)
+
+        res = run_spmd(uniform_cluster(4), fn)
+        assert res.values[0] == [0, 10, 20, 30]
+        assert res.values[1] is None
+
+    def test_allgather(self):
+        res = run_spmd(uniform_cluster(3), lambda ctx: ctx.allgather(ctx.rank**2))
+        assert all(v == [0, 1, 4] for v in res.values)
+
+    def test_scatter(self):
+        def fn(ctx):
+            parts = [f"part{r}" for r in range(ctx.size)] if ctx.rank == 0 else None
+            return ctx.scatter(parts, root=0)
+
+        res = run_spmd(uniform_cluster(3), fn)
+        assert res.values == ["part0", "part1", "part2"]
+
+    def test_scatter_wrong_length(self):
+        def fn(ctx):
+            parts = ["only-one"] if ctx.rank == 0 else None
+            return ctx.scatter(parts, root=0)
+
+        with pytest.raises(RankFailedError):
+            run_spmd(uniform_cluster(3), fn)
+
+    def test_reduce_rank_order(self):
+        def fn(ctx):
+            return ctx.reduce(f"{ctx.rank}", lambda a, b: a + b, root=0)
+
+        res = run_spmd(uniform_cluster(4), fn)
+        assert res.values[0] == "0123"  # deterministic order
+
+    def test_allreduce_sum(self):
+        res = run_spmd(
+            uniform_cluster(5), lambda ctx: ctx.allreduce(ctx.rank, lambda a, b: a + b)
+        )
+        assert res.values == [10] * 5
+
+    def test_alltoallv_pattern(self):
+        def fn(ctx):
+            out = {d: ctx.rank * 100 + d for d in range(ctx.size) if d != ctx.rank}
+            rec = ctx.alltoallv(out, [s for s in range(ctx.size) if s != ctx.rank])
+            return {s: v for s, v in sorted(rec.items())}
+
+        res = run_spmd(uniform_cluster(3), fn)
+        assert res.values[0] == {1: 100, 2: 200}
+        assert res.values[2] == {0: 2, 1: 102}
+
+    def test_alltoallv_self_entry(self):
+        def fn(ctx):
+            out = {ctx.rank: "mine"}
+            return ctx.alltoallv(out, [])
+
+        res = run_spmd(uniform_cluster(2), fn)
+        assert res.values[0] == {0: "mine"}
+
+    def test_multicast_on_ethernet_traces_single_event(self):
+        def fn(ctx):
+            if ctx.rank == 0:
+                ctx.multicast([1, 2, 3], "m", Tags.USER_BASE)
+            else:
+                ctx.recv(0, Tags.USER_BASE)
+
+        res = run_spmd(eth_cluster(4), fn, trace=True)
+        assert len(res.trace.events(kind="multicast")) == 1
+
+    def test_multicast_fallback_unicasts(self):
+        def fn(ctx):
+            if ctx.rank == 0:
+                ctx.multicast([1, 2], "m", Tags.USER_BASE)
+            else:
+                ctx.recv(0, Tags.USER_BASE)
+
+        res = run_spmd(uniform_cluster(3), fn, trace=True)
+        assert len(res.trace.events(kind="send")) == 1  # one traced event
+        assert len(res.trace.events(kind="multicast")) == 0
+
+
+class TestVirtualTime:
+    def test_heterogeneous_compute(self):
+        res = run_spmd(
+            heterogeneous_cluster([1.0, 0.25]),
+            lambda ctx: ctx.compute(1.0) or ctx.clock,
+        )
+        assert res.values[0] == pytest.approx(1.0)
+        assert res.values[1] == pytest.approx(4.0)
+
+    def test_loaded_processor(self):
+        cl = uniform_cluster(2).with_load(1, ConstantLoad(3.0))
+        res = run_spmd(cl, lambda ctx: ctx.compute(1.0) or ctx.clock)
+        assert res.values[1] == pytest.approx(4.0)
+
+    def test_compute_items(self):
+        res = run_spmd(
+            uniform_cluster(1),
+            lambda ctx: ctx.compute_items(1000, 1e-3) or ctx.clock,
+        )
+        assert res.values[0] == pytest.approx(1.0)
+
+    def test_charge_raw_seconds(self):
+        res = run_spmd(
+            heterogeneous_cluster([0.5]),
+            lambda ctx: ctx.charge(2.0) or ctx.clock,
+        )
+        assert res.values[0] == pytest.approx(2.0)  # no speed scaling
+
+    def test_charge_negative_rejected(self):
+        with pytest.raises(RankFailedError):
+            run_spmd(uniform_cluster(1), lambda ctx: ctx.charge(-1.0))
+
+    def test_makespan_is_max_clock(self):
+        res = run_spmd(
+            heterogeneous_cluster([1.0, 0.5]),
+            lambda ctx: ctx.compute(1.0),
+        )
+        assert res.makespan == pytest.approx(2.0)
+        assert res.imbalance == pytest.approx(2.0 / 1.5)
+
+
+class TestSPMDFailures:
+    def test_rank_exception_propagates(self):
+        def fn(ctx):
+            if ctx.rank == 1:
+                raise ValueError("rank 1 exploded")
+            ctx.barrier()  # would deadlock without failure handling
+
+        with pytest.raises(RankFailedError) as exc_info:
+            run_spmd(uniform_cluster(3), fn)
+        assert 1 in exc_info.value.failures
+        assert isinstance(exc_info.value.failures[1], ValueError)
+
+    def test_blocked_receiver_woken_on_peer_failure(self):
+        def fn(ctx):
+            if ctx.rank == 0:
+                raise RuntimeError("sender died")
+            ctx.recv(0)  # must not hang
+
+        with pytest.raises(RankFailedError) as exc_info:
+            run_spmd(uniform_cluster(2), fn)
+        # Original error reported, not the secondary mailbox closure.
+        assert any(
+            isinstance(e, RuntimeError) for e in exc_info.value.failures.values()
+        )
+
+    def test_runner_reusable(self):
+        runner = SPMDRunner(uniform_cluster(2))
+        r1 = runner.run(lambda ctx: ctx.rank)
+        r2 = runner.run(lambda ctx: ctx.rank * 2)
+        assert r1.values == [0, 1]
+        assert r2.values == [0, 2]
+
+    def test_args_passed_through(self):
+        res = run_spmd(uniform_cluster(2), lambda ctx, a, b=0: a + b + ctx.rank, 10, b=5)
+        assert res.values == [15, 16]
+
+    def test_context_bad_rank(self):
+        comm = Communicator(uniform_cluster(2))
+        with pytest.raises(Exception):
+            comm.context(5)

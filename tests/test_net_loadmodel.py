@@ -1,0 +1,184 @@
+"""Tests for competing-load traces and virtual-clock integration."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.loadmodel import (
+    CompositeLoad,
+    ConstantLoad,
+    NoLoad,
+    RampLoad,
+    RandomWalkLoad,
+    StepLoad,
+    advance_clock,
+    work_done_in,
+)
+
+
+class TestTraces:
+    def test_noload_always_zero(self):
+        tr = NoLoad()
+        assert tr.load_at(0.0) == 0.0
+        assert tr.load_at(1e9) == 0.0
+        assert tr.next_change_after(5.0) == math.inf
+
+    def test_constant_level(self):
+        tr = ConstantLoad(2.0)
+        assert tr.load_at(0.0) == 2.0
+        assert tr.next_change_after(0.0) == math.inf
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLoad(-1.0)
+
+    def test_step_lookup(self):
+        tr = StepLoad([(0, 0), (10, 2), (50, 0)])
+        assert tr.load_at(5) == 0
+        assert tr.load_at(10) == 2
+        assert tr.load_at(49.99) == 2
+        assert tr.load_at(50) == 0
+
+    def test_step_breakpoints(self):
+        tr = StepLoad([(0, 0), (10, 2), (50, 0)])
+        assert tr.next_change_after(0) == 10
+        assert tr.next_change_after(10) == 50
+        assert tr.next_change_after(50) == math.inf
+
+    def test_step_pads_time_zero(self):
+        tr = StepLoad([(5, 1.0)])
+        assert tr.load_at(0.0) == 0.0
+        assert tr.load_at(5.0) == 1.0
+
+    def test_step_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            StepLoad([(5, 1), (3, 2)])
+
+    def test_step_rejects_negative_load(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            StepLoad([(0, -1)])
+
+    def test_step_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StepLoad([])
+
+    def test_ramp_endpoints(self):
+        tr = RampLoad(10, 20, 0.0, 4.0, n_steps=16)
+        assert tr.load_at(0.0) == 0.0
+        assert tr.load_at(25.0) == 4.0
+        mid = tr.load_at(15.0)
+        assert 1.0 < mid < 3.0
+
+    def test_ramp_monotone(self):
+        tr = RampLoad(0, 10, 0.0, 2.0)
+        samples = [tr.load_at(t) for t in np.linspace(0, 10, 40)]
+        assert all(b >= a - 1e-12 for a, b in zip(samples, samples[1:]))
+
+    def test_ramp_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            RampLoad(5, 5, 0, 1)
+
+    def test_random_walk_bounds_and_reproducibility(self):
+        a = RandomWalkLoad(horizon=50, dt=1.0, max_load=2.0, seed=3)
+        b = RandomWalkLoad(horizon=50, dt=1.0, max_load=2.0, seed=3)
+        for t in np.linspace(0, 60, 30):
+            la, lb = a.load_at(t), b.load_at(t)
+            assert la == lb
+            assert 0.0 <= la <= 2.0
+
+    def test_random_walk_holds_after_horizon(self):
+        tr = RandomWalkLoad(horizon=10, dt=1.0, seed=0)
+        assert tr.load_at(10.5) == tr.load_at(1e6)
+
+    def test_composite_sums(self):
+        tr = CompositeLoad([ConstantLoad(1.0), StepLoad([(0, 0), (5, 2)])])
+        assert tr.load_at(0) == 1.0
+        assert tr.load_at(5) == 3.0
+        assert tr.next_change_after(0) == 5
+
+    def test_composite_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CompositeLoad([])
+
+    def test_mean_load(self):
+        tr = StepLoad([(0, 0), (5, 2)])
+        assert tr.mean_load(0, 10) == pytest.approx(1.0)
+
+
+class TestAdvanceClock:
+    def test_unloaded_unit_speed(self):
+        assert advance_clock(0.0, 3.0, 1.0, NoLoad()) == pytest.approx(3.0)
+
+    def test_speed_scales(self):
+        assert advance_clock(0.0, 3.0, 2.0, NoLoad()) == pytest.approx(1.5)
+
+    def test_constant_load_halves_rate(self):
+        assert advance_clock(0.0, 3.0, 1.0, ConstantLoad(1.0)) == pytest.approx(6.0)
+
+    def test_zero_work(self):
+        assert advance_clock(7.0, 0.0, 1.0, ConstantLoad(5.0)) == 7.0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            advance_clock(0.0, -1.0, 1.0, NoLoad())
+
+    def test_step_boundary_crossing(self):
+        # Unloaded for 2s (2 units done), then load 1 (rate 1/2): remaining
+        # 2 units take 4s.
+        tr = StepLoad([(0, 0), (2, 1)])
+        assert advance_clock(0.0, 4.0, 1.0, tr) == pytest.approx(6.0)
+
+    def test_start_mid_segment(self):
+        tr = StepLoad([(0, 0), (2, 1)])
+        assert advance_clock(1.0, 1.0, 1.0, tr) == pytest.approx(2.0)
+        assert advance_clock(2.0, 1.0, 1.0, tr) == pytest.approx(4.0)
+
+    def test_work_done_in_inverse_simple(self):
+        tr = StepLoad([(0, 0), (3, 2), (9, 0.5)])
+        t1 = advance_clock(0.0, 5.0, 1.3, tr)
+        assert work_done_in(0.0, t1, 1.3, tr) == pytest.approx(5.0)
+
+    def test_work_done_in_empty_interval(self):
+        assert work_done_in(4.0, 4.0, 1.0, ConstantLoad(1.0)) == 0.0
+
+    def test_work_done_in_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            work_done_in(5.0, 4.0, 1.0, NoLoad())
+
+    @given(
+        work=st.floats(0.01, 50.0),
+        speed=st.floats(0.1, 10.0),
+        t0=st.floats(0.0, 20.0),
+        steps=st.lists(
+            st.tuples(st.floats(0.0, 40.0), st.floats(0.0, 4.0)),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_advance_and_work_are_inverse(self, work, speed, t0, steps):
+        steps = sorted(steps, key=lambda s: s[0])
+        tr = StepLoad(steps)
+        t1 = advance_clock(t0, work, speed, tr)
+        assert t1 >= t0
+        recovered = work_done_in(t0, t1, speed, tr)
+        assert recovered == pytest.approx(work, rel=1e-9, abs=1e-12)
+
+    @given(
+        work=st.floats(0.01, 10.0),
+        load=st.floats(0.0, 5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_constant_load_closed_form(self, work, load):
+        t1 = advance_clock(0.0, work, 1.0, ConstantLoad(load))
+        assert t1 == pytest.approx(work * (1.0 + load), rel=1e-12)
+
+    def test_monotone_in_load(self):
+        t_light = advance_clock(0.0, 5.0, 1.0, ConstantLoad(0.5))
+        t_heavy = advance_clock(0.0, 5.0, 1.0, ConstantLoad(2.0))
+        assert t_heavy > t_light

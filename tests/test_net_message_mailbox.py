@@ -1,0 +1,153 @@
+"""Tests for message records, size estimation, and mailbox matching."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError, MailboxClosedError
+from repro.net.mailbox import Mailbox
+from repro.net.message import ANY_SOURCE, ANY_TAG, Message, payload_nbytes
+
+
+def make_msg(src=0, dest=1, tag=5, payload="x", t=0.0, seq=0):
+    return Message(src, dest, tag, payload, payload_nbytes(payload), t, t, seq)
+
+
+class TestPayloadNbytes:
+    def test_ndarray_exact(self):
+        arr = np.zeros(100, dtype=np.float64)
+        assert payload_nbytes(arr) == 16 + 800
+
+    def test_scalar(self):
+        assert payload_nbytes(3.14) == 24
+        assert payload_nbytes(7) == 24
+
+    def test_none_header_only(self):
+        assert payload_nbytes(None) == 16
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abcd") == 20
+
+    def test_numpy_scalar(self):
+        assert payload_nbytes(np.float64(1.0)) == 24
+
+    def test_array_list(self):
+        arrs = [np.zeros(10), np.zeros(5)]
+        assert payload_nbytes(arrs) == 16 + 120
+
+    def test_generic_object_pickled(self):
+        assert payload_nbytes({"a": [1, 2, 3]}) > 16
+
+    def test_unpicklable_fallback(self):
+        assert payload_nbytes(lambda x: x) >= 16
+
+
+class TestMessage:
+    def test_rejects_negative_tag(self):
+        with pytest.raises(ValueError):
+            Message(0, 1, -2, None, 16, 0.0)
+
+    def test_rejects_wildcard_endpoints(self):
+        with pytest.raises(ValueError):
+            Message(-1, 1, 0, None, 16, 0.0)
+
+
+class TestMailbox:
+    def test_exact_match(self):
+        box = Mailbox(1)
+        box.deposit(make_msg(src=0, tag=5))
+        msg = box.receive(0, 5, timeout=1.0)
+        assert msg.payload == "x"
+
+    def test_wrong_dest_rejected(self):
+        box = Mailbox(2)
+        with pytest.raises(CommunicationError):
+            box.deposit(make_msg(dest=1))
+
+    def test_fifo_per_channel(self):
+        box = Mailbox(1)
+        box.deposit(make_msg(payload="first", seq=1))
+        box.deposit(make_msg(payload="second", seq=2))
+        assert box.receive(0, 5, timeout=1.0).payload == "first"
+        assert box.receive(0, 5, timeout=1.0).payload == "second"
+
+    def test_any_source(self):
+        box = Mailbox(1)
+        box.deposit(make_msg(src=3, seq=1))
+        assert box.receive(ANY_SOURCE, 5, timeout=1.0).source == 3
+
+    def test_any_tag(self):
+        box = Mailbox(1)
+        box.deposit(make_msg(tag=9, seq=1))
+        assert box.receive(0, ANY_TAG, timeout=1.0).tag == 9
+
+    def test_wildcard_takes_earliest(self):
+        box = Mailbox(1)
+        box.deposit(make_msg(src=4, tag=7, payload="early", seq=1))
+        box.deposit(make_msg(src=2, tag=5, payload="late", seq=2))
+        assert box.receive(ANY_SOURCE, ANY_TAG, timeout=1.0).payload == "early"
+
+    def test_selective_receive_leaves_others(self):
+        box = Mailbox(1)
+        box.deposit(make_msg(src=0, tag=1, payload="a", seq=1))
+        box.deposit(make_msg(src=0, tag=2, payload="b", seq=2))
+        assert box.receive(0, 2, timeout=1.0).payload == "b"
+        assert box.receive(0, 1, timeout=1.0).payload == "a"
+
+    def test_timeout_raises(self):
+        box = Mailbox(1)
+        with pytest.raises(CommunicationError, match="timed out"):
+            box.receive(0, 5, timeout=0.05)
+
+    def test_probe(self):
+        box = Mailbox(1)
+        assert not box.probe()
+        box.deposit(make_msg())
+        assert box.probe()
+        assert box.probe(0, 5)
+        assert not box.probe(3, ANY_TAG)
+
+    def test_pending_count(self):
+        box = Mailbox(1)
+        assert box.pending_count() == 0
+        box.deposit(make_msg(seq=1))
+        box.deposit(make_msg(tag=6, seq=2))
+        assert box.pending_count() == 2
+
+    def test_close_wakes_receiver(self):
+        box = Mailbox(1)
+        errors = []
+
+        def blocked():
+            try:
+                box.receive(0, 5, timeout=5.0)
+            except MailboxClosedError:
+                errors.append("closed")
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        box.close()
+        t.join(timeout=2.0)
+        assert errors == ["closed"]
+
+    def test_deposit_after_close_raises(self):
+        box = Mailbox(1)
+        box.close()
+        with pytest.raises(MailboxClosedError):
+            box.deposit(make_msg())
+
+    def test_blocking_receive_gets_late_message(self):
+        box = Mailbox(1)
+        result = []
+
+        def rx():
+            result.append(box.receive(0, 5, timeout=5.0).payload)
+
+        t = threading.Thread(target=rx)
+        t.start()
+        box.deposit(make_msg(payload="late-arrival"))
+        t.join(timeout=2.0)
+        assert result == ["late-arrival"]

@@ -1,0 +1,128 @@
+"""Tests for network cost models (point-to-point, Ethernet, switched)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import (
+    ETHERNET_10MBIT,
+    ETHERNET_100MBIT,
+    PointToPointNetwork,
+    SharedEthernet,
+    SwitchedNetwork,
+)
+
+
+class TestPointToPoint:
+    def test_cost_formula(self):
+        net = PointToPointNetwork(
+            latency=1e-3, bandwidth=1e6, per_message_overhead=5e-4
+        )
+        arrival = net.send(0, 1, 1000, 2.0)
+        assert arrival == pytest.approx(2.0 + 5e-4 + 1e-3 + 1e-3)
+
+    def test_empty_message_still_costs(self):
+        net = PointToPointNetwork()
+        assert net.send(0, 1, 0, 0.0) > 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PointToPointNetwork().send(0, 1, -1, 0.0)
+
+    def test_no_contention(self):
+        net = PointToPointNetwork()
+        a1 = net.send(0, 1, 10_000, 1.0)
+        a2 = net.send(2, 1, 10_000, 1.0)
+        assert a1 == a2  # same parameters, independent of prior traffic
+
+    def test_injection_done_before_arrival(self):
+        net = PointToPointNetwork()
+        t = 3.0
+        assert net.injection_done(0, 1, 5000, t) <= net.send(0, 1, 5000, t)
+
+    def test_message_cost_matches_send_delta(self):
+        net = PointToPointNetwork()
+        assert net.send(0, 1, 4096, 10.0) - 10.0 == pytest.approx(
+            net.message_cost(4096)
+        )
+
+    def test_sequential_multicast_fallback(self):
+        net = PointToPointNetwork()
+        assert not net.supports_multicast
+        arrivals = net.multicast(0, [1, 2, 3], 100_000, 0.0)
+        # Sequential unicasts: each later copy leaves after the previous.
+        assert arrivals[0] < arrivals[1] < arrivals[2]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            PointToPointNetwork(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            PointToPointNetwork(latency=-1.0)
+
+
+class TestSharedEthernet:
+    def test_contention_serializes(self):
+        net = SharedEthernet(latency=0.0, bandwidth=1e6, per_message_overhead=0.0)
+        a1 = net.send(0, 1, 1_000_000, 0.0)  # 1 second frame
+        a2 = net.send(2, 3, 1_000_000, 0.0)  # must wait for the medium
+        assert a1 == pytest.approx(1.0)
+        assert a2 == pytest.approx(2.0)
+
+    def test_reset_clears_medium(self):
+        net = SharedEthernet(latency=0.0, bandwidth=1e6, per_message_overhead=0.0)
+        net.send(0, 1, 1_000_000, 0.0)
+        net.reset()
+        assert net.send(2, 3, 1_000_000, 0.0) == pytest.approx(1.0)
+
+    def test_multicast_single_frame(self):
+        net = SharedEthernet(latency=1e-3, bandwidth=1e6, per_message_overhead=0.0)
+        arrivals = net.multicast(0, [1, 2, 3, 4], 10_000, 0.0)
+        assert len(arrivals) == 4
+        assert len(set(arrivals)) == 1  # all destinations hear one frame
+
+    def test_multicast_empty_dests(self):
+        assert SharedEthernet().multicast(0, [], 100, 0.0) == []
+
+    def test_idle_medium_no_extra_delay(self):
+        net = SharedEthernet(latency=1e-3, bandwidth=1.25e6, per_message_overhead=5e-4)
+        p2p = PointToPointNetwork(
+            latency=1e-3, bandwidth=1.25e6, per_message_overhead=5e-4
+        )
+        assert net.send(0, 1, 5000, 10.0) == pytest.approx(p2p.send(0, 1, 5000, 10.0))
+
+    def test_presets(self):
+        slow, fast = ETHERNET_10MBIT(), ETHERNET_100MBIT()
+        assert fast.bandwidth > slow.bandwidth
+        assert fast.send(0, 1, 100_000, 0.0) < slow.send(0, 1, 100_000, 0.0)
+
+
+class TestSwitchedNetwork:
+    def test_distinct_ports_parallel(self):
+        net = SwitchedNetwork(latency=0.0, bandwidth=1e6, per_message_overhead=0.0)
+        a1 = net.send(0, 1, 1_000_000, 0.0)
+        a2 = net.send(2, 3, 1_000_000, 0.0)
+        assert a1 == pytest.approx(1.0)
+        assert a2 == pytest.approx(1.0)  # different port: no waiting
+
+    def test_same_port_serializes(self):
+        net = SwitchedNetwork(latency=0.0, bandwidth=1e6, per_message_overhead=0.0)
+        a1 = net.send(0, 5, 1_000_000, 0.0)
+        a2 = net.send(2, 5, 1_000_000, 0.0)
+        assert a2 == pytest.approx(a1 + 1.0)
+
+    def test_multicast_replicated_at_switch(self):
+        net = SwitchedNetwork(latency=0.0, bandwidth=1e6, per_message_overhead=0.0)
+        arrivals = net.multicast(0, [1, 2], 1_000_000, 0.0)
+        assert arrivals[0] == pytest.approx(1.0)
+        assert arrivals[1] == pytest.approx(1.0)
+
+    def test_reset(self):
+        net = SwitchedNetwork(latency=0.0, bandwidth=1e6, per_message_overhead=0.0)
+        net.send(0, 1, 1_000_000, 0.0)
+        net.reset()
+        assert net.send(2, 1, 1_000_000, 0.0) == pytest.approx(1.0)
+
+    def test_faster_than_ethernet(self):
+        eth = ETHERNET_10MBIT()
+        atm = SwitchedNetwork()
+        assert atm.send(0, 1, 100_000, 0.0) < eth.send(0, 1, 100_000, 0.0)

@@ -1,0 +1,111 @@
+"""Tests for trace analysis and timeline rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.cluster import heterogeneous_cluster, uniform_cluster
+from repro.net.message import Tags
+from repro.net.report import analyze_trace, render_timeline
+from repro.net.spmd import run_spmd
+from repro.net.trace import TraceEvent, TraceLog
+
+
+def traced_run(cluster):
+    def fn(ctx):
+        ctx.compute(1.0)
+        if ctx.rank == 0:
+            ctx.send(1, np.zeros(1000), Tags.USER_BASE)
+        elif ctx.rank == 1:
+            ctx.recv(0, Tags.USER_BASE)
+        ctx.barrier()
+
+    return run_spmd(cluster, fn, trace=True)
+
+
+class TestAnalyzeTrace:
+    def test_breakdown_totals(self):
+        res = traced_run(uniform_cluster(3))
+        report = analyze_trace(res.trace, res.clocks)
+        assert len(report.breakdowns) == 3
+        for b in report.breakdowns:
+            assert b.total == res.clocks[b.rank]
+            assert b.accounted <= b.total + 1e-9
+            assert 0.0 <= b.utilization() <= 1.0
+        assert report.makespan == res.makespan
+
+    def test_compute_time_attributed(self):
+        res = traced_run(uniform_cluster(2))
+        report = analyze_trace(res.trace, res.clocks)
+        for b in report.breakdowns:
+            assert b.compute == pytest.approx(1.0)
+
+    def test_slow_rank_lower_utilization_for_fast_peer(self):
+        res = run_spmd(
+            heterogeneous_cluster([1.0, 0.25]),
+            lambda ctx: (ctx.compute(1.0), ctx.barrier()),
+            trace=True,
+        )
+        report = analyze_trace(res.trace, res.clocks)
+        # The fast rank waits at the barrier -> lower compute fraction.
+        assert report.breakdowns[0].utilization() < report.breakdowns[1].utilization()
+        assert report.mean_utilization < 1.0
+
+    def test_traffic_by_tag(self):
+        res = traced_run(uniform_cluster(2))
+        report = analyze_trace(res.trace, res.clocks)
+        assert report.messages_by_tag.get(Tags.USER_BASE) == 1
+        assert report.bytes_by_tag[Tags.USER_BASE] > 1000
+
+    def test_to_text_renders(self):
+        res = traced_run(uniform_cluster(2))
+        text = analyze_trace(res.trace, res.clocks).to_text()
+        assert "Per-rank virtual time breakdown" in text
+        assert "Traffic by message tag" in text
+
+    def test_empty_trace_with_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            analyze_trace(TraceLog(enabled=False), [1.0, 2.0])
+
+    def test_empty_run_ok(self):
+        report = analyze_trace(TraceLog(), [0.0, 0.0])
+        assert report.makespan == 0.0
+        assert report.mean_utilization == 0.0
+
+
+class TestRenderTimeline:
+    def test_basic_shape(self):
+        res = traced_run(uniform_cluster(3))
+        art = render_timeline(res.trace, res.clocks, width=40)
+        lines = art.splitlines()
+        assert len(lines) == 4  # 3 ranks + axis
+        assert all(line.startswith("rank") for line in lines[:3])
+        assert "#" in art  # compute buckets visible
+
+    def test_unbalanced_run_shows_gap(self):
+        res = run_spmd(
+            heterogeneous_cluster([1.0, 0.25]),
+            lambda ctx: ctx.compute(1.0),
+            trace=True,
+        )
+        art = render_timeline(res.trace, res.clocks, width=40)
+        fast, slow = art.splitlines()[:2]
+        # The fast rank's row ends early (trailing spaces inside the frame).
+        assert fast.rstrip("|").rstrip().count("#") < slow.count("#")
+
+    def test_width_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_timeline(TraceLog(), [1.0], width=2)
+
+    def test_empty_timeline(self):
+        assert render_timeline(TraceLog(), [0.0]) == "(empty timeline)"
+
+    def test_synthetic_comm_glyphs(self):
+        log = TraceLog()
+        log.record(TraceEvent("send", 0, 0.0, 0.5, nbytes=10))
+        log.record(TraceEvent("compute", 0, 0.5, 1.0))
+        art = render_timeline(log, [1.0], width=10)
+        row = art.splitlines()[0]
+        assert "~" in row and "#" in row

@@ -1,0 +1,73 @@
+"""Tests for the event trace log."""
+
+from __future__ import annotations
+
+from repro.net.cluster import uniform_cluster
+from repro.net.message import Tags
+from repro.net.spmd import run_spmd
+from repro.net.trace import TraceEvent, TraceLog
+
+
+class TestTraceLog:
+    def test_disabled_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.record(TraceEvent("send", 0, 0.0, 1.0, nbytes=10))
+        assert len(log) == 0
+
+    def test_filtering(self):
+        log = TraceLog()
+        log.record(TraceEvent("send", 0, 0.0, 1.0, nbytes=10))
+        log.record(TraceEvent("recv", 1, 0.0, 1.0, nbytes=10))
+        log.record(TraceEvent("send", 1, 1.0, 2.0, nbytes=5))
+        assert len(log.events(kind="send")) == 2
+        assert len(log.events(rank=1)) == 2
+        assert len(log.events(kind="send", rank=1)) == 1
+
+    def test_message_count_and_bytes(self):
+        log = TraceLog()
+        log.record(TraceEvent("send", 0, 0.0, 1.0, nbytes=10))
+        log.record(TraceEvent("multicast", 0, 1.0, 2.0, nbytes=20))
+        log.record(TraceEvent("recv", 1, 0.0, 1.0, nbytes=10))
+        assert log.message_count() == 2
+        assert log.bytes_sent() == 30
+
+    def test_time_in(self):
+        log = TraceLog()
+        log.record(TraceEvent("compute", 0, 0.0, 1.5))
+        log.record(TraceEvent("compute", 0, 2.0, 3.0))
+        log.record(TraceEvent("compute", 1, 0.0, 9.0))
+        assert log.time_in("compute", 0) == 2.5
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record(TraceEvent("send", 0, 0.0, 1.0))
+        log.clear()
+        assert len(log) == 0
+
+    def test_iteration(self):
+        log = TraceLog()
+        log.record(TraceEvent("send", 0, 0.0, 1.0))
+        assert [e.kind for e in log] == ["send"]
+
+
+class TestTraceIntegration:
+    def test_spmd_trace_captures_traffic(self):
+        def fn(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, b"x" * 100, Tags.USER_BASE)
+            else:
+                ctx.recv(0, Tags.USER_BASE)
+            ctx.barrier()
+            ctx.compute(0.1)
+
+        res = run_spmd(uniform_cluster(2), fn, trace=True)
+        assert len(res.trace.events(kind="send")) == 1
+        assert len(res.trace.events(kind="recv")) == 1
+        assert len(res.trace.events(kind="barrier")) == 2
+        assert len(res.trace.events(kind="compute")) == 2
+        send = res.trace.events(kind="send")[0]
+        assert send.peer == 1 and send.nbytes == 116
+
+    def test_trace_disabled_by_default(self):
+        res = run_spmd(uniform_cluster(2), lambda ctx: ctx.compute(0.1))
+        assert len(res.trace) == 0

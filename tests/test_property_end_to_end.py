@@ -1,0 +1,103 @@
+"""End-to-end property tests: the full runtime against the oracle.
+
+Hypothesis drives the whole stack — random meshes, random heterogeneous
+clusters, random strategies and orderings, optional load traces — and the
+single invariant that matters holds every time: the parallel run computes
+exactly what the sequential Fig. 8 loop computes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import perturbed_grid_mesh
+from repro.net.cluster import heterogeneous_cluster
+from repro.net.loadmodel import ConstantLoad, StepLoad
+from repro.partition.ordering import IdentityOrdering, RandomOrdering
+from repro.partition.rcb import RCBOrdering
+from repro.partition.sfc import MortonOrdering
+from repro.runtime.controller import LoadBalanceConfig
+from repro.runtime.kernels import run_sequential
+from repro.runtime.program import ProgramConfig, run_program
+
+ORDERINGS = [
+    IdentityOrdering(),
+    RCBOrdering(),
+    MortonOrdering(),
+    RandomOrdering(seed=3),
+]
+
+
+@st.composite
+def scenario(draw):
+    side = draw(st.integers(5, 10))
+    mesh_seed = draw(st.integers(0, 50))
+    p = draw(st.integers(1, 4))
+    speeds = [draw(st.floats(0.3, 1.5)) for _ in range(p)]
+    iterations = draw(st.integers(1, 12))
+    strategy = draw(st.sampled_from(["sort1", "sort2", "simple"]))
+    ordering = draw(st.sampled_from(ORDERINGS))
+    lb = draw(st.booleans())
+    loaded_rank = draw(st.integers(0, p - 1)) if draw(st.booleans()) else None
+    return (side, mesh_seed, p, speeds, iterations, strategy, ordering, lb,
+            loaded_rank)
+
+
+class TestEndToEnd:
+    @given(scenario())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_parallel_equals_sequential(self, params):
+        (side, mesh_seed, p, speeds, iterations, strategy, ordering, lb,
+         loaded_rank) = params
+        graph = perturbed_grid_mesh(side, side, seed=mesh_seed).graph
+        cluster = heterogeneous_cluster(speeds)
+        if loaded_rank is not None:
+            cluster = cluster.with_load(loaded_rank, ConstantLoad(1.5))
+        y0 = np.random.default_rng(mesh_seed).uniform(0, 100, graph.num_vertices)
+        config = ProgramConfig(
+            iterations=iterations,
+            strategy=strategy,
+            ordering=ordering,
+            load_balance=LoadBalanceConfig(check_interval=4) if lb else None,
+        )
+        report = run_program(graph, cluster, config, y0=y0)
+        oracle = run_sequential(graph, y0, iterations)
+        np.testing.assert_allclose(report.values, oracle, atol=1e-9)
+        # Virtual time sanity: positive, bounded by a sequential run on the
+        # slowest machine plus generous overhead.
+        assert report.makespan > 0
+        slowest = min(speeds)
+        upper = (report.total_work_seconds / slowest) * (2.0 if loaded_rank is None else 4.0) + 1.0
+        assert report.makespan < upper
+
+    @given(
+        side=st.integers(5, 9),
+        seed=st.integers(0, 30),
+        p=st.integers(2, 4),
+        step_time=st.floats(0.001, 0.2),
+        load=st.floats(0.5, 4.0),
+    )
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_lb_never_corrupts_under_step_loads(self, side, seed, p,
+                                                step_time, load):
+        graph = perturbed_grid_mesh(side, side, seed=seed).graph
+        cluster = heterogeneous_cluster([1.0] * p).with_load(
+            seed % p, StepLoad([(0.0, 0.0), (step_time, load)])
+        )
+        y0 = np.linspace(0, 50, graph.num_vertices)
+        config = ProgramConfig(
+            iterations=20,
+            initial_capabilities="equal",
+            load_balance=LoadBalanceConfig(check_interval=5),
+        )
+        report = run_program(graph, cluster, config, y0=y0)
+        oracle = run_sequential(graph, y0, 20)
+        np.testing.assert_allclose(report.values, oracle, atol=1e-9)

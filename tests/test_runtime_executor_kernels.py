@@ -1,0 +1,267 @@
+"""Tests for executor gather/scatter and the Fig. 8 kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RankFailedError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_graph, perturbed_grid_mesh
+from repro.net.cluster import uniform_cluster
+from repro.net.spmd import run_spmd
+from repro.partition.intervals import partition_list
+from repro.partition.rcb import RCBOrdering
+from repro.runtime.executor import gather, scatter
+from repro.runtime.inspector import run_inspector
+from repro.runtime.kernels import (
+    KernelCostModel,
+    build_kernel_plan,
+    run_sequential,
+    sequential_kernel,
+    sequential_kernel_reference,
+)
+from repro.runtime.schedule_builders import build_schedule_sort1
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    g = perturbed_grid_mesh(10, 10, seed=2).graph
+    return g.permute(RCBOrdering()(g))
+
+
+class TestGatherScatter:
+    def test_gather_fetches_correct_values(self, mesh):
+        n = mesh.num_vertices
+        part = partition_list(n, np.ones(3))
+        y = np.arange(n, dtype=np.float64) * 2.0
+
+        def fn(ctx):
+            sched = build_schedule_sort1(mesh, part, ctx.rank)
+            lo, hi = part.interval(ctx.rank)
+            ghost = gather(ctx, sched, y[lo:hi])
+            np.testing.assert_array_equal(ghost, y[sched.ghost_globals])
+            return True
+
+        assert all(run_spmd(uniform_cluster(3), fn).values)
+
+    def test_gather_vector_payloads(self, mesh):
+        """Gather works for (n, k) per-element data, not just scalars."""
+        n = mesh.num_vertices
+        part = partition_list(n, np.ones(2))
+        y = np.random.default_rng(0).uniform(size=(n, 3))
+
+        def fn(ctx):
+            sched = build_schedule_sort1(mesh, part, ctx.rank)
+            lo, hi = part.interval(ctx.rank)
+            ghost = gather(ctx, sched, y[lo:hi])
+            np.testing.assert_array_equal(ghost, y[sched.ghost_globals])
+            return True
+
+        assert all(run_spmd(uniform_cluster(2), fn).values)
+
+    def test_gather_wrong_local_size(self, mesh):
+        part = partition_list(mesh.num_vertices, np.ones(2))
+
+        def fn(ctx):
+            sched = build_schedule_sort1(mesh, part, ctx.rank)
+            gather(ctx, sched, np.zeros(3))  # wrong size
+
+        with pytest.raises(RankFailedError):
+            run_spmd(uniform_cluster(2), fn)
+
+    def test_scatter_add_accumulates(self, mesh):
+        """scatter(op='add') after gather implements the symmetric
+        accumulate: each boundary element receives the sum of the ghost
+        contributions of every rank that references it."""
+        n = mesh.num_vertices
+        part = partition_list(n, np.ones(3))
+
+        def fn(ctx):
+            sched = build_schedule_sort1(mesh, part, ctx.rank)
+            lo, hi = part.interval(ctx.rank)
+            local = np.zeros(hi - lo)
+            ghost = np.ones(sched.ghost_size)  # contribute 1 per reference
+            scatter(ctx, sched, ghost, local, op="add")
+            return lo, local
+
+        res = run_spmd(uniform_cluster(3), fn)
+        total = np.zeros(n)
+        for lo, local in res.values:
+            total[lo : lo + local.size] = local
+        # Element g receives one contribution per *rank* that references it.
+        expected = np.zeros(n)
+        for r in range(3):
+            sched = build_schedule_sort1(mesh, part, r)
+            expected[sched.ghost_globals] += 1.0
+        np.testing.assert_array_equal(total, expected)
+
+    def test_scatter_replace(self, mesh):
+        n = mesh.num_vertices
+        part = partition_list(n, np.ones(2))
+
+        def fn(ctx):
+            sched = build_schedule_sort1(mesh, part, ctx.rank)
+            lo, hi = part.interval(ctx.rank)
+            local = np.full(hi - lo, -1.0)
+            ghost = sched.ghost_globals.astype(np.float64)
+            scatter(ctx, sched, ghost, local, op="replace")
+            return lo, local
+
+        res = run_spmd(uniform_cluster(2), fn)
+        for lo, local in res.values:
+            touched = local >= 0
+            gi = np.flatnonzero(touched) + lo
+            np.testing.assert_array_equal(local[touched], gi.astype(float))
+
+    def test_scatter_bad_op(self, mesh):
+        part = partition_list(mesh.num_vertices, np.ones(2))
+
+        def fn(ctx):
+            sched = build_schedule_sort1(mesh, part, ctx.rank)
+            lo, hi = part.interval(ctx.rank)
+            scatter(ctx, sched, np.zeros(sched.ghost_size), np.zeros(hi - lo),
+                    op="bogus")
+
+        with pytest.raises(RankFailedError):
+            run_spmd(uniform_cluster(2), fn)
+
+    def test_scatter_callable_op(self, mesh):
+        part = partition_list(mesh.num_vertices, np.ones(2))
+
+        def fn(ctx):
+            sched = build_schedule_sort1(mesh, part, ctx.rank)
+            lo, hi = part.interval(ctx.rank)
+            local = np.zeros(hi - lo)
+            seen = []
+
+            def op(arr, idx, vals):
+                seen.append(idx.size)
+                np.maximum.at(arr, idx, vals)
+
+            scatter(ctx, sched, np.ones(sched.ghost_size), local, op=op)
+            return sum(seen) > 0
+
+        assert all(run_spmd(uniform_cluster(2), fn).values)
+
+
+class TestSequentialKernel:
+    def test_matches_literal_reference(self):
+        g = perturbed_grid_mesh(6, 6, seed=1).graph
+        y = np.random.default_rng(0).uniform(size=g.num_vertices)
+        np.testing.assert_allclose(
+            sequential_kernel(g, y), sequential_kernel_reference(g, y),
+            rtol=1e-12,
+        )
+
+    def test_isolated_vertex_keeps_value(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        y = np.array([1.0, 3.0, 7.0])
+        out = sequential_kernel(g, y)
+        assert out[2] == 7.0
+        assert out[0] == 3.0 and out[1] == 1.0
+
+    def test_constant_fixed_point(self):
+        g = grid_graph(5, 5)
+        y = np.full(25, 4.2)
+        np.testing.assert_allclose(sequential_kernel(g, y), y)
+
+    def test_smooths_toward_mean(self):
+        g = grid_graph(10, 10)
+        rng = np.random.default_rng(1)
+        y = rng.uniform(0, 100, 100)
+        out = run_sequential(g, y, 50)
+        assert out.std() < y.std() / 2
+
+    def test_shape_validation(self):
+        g = grid_graph(2, 2)
+        with pytest.raises(Exception):
+            sequential_kernel(g, np.zeros(5))
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_vectorized_equals_reference_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 25))
+        m = int(rng.integers(0, n * 2))
+        edges = rng.integers(0, n, size=(m, 2))
+        g = CSRGraph.from_edges(n, edges)
+        y = rng.uniform(-10, 10, n)
+        np.testing.assert_allclose(
+            sequential_kernel(g, y),
+            sequential_kernel_reference(g, y),
+            rtol=1e-12, atol=1e-12,
+        )
+
+
+class TestKernelPlan:
+    def test_plan_sweep_matches_global(self, mesh):
+        n = mesh.num_vertices
+        part = partition_list(n, [0.5, 0.3, 0.2])
+        y = np.random.default_rng(3).uniform(size=n)
+        expected = sequential_kernel(mesh, y)
+
+        def fn(ctx):
+            insp = run_inspector(mesh, part, ctx.rank, strategy="sort2")
+            lo, hi = part.interval(ctx.rank)
+            ghost = gather(ctx, insp.schedule, y[lo:hi])
+            out = insp.kernel_plan.sweep(y[lo:hi], ghost)
+            np.testing.assert_allclose(out, expected[lo:hi], rtol=1e-12)
+            return True
+
+        assert all(run_spmd(uniform_cluster(3), fn).values)
+
+    def test_plan_sweep_matches_its_reference(self, mesh):
+        part = partition_list(mesh.num_vertices, np.ones(2))
+        sched = build_schedule_sort1(mesh, part, 0)
+        plan = build_kernel_plan(mesh, part, sched)
+        lo, hi = part.interval(0)
+        rng = np.random.default_rng(4)
+        local = rng.uniform(size=hi - lo)
+        ghost = rng.uniform(size=plan.slots.max() - (hi - lo) + 1
+                            if plan.slots.max() >= hi - lo else 0)
+        ghost = rng.uniform(size=sched.ghost_size)
+        np.testing.assert_allclose(
+            plan.sweep(local, ghost),
+            plan.sweep_reference(local, ghost),
+            rtol=1e-12,
+        )
+
+    def test_plan_covers_all_local_degrees(self, mesh):
+        part = partition_list(mesh.num_vertices, np.ones(4))
+        for r in range(4):
+            sched = build_schedule_sort1(mesh, part, r)
+            plan = build_kernel_plan(mesh, part, sched)
+            lo, hi = part.interval(r)
+            np.testing.assert_array_equal(plan.counts, mesh.degrees[lo:hi])
+            assert plan.n_references == int(mesh.degrees[lo:hi].sum())
+
+    def test_plan_with_request_order_ghosts(self, mesh):
+        """Kernel plans work with the simple strategy's unsorted ghosts."""
+        from repro.runtime.schedule_builders import build_schedule_simple
+
+        n = mesh.num_vertices
+        part = partition_list(n, np.ones(2))
+        y = np.random.default_rng(5).uniform(size=n)
+        expected = sequential_kernel(mesh, y)
+
+        def fn(ctx):
+            sched = build_schedule_simple(mesh, part, ctx=ctx)
+            plan = build_kernel_plan(mesh, part, sched)
+            lo, hi = part.interval(ctx.rank)
+            ghost = gather(ctx, sched, y[lo:hi])
+            np.testing.assert_allclose(
+                plan.sweep(y[lo:hi], ghost), expected[lo:hi], rtol=1e-12
+            )
+            return True
+
+        assert all(run_spmd(uniform_cluster(2), fn).values)
+
+    def test_cost_model_calibration(self):
+        """Default constants put the paper's workload near Table 4's
+        97.61 s / 500 iterations on a speed-1.0 machine."""
+        kc = KernelCostModel()
+        per_iter = kc.sweep_seconds(2 * 44_929, 30_269)
+        assert 500 * per_iter == pytest.approx(97.61, rel=0.2)

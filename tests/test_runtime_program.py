@@ -1,0 +1,255 @@
+"""Integration tests: the full four-phase program against the oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import paper_mesh, perturbed_grid_mesh
+from repro.net.cluster import (
+    adaptive_cluster,
+    sun4_cluster,
+    uniform_cluster,
+)
+from repro.net.loadmodel import ConstantLoad, StepLoad
+from repro.partition.ordering import IdentityOrdering, RandomOrdering
+from repro.partition.sfc import HilbertOrdering
+from repro.partition.spectral import SpectralOrdering
+from repro.runtime.controller import LoadBalanceConfig
+from repro.runtime.kernels import run_sequential
+from repro.runtime.program import ProgramConfig, run_program
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = paper_mesh(800, seed=21)
+    y0 = np.random.default_rng(0).uniform(0, 100, g.num_vertices)
+    return g, y0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", ["sort1", "sort2", "simple"])
+    def test_matches_oracle_all_strategies(self, workload, strategy):
+        g, y0 = workload
+        oracle = run_sequential(g, y0, 12)
+        rep = run_program(
+            g, sun4_cluster(3), ProgramConfig(iterations=12, strategy=strategy),
+            y0=y0,
+        )
+        np.testing.assert_allclose(rep.values, oracle, atol=1e-9)
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 5])
+    def test_matches_oracle_all_cluster_sizes(self, workload, p):
+        g, y0 = workload
+        oracle = run_sequential(g, y0, 10)
+        rep = run_program(
+            g, sun4_cluster(p), ProgramConfig(iterations=10), y0=y0
+        )
+        np.testing.assert_allclose(rep.values, oracle, atol=1e-9)
+
+    @pytest.mark.parametrize(
+        "ordering",
+        [IdentityOrdering(), RandomOrdering(seed=4), HilbertOrdering(),
+         SpectralOrdering(leaf_size=64)],
+        ids=lambda o: o.name,
+    )
+    def test_matches_oracle_any_ordering(self, workload, ordering):
+        g, y0 = workload
+        oracle = run_sequential(g, y0, 8)
+        rep = run_program(
+            g, uniform_cluster(3),
+            ProgramConfig(iterations=8, ordering=ordering), y0=y0,
+        )
+        np.testing.assert_allclose(rep.values, oracle, atol=1e-9)
+
+    def test_matches_oracle_with_load_balancing(self, workload):
+        g, y0 = workload
+        oracle = run_sequential(g, y0, 30)
+        cl = adaptive_cluster(3, loaded_rank=0, competing_load=2.0)
+        rep = run_program(
+            g, cl,
+            ProgramConfig(
+                iterations=30,
+                initial_capabilities="equal",
+                load_balance=LoadBalanceConfig(check_interval=10),
+            ),
+            y0=y0,
+        )
+        np.testing.assert_allclose(rep.values, oracle, atol=1e-9)
+
+    def test_default_y0(self, workload):
+        g, _ = workload
+        rep = run_program(g, uniform_cluster(2), ProgramConfig(iterations=3))
+        oracle = run_sequential(g, np.arange(g.num_vertices, dtype=float), 3)
+        np.testing.assert_allclose(rep.values, oracle, atol=1e-9)
+
+
+class TestPerformanceShape:
+    def test_more_machines_faster(self):
+        # Needs a compute-dominated workload; at tiny sizes communication
+        # overheads legitimately flatten the curve.
+        g = paper_mesh(3000, seed=23)
+        y0 = np.random.default_rng(1).uniform(0, 100, g.num_vertices)
+        times = []
+        for p in (1, 2, 4):
+            rep = run_program(
+                g, uniform_cluster(p), ProgramConfig(iterations=10), y0=y0
+            )
+            times.append(rep.makespan)
+        assert times[0] > times[1] > times[2]
+
+    def test_speed_proportional_split(self, workload):
+        g, y0 = workload
+        rep = run_program(
+            g, sun4_cluster(4), ProgramConfig(iterations=5), y0=y0
+        )
+        sizes = rep.partition_final.sizes().astype(float)
+        speeds = sun4_cluster(4).speeds
+        shares = sizes / sizes.sum()
+        fair = speeds / speeds.sum()
+        np.testing.assert_allclose(shares, fair, atol=0.01)
+
+    def test_loaded_machine_slows_without_lb(self, workload):
+        g, y0 = workload
+        base = run_program(
+            g, uniform_cluster(3),
+            ProgramConfig(iterations=15, initial_capabilities="equal"), y0=y0,
+        )
+        loaded = run_program(
+            g, uniform_cluster(3).with_load(0, ConstantLoad(2.0)),
+            ProgramConfig(iterations=15, initial_capabilities="equal"), y0=y0,
+        )
+        assert loaded.makespan > base.makespan * 1.5
+
+    def test_lb_improves_adaptive_run(self, workload):
+        g, y0 = workload
+        cl = adaptive_cluster(4, loaded_rank=0, competing_load=2.0)
+        cfg = dict(iterations=40, initial_capabilities="equal")
+        no_lb = run_program(g, cl, ProgramConfig(**cfg), y0=y0)
+        lb = run_program(
+            g, cl,
+            ProgramConfig(**cfg, load_balance=LoadBalanceConfig(check_interval=10)),
+            y0=y0,
+        )
+        assert lb.makespan < no_lb.makespan
+        assert lb.num_remaps >= 1
+        assert lb.lb_check_time > 0.0
+        assert lb.remap_time > 0.0
+
+    def test_check_cost_much_smaller_than_remap(self, workload):
+        """Table 5's shape: per-check cost is an order of magnitude below
+        the remap cost."""
+        g, y0 = workload
+        cl = adaptive_cluster(4, loaded_rank=0, competing_load=2.0)
+        rep = run_program(
+            g, cl,
+            ProgramConfig(
+                iterations=40,
+                initial_capabilities="equal",
+                load_balance=LoadBalanceConfig(check_interval=10),
+            ),
+            y0=y0,
+        )
+        stats = rep.rank_stats[0]
+        per_check = rep.lb_check_time / max(stats.num_checks, 1)
+        per_remap = rep.remap_time / max(stats.num_remaps, 1)
+        assert per_check < per_remap
+
+    def test_stable_environment_no_remap(self, workload):
+        g, y0 = workload
+        rep = run_program(
+            g, uniform_cluster(3),
+            ProgramConfig(
+                iterations=30,
+                load_balance=LoadBalanceConfig(check_interval=10),
+            ),
+            y0=y0,
+        )
+        assert rep.num_remaps == 0
+
+    def test_load_appearing_mid_run_triggers_remap(self, workload):
+        g, y0 = workload
+        cl = uniform_cluster(3).with_load(1, StepLoad([(0, 0.0), (0.05, 3.0)]))
+        rep = run_program(
+            g, cl,
+            ProgramConfig(
+                iterations=60,
+                load_balance=LoadBalanceConfig(check_interval=10),
+            ),
+            y0=y0,
+        )
+        assert rep.num_remaps >= 1
+        oracle = run_sequential(g, y0, 60)
+        np.testing.assert_allclose(rep.values, oracle, atol=1e-9)
+
+
+class TestReportContents:
+    def test_rank_stats_complete(self, workload):
+        g, y0 = workload
+        rep = run_program(g, sun4_cluster(3), ProgramConfig(iterations=5), y0=y0)
+        assert len(rep.rank_stats) == 3
+        for s in rep.rank_stats:
+            assert s.compute_time > 0
+            assert s.inspector_time > 0
+            assert s.final_clock > 0
+        assert sum(s.n_local_final for s in rep.rank_stats) == g.num_vertices
+
+    def test_trace_captured_when_enabled(self, workload):
+        g, y0 = workload
+        rep = run_program(
+            g, uniform_cluster(2), ProgramConfig(iterations=3, trace=True), y0=y0
+        )
+        assert rep.trace is not None
+        assert len(rep.trace.events(kind="send")) > 0
+
+    def test_total_work_accounting(self, workload):
+        g, y0 = workload
+        cfg = ProgramConfig(iterations=7)
+        rep = run_program(g, uniform_cluster(1), cfg, y0=y0)
+        assert rep.total_work_seconds == pytest.approx(
+            7 * rep.work_per_iteration
+        )
+
+    def test_makespan_is_max_clock(self, workload):
+        g, y0 = workload
+        rep = run_program(g, sun4_cluster(3), ProgramConfig(iterations=4), y0=y0)
+        assert rep.makespan == max(rep.clocks)
+
+
+class TestConfigValidation:
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ConfigurationError):
+            ProgramConfig(iterations=0)
+
+    def test_rejects_bad_capability_string(self, workload):
+        g, _ = workload
+        with pytest.raises(ConfigurationError):
+            run_program(
+                g, uniform_cluster(2),
+                ProgramConfig(iterations=1, initial_capabilities="bogus"),
+            )
+
+    def test_rejects_wrong_capability_length(self, workload):
+        g, _ = workload
+        with pytest.raises(ConfigurationError):
+            run_program(
+                g, uniform_cluster(2),
+                ProgramConfig(iterations=1, initial_capabilities=[1.0, 1.0, 1.0]),
+            )
+
+    def test_rejects_wrong_y0_shape(self, workload):
+        g, _ = workload
+        with pytest.raises(ConfigurationError):
+            run_program(g, uniform_cluster(2), ProgramConfig(iterations=1),
+                        y0=np.zeros(3))
+
+    def test_explicit_capability_vector(self, workload):
+        g, y0 = workload
+        rep = run_program(
+            g, uniform_cluster(2),
+            ProgramConfig(iterations=3, initial_capabilities=[3.0, 1.0]),
+            y0=y0,
+        )
+        sizes = rep.partition_final.sizes()
+        assert sizes[0] > 2.5 * sizes[1]

@@ -1,0 +1,175 @@
+"""Tests for data redistribution and remap-cost estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RankFailedError, RedistributionError
+from repro.net.cluster import uniform_cluster
+from repro.net.network import ETHERNET_10MBIT, PointToPointNetwork, SwitchedNetwork
+from repro.net.spmd import run_spmd
+from repro.partition.arrangement import (
+    message_count,
+    minimize_cost_redistribution,
+    transfer_matrix,
+)
+from repro.partition.intervals import partition_list
+from repro.runtime.redistribution import estimate_remap_cost, redistribute
+
+
+def do_redistribute(n, old_caps, new_caps, p, old_arr=None, new_arr=None):
+    old = partition_list(n, old_caps, old_arr)
+    new = partition_list(n, new_caps, new_arr)
+    base = np.arange(n, dtype=np.float64) * 3.0
+
+    def fn(ctx):
+        lo, hi = old.interval(ctx.rank)
+        out = redistribute(ctx, old, new, base[lo:hi].copy())
+        nlo, nhi = new.interval(ctx.rank)
+        np.testing.assert_array_equal(out, base[nlo:nhi])
+        return out.size
+
+    res = run_spmd(uniform_cluster(p), fn, trace=True)
+    return res, old, new
+
+
+class TestRedistribute:
+    def test_data_lands_at_new_homes(self):
+        res, old, new = do_redistribute(
+            100, [0.27, 0.18, 0.34, 0.07, 0.14],
+            [0.10, 0.13, 0.29, 0.24, 0.24], 5,
+        )
+        assert sum(res.values) == 100
+
+    def test_with_mcr_arrangement(self):
+        old_caps = [0.27, 0.18, 0.34, 0.07, 0.14]
+        new_caps = [0.10, 0.13, 0.29, 0.24, 0.24]
+        arr = minimize_cost_redistribution(np.arange(5), old_caps, new_caps, 100)
+        do_redistribute(100, old_caps, new_caps, 5, new_arr=arr)
+
+    def test_identity_moves_nothing(self):
+        res, old, new = do_redistribute(60, np.ones(3), np.ones(3), 3)
+        assert res.trace.message_count() == 0
+
+    def test_message_count_matches_plan(self):
+        res, old, new = do_redistribute(
+            100, [0.27, 0.18, 0.34, 0.07, 0.14],
+            [0.10, 0.13, 0.29, 0.24, 0.24], 5,
+        )
+        assert res.trace.message_count() == message_count(old, new)
+
+    def test_vector_payload(self):
+        old = partition_list(30, [1, 1, 1])
+        new = partition_list(30, [3, 2, 1])
+        base = np.random.default_rng(0).uniform(size=(30, 2))
+
+        def fn(ctx):
+            lo, hi = old.interval(ctx.rank)
+            out = redistribute(ctx, old, new, base[lo:hi].copy())
+            nlo, nhi = new.interval(ctx.rank)
+            np.testing.assert_array_equal(out, base[nlo:nhi])
+            return True
+
+        assert all(run_spmd(uniform_cluster(3), fn).values)
+
+    def test_rejects_wrong_local_size(self):
+        old = partition_list(10, [1, 1])
+        new = partition_list(10, [3, 1])
+
+        def fn(ctx):
+            redistribute(ctx, old, new, np.zeros(2))
+
+        with pytest.raises(RankFailedError):
+            run_spmd(uniform_cluster(2), fn)
+
+    def test_empty_new_block(self):
+        res, old, new = do_redistribute(10, [1.0, 1.0], [1.0, 0.0], 2)
+        assert res.values == [10, 0]
+
+    @given(
+        seed=st.integers(0, 40),
+        n=st.integers(4, 300),
+        p=st.integers(2, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_redistribution_preserves_data(self, seed, n, p):
+        rng = np.random.default_rng(seed)
+        old_caps = rng.dirichlet(np.ones(p)) + 0.05
+        new_caps = rng.dirichlet(np.ones(p)) + 0.05
+        new_arr = rng.permutation(p)
+        old = partition_list(n, old_caps)
+        new = partition_list(n, new_caps, new_arr)
+        base = rng.uniform(size=n)
+
+        def fn(ctx):
+            lo, hi = old.interval(ctx.rank)
+            out = redistribute(ctx, old, new, base[lo:hi].copy())
+            nlo, nhi = new.interval(ctx.rank)
+            np.testing.assert_array_equal(out, base[nlo:nhi])
+            return True
+
+        assert all(run_spmd(uniform_cluster(p), fn).values)
+
+
+class TestEstimateRemapCost:
+    def test_zero_when_identical(self):
+        part = partition_list(100, np.ones(4))
+        assert estimate_remap_cost(ETHERNET_10MBIT(), part, part, 8) == 0.0
+
+    def test_scales_with_moved_volume(self):
+        old = partition_list(10_000, [1, 1])
+        small = partition_list(10_000, [1.1, 1.0])
+        big = partition_list(10_000, [4.0, 1.0])
+        net = ETHERNET_10MBIT()
+        assert estimate_remap_cost(net, old, big, 8) > estimate_remap_cost(
+            net, old, small, 8
+        )
+
+    def test_scales_with_element_size(self):
+        old = partition_list(1000, [1, 1])
+        new = partition_list(1000, [2, 1])
+        net = ETHERNET_10MBIT()
+        assert estimate_remap_cost(net, old, new, 64) > estimate_remap_cost(
+            net, old, new, 8
+        )
+
+    def test_switched_overlaps_transfers(self):
+        old = partition_list(100_000, [1, 1, 1, 1])
+        new = partition_list(100_000, [4, 3, 2, 1])
+        eth_cost = estimate_remap_cost(ETHERNET_10MBIT(), old, new, 8)
+        atm_cost = estimate_remap_cost(SwitchedNetwork(), old, new, 8)
+        assert atm_cost < eth_cost
+
+    def test_shared_medium_flag_override(self):
+        old = partition_list(50_000, [1, 1, 1])
+        new = partition_list(50_000, [3, 2, 1])
+        net = PointToPointNetwork()
+        serial = estimate_remap_cost(net, old, new, 8, shared_medium=True)
+        parallel = estimate_remap_cost(net, old, new, 8, shared_medium=False)
+        assert serial >= parallel
+
+    def test_rejects_bad_element_size(self):
+        part = partition_list(10, [1, 1])
+        with pytest.raises(RedistributionError):
+            estimate_remap_cost(ETHERNET_10MBIT(), part, part, 0)
+
+    def test_estimate_tracks_actual(self):
+        """The analytic estimate is within 2x of the simulated cost."""
+        old = partition_list(20_000, [1, 1, 1, 1])
+        new = partition_list(20_000, [0.4, 0.3, 0.2, 0.1])
+        est = estimate_remap_cost(PointToPointNetwork(), old, new, 8)
+        base = np.zeros(20_000)
+
+        def fn(ctx):
+            lo, hi = old.interval(ctx.rank)
+            t0 = ctx.clock
+            redistribute(ctx, old, new, base[lo:hi].copy())
+            ctx.barrier()
+            return ctx.clock - t0
+
+        res = run_spmd(uniform_cluster(4), fn)
+        actual = max(res.values)
+        assert est == pytest.approx(actual, rel=1.0)
