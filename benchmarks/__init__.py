@@ -1,1 +1,4 @@
-"""Benchmark harness: one module per paper table/figure (see DESIGN.md)."""
+"""Benchmark suite: one module per paper table/figure (see docs/benchmarks.md).
+
+The measurement logic is shared with the registry-driven harness in
+:mod:`repro.experiments`; these modules add pytest shape assertions."""

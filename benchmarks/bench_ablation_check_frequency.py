@@ -4,33 +4,24 @@ The paper sets the check every 10 iterations and explicitly leaves
 frequency selection "outside the scope of this paper" while noting the
 trade-off: frequent checks catch adaptation early but add overhead.  This
 bench sweeps the interval on the Table-5 environment.
+
+Registered as experiment ``ablation_check_frequency`` in
+:mod:`repro.experiments.catalog`; this module keeps the pytest assertions.
 """
 
 from __future__ import annotations
 
-import math
-
-import pytest
-
 from benchmarks.common import emit_table
-from repro.apps.workloads import adaptive_testbed
-from repro.runtime.controller import LoadBalanceConfig
-from repro.runtime.program import ProgramConfig, run_program
+from repro.experiments.catalog import adaptive_run
 
 INTERVALS = (5, 10, 20, 40)
 
 
 def run_with_interval(workload, interval: int | None):
-    cfg = ProgramConfig(
-        iterations=workload.iterations,
-        initial_capabilities="equal",
-        load_balance=(
-            LoadBalanceConfig(check_interval=interval) if interval else None
-        ),
-    )
-    return run_program(
-        workload.graph, adaptive_testbed(4, competing_load=2.0), cfg,
-        y0=workload.y0,
+    return adaptive_run(
+        workload.graph, workload.y0, workload.iterations, 4,
+        lb=interval is not None,
+        check_interval=interval if interval else 10,
     )
 
 
@@ -74,3 +65,11 @@ def test_check_frequency_report(benchmark, workload):
     # Earlier detection (interval 5) is at least as good as very late
     # detection (interval = 2/3 of the run).
     assert results[5].makespan <= results[40].makespan * 1.05
+
+
+if __name__ == "__main__":  # thin shim: run through the unified harness
+    import sys
+
+    from repro.cli import main
+
+    sys.exit(main(["bench", "run", "ablation_check_frequency"] + sys.argv[1:]))

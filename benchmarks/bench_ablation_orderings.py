@@ -5,6 +5,10 @@ Sec. 3.1 lists RCB, inertial bisection, spectral methods, and index-based
 ways on the paper workload: (a) the edge-cut curve of contiguous splits,
 and (b) the end-to-end virtual makespan of a short program run — showing
 the ordering's cut quality actually propagates to runtime.
+
+Registered as experiment ``ablation_orderings`` in
+:mod:`repro.experiments.catalog`; the method set here comes from the same
+:func:`~repro.experiments.catalog.ordering_by_name` factory.
 """
 
 from __future__ import annotations
@@ -12,23 +16,12 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.common import emit_table
+from repro.experiments.catalog import ORDERING_NAMES, ordering_by_name
 from repro.graph.metrics import cut_curve, mean_edge_span
 from repro.net.cluster import sun4_cluster
-from repro.partition.inertial import InertialOrdering
-from repro.partition.ordering import RandomOrdering
-from repro.partition.rcb import RCBOrdering
-from repro.partition.sfc import HilbertOrdering, MortonOrdering
-from repro.partition.spectral import SpectralOrdering
 from repro.runtime.program import ProgramConfig, run_program
 
-METHODS = [
-    RCBOrdering(),
-    InertialOrdering(),
-    SpectralOrdering(leaf_size=128),
-    HilbertOrdering(),
-    MortonOrdering(),
-    RandomOrdering(seed=0),
-]
+METHODS = [ordering_by_name(name, seed=0) for name in ORDERING_NAMES]
 PART_COUNTS = (4, 16)
 RUN_ITERATIONS = 10
 
@@ -83,3 +76,11 @@ def test_ordering_ablation_report(benchmark, workload):
         assert curve[16] < rand[1][16] / 2
         # Cut quality propagates to end-to-end time.
         assert makespan < rand[2]
+
+
+if __name__ == "__main__":  # thin shim: run through the unified harness
+    import sys
+
+    from repro.cli import main
+
+    sys.exit(main(["bench", "run", "ablation_orderings"] + sys.argv[1:]))

@@ -4,44 +4,27 @@ Paper (SUN4, C): p=3 -> 0.00033 s, p=5 -> 0.00049 s, p=10 -> 0.0025 s,
 p=15 -> 0.0074 s, p=20 -> 0.017 s.  Shape to preserve: superlinear (~p^3)
 growth that stays far below the remap cost itself.  Absolute numbers are
 host-dependent (ours is Python on modern hardware).
+
+Measurement logic lives in :mod:`repro.experiments.catalog` (experiment
+``table1``); this module keeps the pytest shape assertions.
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
 import pytest
 
 from benchmarks.common import emit_table
-from repro.apps.workloads import random_capabilities
+from repro.experiments.catalog import mcr_instance, time_mcr
 from repro.partition.arrangement import minimize_cost_redistribution
 
 PROCESSOR_COUNTS = (3, 5, 10, 15, 20)
 PAPER_TIMES = {3: 0.00033, 5: 0.00049, 10: 0.0025, 15: 0.0074, 20: 0.017}
 
 
-def _mcr_instance(p: int, seed: int = 0):
-    rng = np.random.default_rng(seed)
-    old = random_capabilities(p, rng)
-    new = random_capabilities(p, rng)
-    return np.arange(p), old, new
-
-
-def _time_mcr(p: int, repeats: int = 3) -> float:
-    arr, old, new = _mcr_instance(p)
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        minimize_cost_redistribution(arr, old, new, 10_000)
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
 @pytest.mark.parametrize("p", PROCESSOR_COUNTS)
 def test_mcr_time(benchmark, p):
     """pytest-benchmark timing of one MCR call per processor count."""
-    arr, old, new = _mcr_instance(p)
+    arr, old, new = mcr_instance(p)
     result = benchmark(minimize_cost_redistribution, arr, old, new, 10_000)
     assert sorted(result.tolist()) == list(range(p))
 
@@ -49,7 +32,7 @@ def test_mcr_time(benchmark, p):
 def test_table1_report(benchmark):
     """Regenerate Table 1's rows and check the growth shape."""
     times = benchmark.pedantic(
-        lambda: {p: _time_mcr(p) for p in PROCESSOR_COUNTS},
+        lambda: {p: time_mcr(p) for p in PROCESSOR_COUNTS},
         rounds=1, iterations=1,
     )
     rows = [
@@ -71,3 +54,11 @@ def test_table1_report(benchmark):
     assert vals[-1] / vals[0] > 10.0
     # And MCR remains "small": well under a second even at p=20 reduced scale.
     assert vals[-1] < 2.0
+
+
+if __name__ == "__main__":  # thin shim: run through the unified harness
+    import sys
+
+    from repro.cli import main
+
+    sys.exit(main(["bench", "run", "table1"] + sys.argv[1:]))

@@ -11,6 +11,9 @@ Paper (floats, 100 random samples, SUN4 + Ethernet + P4):
 
 Shape to preserve: MCR lowers the average remap cost at every size, the
 advantage grows with processor count, and total remap time stays small.
+
+Measurement logic lives in :mod:`repro.experiments.catalog` (experiment
+``table2``); this module keeps the pytest shape assertions.
 """
 
 from __future__ import annotations
@@ -19,50 +22,17 @@ import numpy as np
 import pytest
 
 from benchmarks.common import emit_table
-from repro.apps.workloads import full_scale, random_capabilities
-from repro.net.cluster import sun4_cluster
-from repro.net.spmd import run_spmd
-from repro.partition.arrangement import (
-    RedistributionCostModel,
-    minimize_cost_redistribution,
-)
-from repro.partition.intervals import partition_list
-from repro.runtime.redistribution import redistribute
+from repro.apps.workloads import full_scale
+from repro.experiments.catalog import average_remap_costs
 
 DATA_SIZES = (512, 2048, 16_384, 131_072) + ((1_048_576,) if full_scale() else ())
 WS_SETS = (3, 4, 5)
 N_SAMPLES = 100 if full_scale() else 8
 
 
-def _measure_remap(n: int, p: int, old_caps, new_caps, arrangement) -> float:
-    """Virtual makespan of one redistribution on the SUN4 Ethernet testbed."""
-    cluster = sun4_cluster(p)
-    old = partition_list(n, old_caps)
-    new = partition_list(n, new_caps, arrangement)
-    data = np.zeros(n, dtype=np.float64)
-
-    def fn(ctx):
-        lo, hi = old.interval(ctx.rank)
-        redistribute(ctx, old, new, data[lo:hi])
-        ctx.barrier()
-
-    return run_spmd(cluster, fn).makespan
-
-
 def average_costs(n: int, p: int, rng: np.random.Generator) -> tuple[float, float]:
     """(with MCR, without MCR) average remap cost over random samples."""
-    net = sun4_cluster(p).make_network()
-    cost_model = RedistributionCostModel.from_network(net, 8)
-    with_mcr = without = 0.0
-    for s in range(N_SAMPLES):
-        old_caps = random_capabilities(p, rng)
-        new_caps = random_capabilities(p, rng)
-        arr = minimize_cost_redistribution(
-            np.arange(p), old_caps, new_caps, n, cost_model=cost_model
-        )
-        with_mcr += _measure_remap(n, p, old_caps, new_caps, arr)
-        without += _measure_remap(n, p, old_caps, new_caps, np.arange(p))
-    return with_mcr / N_SAMPLES, without / N_SAMPLES
+    return average_remap_costs(n, p, rng, samples=N_SAMPLES)
 
 
 @pytest.mark.parametrize("p", WS_SETS)
@@ -112,3 +82,11 @@ def test_table2_report(benchmark, rng):
     for p in WS_SETS:
         series = [results[(n, p)][0] for n in DATA_SIZES]
         assert series[-1] > series[0]
+
+
+if __name__ == "__main__":  # thin shim: run through the unified harness
+    import sys
+
+    from repro.cli import main
+
+    sys.exit(main(["bench", "run", "table2"] + sys.argv[1:]))

@@ -11,16 +11,18 @@ Shapes to preserve: the sorting strategies get *cheaper* as processors are
 added (per-rank data shrinks) while the simple strategy gets *worse*
 (message setups grow), with sort2 <= sort1 throughout and a crossover in
 between.
+
+Measurement logic lives in :mod:`repro.experiments.catalog` (experiment
+``table3``); this module keeps the pytest shape assertions.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.common import emit_table
+from repro.experiments.catalog import schedule_build_time as build_time
 from repro.net.cluster import sun4_cluster
-from repro.net.spmd import run_spmd
 from repro.partition.intervals import partition_list
 from repro.partition.rcb import RCBOrdering
 from repro.runtime.inspector import run_inspector
@@ -32,22 +34,6 @@ PAPER = {
     "sort2": (0.236, 0.169, 0.130, 0.125),
     "simple": (0.2, 0.188, 0.176, 0.290),
 }
-
-
-def build_time(graph, p: int, strategy: str) -> float:
-    """Max per-rank virtual time to build the schedule on the SUN4 pool."""
-    cluster = sun4_cluster(p)
-    part = partition_list(graph.num_vertices, cluster.speeds)
-
-    def fn(ctx):
-        result = run_inspector(
-            graph, part, ctx.rank, strategy=strategy, ctx=ctx
-        )
-        ctx.barrier()
-        return result.build_time
-
-    res = run_spmd(cluster, fn)
-    return res.makespan
 
 
 @pytest.fixture(scope="module")
@@ -103,3 +89,11 @@ def test_table3_report(benchmark, ordered_graph):
     # Crossover: by 5 workstations the sorting strategies win.
     assert s2[-1] < sim[-1]
     assert s1[-1] < sim[-1]
+
+
+if __name__ == "__main__":  # thin shim: run through the unified harness
+    import sys
+
+    from repro.cli import main
+
+    sys.exit(main(["bench", "run", "table3"] + sys.argv[1:]))

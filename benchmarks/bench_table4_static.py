@@ -11,6 +11,9 @@ Paper (500 iterations of the Fig. 8 loop, 30,269-vertex mesh):
 
 Shapes to preserve: time decreases monotonically as (slower) workstations
 are added; the Sec. 4 nonuniform efficiency declines from 1 toward ~0.6.
+
+Measurement logic lives in :mod:`repro.experiments.catalog` (experiment
+``table4``); this module keeps the pytest shape assertions.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import numpy as np
 import pytest
 
 from benchmarks.common import emit_table
+from repro.experiments.catalog import single_machine_times, static_run
 from repro.net.cluster import sun4_cluster
 from repro.runtime.efficiency import nonuniform_efficiency
 from repro.runtime.kernels import run_sequential
@@ -27,15 +31,6 @@ from repro.runtime.program import ProgramConfig, run_program
 WS_SETS = (1, 2, 3, 4, 5)
 PAPER = {1: (97.61, 1.0), 2: (55.68, 0.88), 3: (42.27, 0.77),
          4: (34.06, 0.72), 5: (31.50, 0.62)}
-
-
-def run_static(workload, p: int):
-    return run_program(
-        workload.graph,
-        sun4_cluster(p),
-        ProgramConfig(iterations=workload.iterations),
-        y0=workload.y0,
-    )
 
 
 @pytest.mark.parametrize("p", (1, 3, 5))
@@ -52,14 +47,13 @@ def test_table4_report(benchmark, workload):
     def compute():
         # Measured single-machine times give the efficiency denominator,
         # exactly as the paper defines T(p_i).
-        singles = [
-            run_program(
-                workload.graph, sun4_cluster(5).subset([i]),
-                ProgramConfig(iterations=workload.iterations), y0=workload.y0,
-            ).makespan
-            for i in range(5)
-        ]
-        reports = {p: run_static(workload, p) for p in WS_SETS}
+        singles = single_machine_times(
+            workload.graph, workload.y0, workload.iterations, num_ws=5
+        )
+        reports = {
+            p: static_run(workload.graph, workload.y0, workload.iterations, p)
+            for p in WS_SETS
+        }
         return singles, reports
 
     singles, reports = benchmark.pedantic(compute, rounds=1, iterations=1)
@@ -88,9 +82,17 @@ def test_table4_report(benchmark, workload):
     assert all(effs[p + 1] < effs[p] + 1e-9 for p in range(1, 5))
     # Paper: E(5 ws) = 0.62.  At the reduced scale our efficiency lands in
     # the paper's band (~0.64); at REPRO_FULL scale the compute/comm ratio
-    # is larger, so the decline is gentler (~0.86) — see EXPERIMENTS.md.
+    # is larger, so the decline is gentler (~0.86) — see docs/benchmarks.md.
     assert 0.45 <= effs[5] <= 0.90
 
     # The parallel runs compute the right answer.
     oracle = run_sequential(workload.graph, workload.y0, workload.iterations)
     np.testing.assert_allclose(reports[5].values, oracle, atol=1e-9)
+
+
+if __name__ == "__main__":  # thin shim: run through the unified harness
+    import sys
+
+    from repro.cli import main
+
+    sys.exit(main(["bench", "run", "table4"] + sys.argv[1:]))

@@ -13,6 +13,9 @@ capability, check after 10 iterations, 500 iterations total):
 Shapes to preserve: load balancing roughly halves execution time; the remap
 (LB) cost is on the order of a few loop iterations; the check cost is an
 order of magnitude below the remap cost.
+
+Measurement logic lives in :mod:`repro.experiments.catalog` (experiment
+``table5``); this module keeps the pytest shape assertions.
 """
 
 from __future__ import annotations
@@ -21,10 +24,8 @@ import numpy as np
 import pytest
 
 from benchmarks.common import emit_table
-from repro.apps.workloads import adaptive_testbed
-from repro.runtime.controller import LoadBalanceConfig
+from repro.experiments.catalog import adaptive_run
 from repro.runtime.kernels import run_sequential
-from repro.runtime.program import ProgramConfig, run_program
 
 WS_SETS = (1, 2, 3, 4, 5)
 PAPER = {
@@ -38,13 +39,10 @@ COMPETING_LOAD = 2.0  # paper's 1-ws adaptive/static ratio implies ~2
 
 
 def run_adaptive(workload, p: int, *, lb: bool):
-    cfg = ProgramConfig(
-        iterations=workload.iterations,
-        initial_capabilities="equal",
-        load_balance=LoadBalanceConfig(check_interval=10) if lb else None,
+    return adaptive_run(
+        workload.graph, workload.y0, workload.iterations, p,
+        lb=lb, competing_load=COMPETING_LOAD, check_interval=10,
     )
-    cluster = adaptive_testbed(p, competing_load=COMPETING_LOAD)
-    return run_program(workload.graph, cluster, cfg, y0=workload.y0)
 
 
 @pytest.mark.parametrize("lb", [True, False], ids=["with-lb", "without-lb"])
@@ -114,3 +112,11 @@ def test_table5_report(benchmark, workload):
     # More workstations still help in the adaptive environment.
     lb_times = [results[p][0].makespan for p in WS_SETS]
     assert lb_times[0] > lb_times[1] > lb_times[2]
+
+
+if __name__ == "__main__":  # thin shim: run through the unified harness
+    import sys
+
+    from repro.cli import main
+
+    sys.exit(main(["bench", "run", "table5"] + sys.argv[1:]))

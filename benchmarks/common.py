@@ -1,9 +1,10 @@
 """Shared infrastructure for the benchmark harness.
 
 Every benchmark regenerates one table or figure of the paper's evaluation
-section (see DESIGN.md's per-experiment index).  Results are printed AND
-written to ``benchmarks/results/<name>.txt`` so they survive pytest's output
-capture; EXPERIMENTS.md records paper-vs-measured from these files.
+section (see docs/benchmarks.md's per-experiment index).  Results are
+printed AND written to ``benchmarks/results/<name>.txt`` so they survive
+pytest's output capture; machine-readable JSON artifacts come from the
+:mod:`repro.experiments` harness (``repro bench run <name>``).
 
 Scale: reduced by default (minutes for the whole harness); set
 ``REPRO_FULL=1`` for the paper's full 30,269-vertex mesh and 500 iterations.

@@ -2,7 +2,7 @@
 
 Centralizes experiment scaling: by default benches run a reduced mesh so the
 whole suite finishes in minutes; ``REPRO_FULL=1`` switches to the paper's
-full 30,269-vertex mesh and 500 iterations (DESIGN.md "scaled defaults").
+full 30,269-vertex mesh and 500 iterations (docs/benchmarks.md, "scale").
 """
 
 from __future__ import annotations

@@ -7,7 +7,10 @@ Commands mirror what a downstream user evaluating the runtime wants first:
   cluster, with optional adaptive load balancing, and report the paper's
   metrics (time, efficiency, LB costs);
 * ``orderings`` — compare 1-D locality transformations on a mesh;
-* ``mcr`` — run MinimizeCostRedistribution on given capability vectors.
+* ``mcr`` — run MinimizeCostRedistribution on given capability vectors;
+* ``bench`` — the unified experiment harness (:mod:`repro.experiments`):
+  ``list`` registered experiments, ``run`` one over its grid, ``sweep``
+  a scenario grid, and ``report`` a markdown diff of two JSON artifacts.
 """
 
 from __future__ import annotations
@@ -56,6 +59,40 @@ def build_parser() -> argparse.ArgumentParser:
     mcr.add_argument("--new", type=float, nargs="+", required=True,
                      help="new capability ratios")
     mcr.add_argument("--elements", type=int, default=100)
+
+    bench = sub.add_parser(
+        "bench", help="experiment harness: list, run, sweep, report"
+    )
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bsub.add_parser("list", help="list registered experiments")
+
+    brun = bsub.add_parser("run", help="run one experiment over its grid")
+    brun.add_argument("name", help="experiment name (see `repro bench list`)")
+    brun.add_argument("--quick", action="store_true",
+                      help="use the reduced smoke-scale grid")
+    brun.add_argument("--results-dir", default="results",
+                      help="artifact directory (default: results/)")
+    brun.add_argument("--set", dest="overrides", action="append", default=[],
+                      metavar="KEY=VALUE",
+                      help="force a parameter value on every configuration")
+
+    bsweep = bsub.add_parser("sweep", help="run a scenario-sweep grid")
+    bsweep.add_argument("--grid", default="small",
+                        help="named scenario grid (small or full)")
+    bsweep.add_argument("--results-dir", default="results")
+
+    breport = bsub.add_parser(
+        "report", help="markdown comparison of two artifacts"
+    )
+    breport.add_argument("old", help="baseline artifact JSON")
+    breport.add_argument("new", help="candidate artifact JSON")
+    breport.add_argument("--threshold", type=float, default=0.05,
+                         help="relative change treated as noise (default 5%%)")
+    breport.add_argument("-o", "--output", default=None,
+                         help="also write the markdown report to this file")
+    breport.add_argument("--fail-on-regression", action="store_true",
+                         help="exit 1 if any metric regressed")
     return parser
 
 
@@ -65,8 +102,8 @@ def _cmd_info() -> int:
     print(f"repro {__version__} — STANCE runtime reproduction")
     print("subpackages: repro.net (simulated cluster), repro.graph,")
     print("             repro.partition (phase A + MCR), repro.runtime")
-    print("             (phases B-D), repro.apps")
-    print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
+    print("             (phases B-D), repro.apps, repro.experiments")
+    print("docs: README.md, docs/architecture.md, docs/benchmarks.md")
     return 0
 
 
@@ -184,8 +221,127 @@ def _cmd_mcr(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_override(text: str) -> tuple[str, object]:
+    """``KEY=VALUE`` with the value parsed as JSON when possible."""
+    import json
+
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise SystemExit(f"--set expects KEY=VALUE, got {text!r}")
+    try:
+        return key, json.loads(raw)
+    except json.JSONDecodeError:
+        return key, raw
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.utils import format_table
+
+    try:
+        if args.bench_command == "list":
+            from repro.experiments import all_experiments
+
+            rows = [
+                [
+                    e.name,
+                    e.paper_anchor,
+                    e.num_configs(),
+                    e.num_configs(quick=True),
+                    e.title,
+                ]
+                for e in all_experiments()
+            ]
+            print(
+                format_table(
+                    ["name", "anchor", "configs", "quick", "title"],
+                    rows,
+                    title="registered experiments (repro.experiments)",
+                )
+            )
+            return 0
+
+        if args.bench_command == "run":
+            from repro.experiments import run_experiment
+
+            overrides = dict(_parse_override(t) for t in args.overrides)
+            artifact, path = run_experiment(
+                args.name,
+                quick=args.quick,
+                overrides=overrides or None,
+                results_dir=args.results_dir,
+            )
+            _print_artifact_summary(artifact)
+            print(f"\nartifact: {path}")
+            return 0
+
+        if args.bench_command == "sweep":
+            from repro.experiments import run_sweep
+
+            artifact, path = run_sweep(args.grid, results_dir=args.results_dir)
+            _print_artifact_summary(artifact)
+            print(f"\nartifact: {path}")
+            return 0
+
+        if args.bench_command == "report":
+            from repro.experiments import compare_files
+
+            comparison = compare_files(
+                args.old, args.new, threshold=args.threshold
+            )
+            text = comparison.to_markdown()
+            print(text)
+            if args.output:
+                from pathlib import Path
+
+                out = Path(args.output)
+                out.parent.mkdir(parents=True, exist_ok=True)
+                out.write_text(text, encoding="utf-8")
+            if args.fail_on_regression and comparison.num_regressions:
+                return 1
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled bench command {args.bench_command!r}")
+
+
+def _print_artifact_summary(artifact: dict) -> None:
+    """One row per configuration: parameters, host wall time, metrics."""
+    from repro.utils import format_table
+
+    rows = []
+    for run in artifact["runs"]:
+        params = ", ".join(f"{k}={v}" for k, v in run["params"].items())
+        metrics = ", ".join(
+            f"{k}={v:.4g}" for k, v in run["metrics"].items()
+        )
+        rows.append([params, run["wall_s"], metrics])
+    print(
+        format_table(
+            ["configuration", "wall (s)", "metrics"],
+            rows,
+            title=f"{artifact['experiment']} — {artifact['title']} "
+                  f"({artifact['paper_anchor']})",
+            float_fmt="{:.3g}",
+        )
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (e.g. `head`);
+        # that is not an error in us.  Detach stdout so interpreter teardown
+        # does not print a second traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "run":
@@ -194,6 +350,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_orderings(args)
     if args.command == "mcr":
         return _cmd_mcr(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,58 @@
+"""Unified experiment harness: registry-driven, artifact-producing benchmarks.
+
+This package turns the paper's evaluation into a reproducible surface
+(see docs/benchmarks.md):
+
+* :mod:`repro.experiments.spec` — the :class:`Experiment` declaration:
+  name, paper anchor, parameter grid, seed policy;
+* :mod:`repro.experiments.registry` — the flat experiment namespace with
+  import-time self-registration and :func:`discover`;
+* :mod:`repro.experiments.runner` — grid execution with wall-time and
+  peak-RSS capture, writing schema-versioned ``results/<name>.json``;
+* :mod:`repro.experiments.artifacts` — the artifact schema
+  (``repro.experiments.run``/v1), validation, load/save;
+* :mod:`repro.experiments.sweep` — the scenario-sweep engine (cluster size
+  × load trace × ordering × graph family);
+* :mod:`repro.experiments.report` — artifact diffing and the markdown
+  regression report;
+* :mod:`repro.experiments.catalog` — the registered experiments: Tables 1-5
+  plus ablations.
+
+CLI entry points: ``repro bench list | run | sweep | report``.
+"""
+
+from repro.experiments.artifacts import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    load_artifact,
+    save_artifact,
+    validate_artifact,
+)
+from repro.experiments.registry import all_experiments, discover, get, names, register
+from repro.experiments.report import Comparison, compare_artifacts, compare_files
+from repro.experiments.runner import DEFAULT_RESULTS_DIR, run_experiment
+from repro.experiments.spec import Experiment, config_seed, expand_grid
+from repro.experiments.sweep import SCENARIO_GRIDS, run_sweep
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "SCENARIO_GRIDS",
+    "DEFAULT_RESULTS_DIR",
+    "Comparison",
+    "Experiment",
+    "all_experiments",
+    "compare_artifacts",
+    "compare_files",
+    "config_seed",
+    "discover",
+    "expand_grid",
+    "get",
+    "load_artifact",
+    "names",
+    "register",
+    "run_experiment",
+    "run_sweep",
+    "save_artifact",
+    "validate_artifact",
+]

@@ -1,0 +1,96 @@
+"""The experiment registry: one flat namespace of registered experiments.
+
+Experiments self-register at import time (the decorator form in
+:mod:`repro.experiments.catalog`); :func:`discover` imports the catalog so
+callers — the CLI, tests, sweep drivers — see the full set without knowing
+which module defines what.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import ReproError
+from repro.experiments.spec import Experiment, MetricsFn
+
+__all__ = ["register", "experiment", "get", "names", "all_experiments", "discover"]
+
+_REGISTRY: dict[str, Experiment] = {}
+
+#: Modules imported by :func:`discover`; extensions may append to this.
+CATALOG_MODULES = ["repro.experiments.catalog", "repro.experiments.sweep"]
+
+
+def register(exp: Experiment) -> Experiment:
+    """Add *exp* to the registry; re-registering the same name must be idempotent."""
+    existing = _REGISTRY.get(exp.name)
+    if existing is not None and existing is not exp:
+        raise ReproError(f"experiment {exp.name!r} is already registered")
+    _REGISTRY[exp.name] = exp
+    return exp
+
+
+def experiment(
+    name: str,
+    *,
+    title: str,
+    paper_anchor: str,
+    grid: Mapping,
+    quick_grid: Mapping | None = None,
+    seed: int = 1995,
+    higher_is_better: Iterable[str] = (),
+    description: str = "",
+    tags: Iterable[str] = (),
+) -> Callable[[MetricsFn], MetricsFn]:
+    """Decorator form: register the decorated metrics function as *name*."""
+
+    def deco(fn: MetricsFn) -> MetricsFn:
+        doc_lines = (fn.__doc__ or "").strip().splitlines()
+        register(
+            Experiment(
+                name=name,
+                title=title,
+                paper_anchor=paper_anchor,
+                fn=fn,
+                grid=grid,
+                quick_grid=quick_grid,
+                seed=seed,
+                higher_is_better=tuple(higher_is_better),
+                description=description or (doc_lines[0] if doc_lines else ""),
+                tags=tuple(tags),
+            )
+        )
+        return fn
+
+    return deco
+
+
+def discover() -> None:
+    """Import every catalog module so its experiments register themselves."""
+    for mod in CATALOG_MODULES:
+        importlib.import_module(mod)
+
+
+def get(name: str) -> Experiment:
+    """Look up one experiment by name (after discovery)."""
+    discover()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ReproError(
+            f"unknown experiment {name!r}; registered: {known}"
+        ) from None
+
+
+def names() -> list[str]:
+    """Sorted names of every registered experiment."""
+    discover()
+    return sorted(_REGISTRY)
+
+
+def all_experiments() -> list[Experiment]:
+    """Every registered experiment, sorted by name."""
+    discover()
+    return [_REGISTRY[n] for n in sorted(_REGISTRY)]

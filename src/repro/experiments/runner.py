@@ -1,0 +1,126 @@
+"""The experiment runner: grid expansion, timing, RSS capture, artifacts.
+
+For each configuration in an experiment's grid the runner derives the
+deterministic per-configuration seed (:func:`~repro.experiments.spec.config_seed`),
+calls the experiment's metrics function, and records wall time plus the
+process's peak RSS.  The finished artifact (schema
+``repro.experiments.run``/v1) is written to ``<results_dir>/<name>.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+from repro.experiments import artifacts, registry
+from repro.experiments.spec import Experiment, config_seed
+
+__all__ = ["DEFAULT_RESULTS_DIR", "max_rss_kb", "run_experiment"]
+
+#: Artifacts land here unless the caller (CLI ``--results-dir``) overrides it.
+DEFAULT_RESULTS_DIR = Path("results")
+
+
+def max_rss_kb() -> float:
+    """Peak resident-set size of this process in KiB (0.0 if unavailable).
+
+    Uses :mod:`resource`, which is POSIX-only; on other platforms the metric
+    degrades to 0 rather than failing the run.  Note ru_maxrss is a high-water
+    mark, so per-run deltas understate runs that fit inside an earlier peak.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX hosts
+        return 0.0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover
+        return usage / 1024.0
+    return float(usage)
+
+
+def _check_metrics(name: str, params: Mapping[str, Any], metrics: Any) -> dict:
+    if not isinstance(metrics, Mapping) or not metrics:
+        raise ReproError(
+            f"experiment {name!r} returned {metrics!r} for {dict(params)}; "
+            "metrics functions must return a non-empty mapping"
+        )
+    out: dict[str, float] = {}
+    for key, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ReproError(
+                f"experiment {name!r} metric {key!r} is {value!r}; "
+                "metrics must be plain numbers"
+            )
+        out[str(key)] = float(value)
+    return out
+
+
+def run_experiment(
+    exp: Experiment | str,
+    *,
+    quick: bool = False,
+    overrides: Mapping[str, Any] | None = None,
+    results_dir: str | Path | None = DEFAULT_RESULTS_DIR,
+) -> tuple[dict[str, Any], Path | None]:
+    """Run every configuration of *exp* and return ``(artifact, path)``.
+
+    ``quick=True`` selects the experiment's reduced grid (smoke scale).
+    *overrides* force parameter values onto every configuration (the CLI's
+    ``--set key=value``); axes whose value is overridden collapse, so the
+    expanded grid is deduplicated.  ``results_dir=None`` skips writing.
+    """
+    if isinstance(exp, str):
+        exp = registry.get(exp)
+    configs = exp.configs(quick=quick)
+    if overrides:
+        # Only grid axes may be overridden: a stray key would be recorded in
+        # the artifact (and perturb the seed) without the experiment ever
+        # reading it, making the artifact lie about what ran.
+        axes = set(configs[0])
+        unknown = sorted(set(overrides) - axes)
+        if unknown:
+            raise ReproError(
+                f"unknown parameter(s) for experiment {exp.name!r}: "
+                f"{', '.join(unknown)}; grid axes: {', '.join(sorted(axes))}"
+            )
+        merged: list[dict[str, Any]] = []
+        for cfg in configs:
+            cfg = {**cfg, **overrides}
+            if cfg not in merged:
+                merged.append(cfg)
+        configs = merged
+    runs: list[dict[str, Any]] = []
+    for params in configs:
+        seed = config_seed(exp.seed, params)
+        t0 = time.perf_counter()
+        metrics = exp.fn(params, seed=seed)
+        wall = time.perf_counter() - t0
+        runs.append(
+            {
+                "params": dict(params),
+                "seed": seed,
+                "wall_s": wall,
+                "max_rss_kb": max_rss_kb(),
+                "metrics": _check_metrics(exp.name, params, metrics),
+            }
+        )
+    artifact = artifacts.new_artifact(
+        experiment=exp.name,
+        title=exp.title,
+        paper_anchor=exp.paper_anchor,
+        runs=runs,
+        quick=quick,
+        base_seed=exp.seed,
+        higher_is_better=exp.higher_is_better,
+    )
+    path: Path | None = None
+    if results_dir is not None:
+        # Quick artifacts get their own file so a smoke run never clobbers
+        # a full-grid baseline sitting at results/<name>.json.
+        stem = f"{exp.name}-quick" if quick else exp.name
+        path = artifacts.save_artifact(artifact, Path(results_dir) / f"{stem}.json")
+    return artifact, path

@@ -1,0 +1,96 @@
+"""Experiment specifications: name, paper anchor, parameter grid, seed policy.
+
+An :class:`Experiment` is the declarative half of the harness: *what* to run
+(a metrics function), over *which* parameter grid, anchored to *which* table
+or figure of the paper.  The imperative half — timing, RSS capture, artifact
+writing — lives in :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["Experiment", "MetricsFn", "expand_grid", "config_seed"]
+
+#: A metrics function receives one fully-resolved parameter configuration and
+#: a deterministic seed, and returns a flat mapping of metric name -> number.
+MetricsFn = Callable[..., Mapping[str, float]]
+
+
+def config_seed(base_seed: int, params: Mapping[str, Any]) -> int:
+    """The harness seed policy: a deterministic per-configuration seed.
+
+    The seed is ``base_seed`` plus a stable hash of the configuration's
+    *content* (its sorted parameter items), so the same parameters always
+    get the same seed — regardless of grid position, ``--quick``, or
+    ``--set`` overrides.  That keeps reruns bit-identical and makes runs of
+    the same configuration comparable across artifacts, while distinct
+    configurations essentially never share a generator stream.
+    """
+    canon = json.dumps(
+        {k: params[k] for k in sorted(params)}, sort_keys=True, default=str
+    )
+    digest = hashlib.sha256(canon.encode("utf-8")).digest()
+    return int(base_seed) + int.from_bytes(digest[:4], "big")
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
+    """Expand a parameter grid into the full list of configurations.
+
+    ``{"p": (1, 2), "lb": (True, False)}`` yields four dicts, in
+    deterministic (insertion-then-cartesian) order.  Scalar values are not
+    allowed — wrap single values in a 1-tuple so the grid shape is explicit.
+    """
+    keys = list(grid)
+    for k in keys:
+        v = grid[k]
+        if isinstance(v, (str, bytes)) or not isinstance(v, Sequence):
+            raise ReproError(
+                f"grid axis {k!r} must be a sequence of values, got {v!r}"
+            )
+        if len(v) == 0:
+            raise ReproError(f"grid axis {k!r} is empty")
+    return [dict(zip(keys, combo)) for combo in product(*(grid[k] for k in keys))]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: a paper-anchored, grid-parameterized run.
+
+    ``fn(params, seed=...)`` must return a flat ``{metric: number}`` mapping
+    for one configuration; the runner handles timing, memory, and artifacts.
+    """
+
+    name: str
+    title: str
+    paper_anchor: str  # e.g. "Table 4" or "Sec. 3.1"
+    fn: MetricsFn
+    grid: Mapping[str, Sequence[Any]]
+    #: Reduced grid used by ``--quick`` / smoke tests.  Defaults to ``grid``.
+    quick_grid: Mapping[str, Sequence[Any]] | None = None
+    seed: int = 1995
+    #: Metric names where larger is better (everything else: lower is better).
+    higher_is_better: tuple[str, ...] = ()
+    description: str = ""
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ReproError(f"invalid experiment name {self.name!r}")
+        expand_grid(self.grid)  # validate axes early
+        if self.quick_grid is not None:
+            expand_grid(self.quick_grid)
+
+    def configs(self, *, quick: bool = False) -> list[dict[str, Any]]:
+        """The expanded configuration list (quick grid if requested)."""
+        grid = self.quick_grid if (quick and self.quick_grid is not None) else self.grid
+        return expand_grid(grid)
+
+    def num_configs(self, *, quick: bool = False) -> int:
+        return len(self.configs(quick=quick))

@@ -1,0 +1,149 @@
+"""Scenario-sweep engine: cluster size × load trace × ordering × graph family.
+
+One command (``repro bench sweep --grid small``) exercises the full cross
+product of environments the paper's Secs. 1 and 4 describe — dedicated,
+nonuniform, and adaptive resources — over several graph families and 1-D
+orderings, producing a single schema-versioned artifact with per-scenario
+makespan/efficiency/LB metrics.  The sweeps are registered as ordinary
+experiments (``sweep_small``, ``sweep_full``) so they also appear in
+``repro bench list`` and compare through ``repro bench report``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.experiments.registry import register
+from repro.experiments.runner import DEFAULT_RESULTS_DIR, run_experiment
+from repro.experiments.spec import Experiment
+
+__all__ = ["SCENARIO_GRIDS", "run_scenario", "run_sweep", "sweep_experiment"]
+
+#: Named scenario grids.  "small" is the smoke scale (seconds); "full"
+#: exercises every dimension and is meant for dedicated runs.
+SCENARIO_GRIDS: dict[str, dict[str, tuple]] = {
+    "small": {
+        "cluster": (2, 4),
+        "load": ("none", "constant"),
+        "ordering": ("rcb", "random"),
+        "graph": ("paper", "grid"),
+        "n_vertices": (600,),
+        "iterations": (8,),
+    },
+    "full": {
+        "cluster": (2, 3, 4, 5),
+        "load": ("none", "constant", "ramp", "walk"),
+        "ordering": ("rcb", "hilbert", "random"),
+        "graph": ("paper", "grid", "perturbed"),
+        "n_vertices": (4000,),
+        "iterations": (40,),
+    },
+}
+
+
+def _make_graph(family: str, n_vertices: int, seed: int):
+    from repro.graph.generators import grid_graph, paper_mesh, perturbed_grid_mesh
+
+    if family == "paper":
+        return paper_mesh(n_vertices, seed=seed)
+    side = max(2, int(round(n_vertices ** 0.5)))
+    if family == "grid":
+        return grid_graph(side, side)
+    if family == "perturbed":
+        return perturbed_grid_mesh(side, side, seed=seed).graph
+    raise ReproError(f"unknown graph family {family!r}")
+
+
+def _make_cluster(load: str, p: int, seed: int):
+    from repro.net.cluster import adaptive_cluster, sun4_cluster
+    from repro.net.loadmodel import RampLoad, RandomWalkLoad
+
+    if load == "none":
+        return sun4_cluster(p)
+    if load == "constant":
+        return adaptive_cluster(p, loaded_rank=0, competing_load=2.0)
+    if load == "ramp":
+        # Competing work climbs from 0 to 2 processes over the first virtual
+        # second on workstation 0 (the transition Sec. 1 calls "adaptive").
+        return sun4_cluster(p).with_load(0, RampLoad(0.0, 1.0, 0.0, 2.0))
+    if load == "walk":
+        return sun4_cluster(p).with_load(
+            0, RandomWalkLoad(horizon=30.0, dt=0.05, max_load=3.0, seed=seed)
+        )
+    raise ReproError(f"unknown load trace {load!r}")
+
+
+def run_scenario(params: Mapping[str, Any], *, seed: int) -> dict[str, float]:
+    """Run one sweep scenario; metrics cover time, efficiency, and LB activity."""
+    from repro.experiments.catalog import ordering_by_name
+    from repro.runtime.controller import LoadBalanceConfig
+    from repro.runtime.efficiency import cluster_efficiency
+    from repro.runtime.program import ProgramConfig, run_program
+
+    p = int(params["cluster"])
+    graph = _make_graph(str(params["graph"]), int(params["n_vertices"]), seed)
+    cluster = _make_cluster(str(params["load"]), p, seed)
+    adaptive = params["load"] != "none"
+    iterations = int(params["iterations"])
+    config = ProgramConfig(
+        iterations=iterations,
+        ordering=ordering_by_name(str(params["ordering"]), seed),
+        initial_capabilities="equal" if adaptive else "speeds",
+        load_balance=(
+            LoadBalanceConfig(check_interval=max(2, iterations // 4))
+            if adaptive
+            else None
+        ),
+    )
+    y0 = np.random.default_rng(seed).uniform(0.0, 100.0, graph.num_vertices)
+    report = run_program(graph, cluster, config, y0=y0)
+    return {
+        "makespan": report.makespan,
+        "efficiency": cluster_efficiency(
+            cluster, report.makespan, report.total_work_seconds
+        ),
+        "num_remaps": float(report.num_remaps),
+        "remap_time": report.remap_time,
+        "lb_check_time": report.lb_check_time,
+    }
+
+
+def sweep_experiment(grid: str) -> Experiment:
+    """The registered Experiment for one named scenario grid."""
+    try:
+        axes = SCENARIO_GRIDS[grid]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_GRIDS))
+        raise ReproError(f"unknown sweep grid {grid!r}; known: {known}") from None
+    return Experiment(
+        name=f"sweep_{grid}",
+        title=f"Scenario sweep ({grid} grid)",
+        paper_anchor="Secs. 1, 4",
+        fn=run_scenario,
+        grid=axes,
+        seed=2026,
+        higher_is_better=("efficiency",),
+        description=(
+            "Cross product of cluster size, load trace, ordering, and graph "
+            "family through the four-phase runtime."
+        ),
+        tags=("sweep",),
+    )
+
+
+for _grid in SCENARIO_GRIDS:
+    register(sweep_experiment(_grid))
+
+
+def run_sweep(
+    grid: str = "small",
+    *,
+    results_dir: str | Path | None = DEFAULT_RESULTS_DIR,
+) -> tuple[dict[str, Any], Path | None]:
+    """Run every scenario of the named grid; returns ``(artifact, path)``."""
+    exp = sweep_experiment(grid)
+    return run_experiment(exp, results_dir=results_dir)

@@ -1,8 +1,8 @@
 """Simulated cluster substrate: processors, load traces, networks, SPMD.
 
 This package replaces the paper's physical testbed (SUN4 workstations + P4
-over Ethernet) with a virtual-time simulation; see DESIGN.md section 2 for
-the substitution argument.
+over Ethernet, Sec. 4) with a virtual-time simulation; see
+docs/architecture.md for the substitution argument.
 """
 
 from repro.net.cluster import (

@@ -1,4 +1,5 @@
-"""Phase A: 1-D locality transformations, interval partitioning, MCR."""
+"""Phase A of the paper's Fig. 1 runtime: 1-D locality transformations
+(Sec. 3.1), interval partitioning (Fig. 3), MCR arrangement (Sec. 3.4)."""
 
 from repro.partition.arrangement import (
     RedistributionCostModel,

@@ -1,4 +1,4 @@
-"""Recursive spectral bisection (RSB) indexing.
+"""Recursive spectral bisection (RSB) indexing (Sec. 3.1's spectral methods).
 
 The paper's mesh experiments use "Recursive Spectral Bisection-based
 indexing [19]": recursively split the graph at the median of the Fiedler

@@ -1,4 +1,5 @@
-"""Phases B-D: inspector, executor, redistribution, adaptive load balancing."""
+"""Phases B-D of the paper's Fig. 1 runtime: inspector/executor (Secs.
+3.2-3.3), redistribution (Sec. 3.4), adaptive load balancing (Sec. 3.5)."""
 
 from repro.runtime.controller import Decision, LoadBalanceConfig, controller_check
 from repro.runtime.distributed_lb import distributed_check

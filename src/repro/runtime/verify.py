@@ -1,4 +1,5 @@
-"""Global consistency checking for communication schedules.
+"""Global consistency checking for communication schedules (Sec. 3.2's
+send/receive lists, Fig. 4).
 
 The per-rank schedule invariants live in
 :class:`~repro.runtime.schedule.CommSchedule`; this module checks the

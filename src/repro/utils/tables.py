@@ -1,8 +1,8 @@
 """Plain-text table formatting for benchmark harness output.
 
 Benchmarks print the same rows the paper's tables report; this module renders
-them in aligned ASCII so `pytest benchmarks/ --benchmark-only` output can be
-compared to the paper side by side (see EXPERIMENTS.md).
+them in aligned ASCII so benchmark output can be compared to the paper side
+by side (see docs/benchmarks.md).
 """
 
 from __future__ import annotations

@@ -1,0 +1,30 @@
+"""The docs cross-links stay valid (the same check CI's docs job runs)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_links  # noqa: E402
+
+
+def test_all_intra_repo_markdown_links_resolve():
+    assert check_links.check_repo(REPO_ROOT) == []
+
+
+def test_required_docs_exist_and_cross_link():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/architecture.md" in readme
+    assert "docs/benchmarks.md" in readme
+    assert (REPO_ROOT / "docs" / "architecture.md").is_file()
+    assert (REPO_ROOT / "docs" / "benchmarks.md").is_file()
+
+
+def test_checker_catches_broken_link(tmp_path):
+    (tmp_path / "a.md").write_text("[missing](gone.md)", encoding="utf-8")
+    broken = check_links.check_repo(tmp_path)
+    assert broken == ["a.md: gone.md"]
+    assert check_links.main([str(tmp_path)]) == 1

@@ -1,0 +1,287 @@
+"""The unified experiment harness: registry, runner, artifacts, CLI, report.
+
+Exercises the acceptance surface end to end: discovery finds every
+registered experiment, a quick run produces a schema-valid JSON artifact,
+``repro bench run table4 --quick`` / ``repro bench sweep --grid small``
+work through the CLI, and ``repro bench report`` detects an injected
+regression.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.experiments import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    compare_artifacts,
+    config_seed,
+    expand_grid,
+    get,
+    load_artifact,
+    names,
+    run_experiment,
+    run_sweep,
+    save_artifact,
+    validate_artifact,
+)
+
+PAPER_EXPERIMENTS = {
+    "table1", "table2", "table3", "table4", "table5",
+    "ablation_orderings", "ablation_check_frequency",
+}
+
+
+# --------------------------------------------------------------------------
+# registry + spec
+
+
+def test_registry_discovery_finds_all_registered_experiments():
+    found = set(names())
+    assert PAPER_EXPERIMENTS <= found
+    assert {"sweep_small", "sweep_full"} <= found
+
+
+def test_every_experiment_has_anchor_and_grids():
+    for name in names():
+        exp = get(name)
+        assert exp.paper_anchor
+        assert exp.num_configs() >= 1
+        assert exp.num_configs(quick=True) <= exp.num_configs()
+
+
+def test_get_unknown_experiment_raises_with_known_names():
+    with pytest.raises(ReproError, match="table4"):
+        get("nope")
+
+
+def test_expand_grid_is_cartesian_and_ordered():
+    configs = expand_grid({"a": (1, 2), "b": ("x",)})
+    assert configs == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+    with pytest.raises(ReproError):
+        expand_grid({"a": 3})  # scalar axis is an error
+    with pytest.raises(ReproError):
+        expand_grid({"a": ()})
+
+
+def test_seed_policy_is_deterministic_and_content_based():
+    configs = [{"p": p, "n": 100} for p in range(10)]
+    seeds = [config_seed(1995, c) for c in configs]
+    assert seeds == [config_seed(1995, c) for c in configs]
+    assert len(set(seeds)) == len(seeds)
+    # Content-based: key order and grid position are irrelevant, so the same
+    # configuration reached via --set or --quick gets the same seed.
+    assert config_seed(1995, {"n": 100, "p": 3}) == config_seed(1995, {"p": 3, "n": 100})
+
+
+# --------------------------------------------------------------------------
+# runner + artifacts
+
+
+def test_quick_run_produces_schema_valid_artifact(tmp_path):
+    artifact, path = run_experiment("table1", quick=True, results_dir=tmp_path)
+    assert path == tmp_path / "table1-quick.json"  # never clobbers a full run
+    assert path.is_file()
+    on_disk = json.loads(path.read_text())
+    assert validate_artifact(on_disk) == []
+    assert on_disk["schema"] == SCHEMA
+    assert on_disk["schema_version"] == SCHEMA_VERSION
+    assert on_disk["quick"] is True
+    assert len(on_disk["runs"]) == get("table1").num_configs(quick=True)
+    for run in on_disk["runs"]:
+        assert run["metrics"]["mcr_seconds"] > 0
+        assert run["wall_s"] > 0
+
+
+def test_run_experiment_rejects_unknown_override_keys():
+    with pytest.raises(ReproError, match="unknown parameter"):
+        run_experiment("table1", quick=True,
+                       overrides={"bogus_param": 7}, results_dir=None)
+
+
+def test_run_experiment_same_params_same_seed_regardless_of_path():
+    # Seed policy is content-based: a --set-restricted run of one
+    # configuration matches the full-grid run of the same configuration.
+    full, _ = run_experiment("table1", quick=True,
+                             overrides={"repeats": 1}, results_dir=None)
+    sub, _ = run_experiment("table1", quick=True,
+                            overrides={"p": 5, "repeats": 1}, results_dir=None)
+    by_params = {json.dumps(r["params"], sort_keys=True): r["seed"]
+                 for r in full["runs"]}
+    key = json.dumps(sub["runs"][0]["params"], sort_keys=True)
+    assert by_params[key] == sub["runs"][0]["seed"]
+
+
+def test_run_experiment_overrides_collapse_grid():
+    artifact, _ = run_experiment(
+        "table1",
+        quick=True,
+        overrides={"p": 3, "repeats": 1, "elements": 500},
+        results_dir=None,
+    )
+    assert len(artifact["runs"]) == 1
+    assert artifact["runs"][0]["params"]["p"] == 3
+
+
+def test_validate_artifact_rejects_malformed():
+    artifact, _ = run_experiment(
+        "table1", quick=True,
+        overrides={"p": 3, "repeats": 1, "elements": 500}, results_dir=None,
+    )
+    bad = copy.deepcopy(artifact)
+    bad["schema_version"] = 99
+    assert any("schema_version" in e for e in validate_artifact(bad))
+    bad = copy.deepcopy(artifact)
+    bad["runs"][0]["metrics"]["mcr_seconds"] = "fast"
+    assert any("metrics" in e for e in validate_artifact(bad))
+    assert validate_artifact([]) != []
+
+
+def test_load_artifact_rejects_invalid_file(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"schema": "other"}')
+    with pytest.raises(ReproError, match="invalid artifact"):
+        load_artifact(path)
+
+
+# --------------------------------------------------------------------------
+# report: regression detection
+
+
+def _toy_artifact(makespan: float, efficiency: float) -> dict:
+    from repro.experiments.artifacts import new_artifact
+
+    return new_artifact(
+        experiment="toy",
+        title="toy",
+        paper_anchor="Table 0",
+        quick=True,
+        base_seed=1,
+        higher_is_better=["efficiency"],
+        runs=[{
+            "params": {"p": 2},
+            "seed": 1,
+            "wall_s": 0.1,
+            "max_rss_kb": 1.0,
+            "metrics": {"makespan": makespan, "efficiency": efficiency},
+        }],
+    )
+
+
+def test_report_detects_injected_regression():
+    old = _toy_artifact(1.0, 0.8)
+    worse = _toy_artifact(1.5, 0.8)  # makespan +50% = regression
+    comparison = compare_artifacts(old, worse)
+    assert comparison.num_regressions == 1
+    assert comparison.regressions[0].metric == "makespan"
+    markdown = comparison.to_markdown()
+    assert "**1 regression(s)**" in markdown
+    assert "| p=2 | makespan |" in markdown
+
+
+def test_report_respects_metric_direction_and_threshold():
+    old = _toy_artifact(1.0, 0.8)
+    better = _toy_artifact(0.5, 0.9)  # time down + efficiency up: improvements
+    comparison = compare_artifacts(old, better)
+    assert comparison.num_regressions == 0
+    assert len(comparison.improvements) == 2
+    # Efficiency DROPPING is a regression (higher_is_better).
+    comparison = compare_artifacts(old, _toy_artifact(1.0, 0.4))
+    assert [d.metric for d in comparison.regressions] == ["efficiency"]
+    # Within-threshold jitter is noise.
+    comparison = compare_artifacts(old, _toy_artifact(1.02, 0.8))
+    assert comparison.num_regressions == 0
+
+
+def test_report_flags_unmatched_configurations():
+    old = _toy_artifact(1.0, 0.8)
+    other = copy.deepcopy(old)
+    other["runs"][0]["params"] = {"p": 4}
+    comparison = compare_artifacts(old, other)
+    assert comparison.deltas == []
+    assert comparison.only_old and comparison.only_new
+
+
+# --------------------------------------------------------------------------
+# CLI acceptance: bench list / run / sweep / report
+
+
+def test_cli_bench_list_exits_zero(capsys):
+    assert main(["bench", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in PAPER_EXPERIMENTS:
+        assert name in out
+
+
+def test_cli_bench_run_table4_quick(tmp_path, capsys):
+    rc = main(["bench", "run", "table4", "--quick",
+               "--results-dir", str(tmp_path)])
+    assert rc == 0
+    artifact = load_artifact(tmp_path / "table4-quick.json")
+    assert artifact["schema_version"] == SCHEMA_VERSION
+    effs = {r["params"]["p"]: r["metrics"]["efficiency"]
+            for r in artifact["runs"]}
+    assert effs[1] == pytest.approx(1.0, abs=1e-6)
+    assert effs[2] < 1.0  # nonuniform pool: efficiency declines
+    assert "artifact" in capsys.readouterr().out
+
+
+def test_cli_bench_run_unknown_name_fails_cleanly(tmp_path, capsys):
+    rc = main(["bench", "run", "nope", "--results-dir", str(tmp_path)])
+    assert rc == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_bench_sweep_small(tmp_path):
+    rc = main(["bench", "sweep", "--grid", "small",
+               "--results-dir", str(tmp_path)])
+    assert rc == 0
+    artifact = load_artifact(tmp_path / "sweep_small.json")
+    assert artifact["schema_version"] == SCHEMA_VERSION
+    assert len(artifact["runs"]) == 16  # 2 sizes x 2 loads x 2 orderings x 2 graphs
+    # Adaptive scenarios actually adapted somewhere in the grid.
+    assert any(r["metrics"]["num_remaps"] >= 1 for r in artifact["runs"]
+               if r["params"]["load"] == "constant")
+    # Every scenario finished with a positive makespan.
+    assert all(r["metrics"]["makespan"] > 0 for r in artifact["runs"])
+
+
+def test_cli_bench_sweep_unknown_grid_fails_cleanly(tmp_path, capsys):
+    rc = main(["bench", "sweep", "--grid", "gigantic",
+               "--results-dir", str(tmp_path)])
+    assert rc == 2
+    assert "unknown sweep grid" in capsys.readouterr().err
+
+
+def test_cli_bench_report_end_to_end(tmp_path, capsys):
+    old_path = save_artifact(_toy_artifact(1.0, 0.8), tmp_path / "old.json")
+    new_path = save_artifact(_toy_artifact(1.5, 0.8), tmp_path / "new.json")
+    out_md = tmp_path / "deep" / "dir" / "report.md"  # parents auto-created
+    rc = main(["bench", "report", str(old_path), str(new_path),
+               "-o", str(out_md)])
+    assert rc == 0  # regressions reported, but exit 0 without the flag
+    printed = capsys.readouterr().out
+    assert "regression" in printed
+    assert "**1 regression(s)**" in out_md.read_text()
+    rc = main(["bench", "report", str(old_path), str(new_path),
+               "--fail-on-regression"])
+    assert rc == 1
+    # Identical artifacts: no regression, exit 0 even with the flag.
+    rc = main(["bench", "report", str(old_path), str(old_path),
+               "--fail-on-regression"])
+    assert rc == 0
+
+
+def test_cli_bench_run_set_override(tmp_path):
+    rc = main(["bench", "run", "table1", "--quick",
+               "--set", "p=3", "--set", "elements=500",
+               "--results-dir", str(tmp_path)])
+    assert rc == 0
+    artifact = load_artifact(tmp_path / "table1-quick.json")
+    assert len(artifact["runs"]) == 1
+    assert artifact["runs"][0]["params"]["elements"] == 500

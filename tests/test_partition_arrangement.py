@@ -71,7 +71,7 @@ class TestOverlapAndTransfers:
         old = partition_list(100, OLD_CAP)
         new = partition_list(100, NEW_CAP)
         # Paper reports 29 overlap / 5 messages; exact proportional
-        # rounding gives 31 / 6 (same shape; see EXPERIMENTS.md).
+        # rounding gives 31 / 6 (same shape; see docs/benchmarks.md).
         assert overlap_elements(old, new) == 31
         assert message_count(old, new) == 6
 
