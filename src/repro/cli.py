@@ -39,6 +39,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workstations", type=int, default=4, choices=range(1, 6))
     run.add_argument("--strategy", default="sort2",
                      choices=("simple", "sort1", "sort2"))
+    run.add_argument("--backend", default=None,
+                     choices=("reference", "vectorized"),
+                     help="hot-path implementation (default: REPRO_BACKEND "
+                          "env var, else vectorized)")
     run.add_argument("--load-balance", action="store_true",
                      help="enable phase-D adaptive load balancing")
     run.add_argument("--competing-load", type=float, default=0.0,
@@ -68,7 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
     bsub.add_parser("list", help="list registered experiments")
 
     brun = bsub.add_parser("run", help="run one experiment over its grid")
-    brun.add_argument("name", help="experiment name (see `repro bench list`)")
+    brun.add_argument("name",
+                      help="experiment name, or a glob like 'scale-*' "
+                           "(see `repro bench list`)")
     brun.add_argument("--quick", action="store_true",
                       help="use the reduced smoke-scale grid")
     brun.add_argument("--results-dir", default="results",
@@ -129,6 +135,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = ProgramConfig(
         iterations=args.iterations,
         strategy=args.strategy,
+        backend=args.backend,
         initial_capabilities="equal" if args.competing_load > 0 else "speeds",
         load_balance=(
             LoadBalanceConfig(check_interval=args.check_interval)
@@ -262,17 +269,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 0
 
         if args.bench_command == "run":
+            from fnmatch import fnmatchcase
+
             from repro.experiments import run_experiment
+            from repro.experiments.registry import names
 
             overrides = dict(_parse_override(t) for t in args.overrides)
-            artifact, path = run_experiment(
-                args.name,
-                quick=args.quick,
-                overrides=overrides or None,
-                results_dir=args.results_dir,
-            )
-            _print_artifact_summary(artifact)
-            print(f"\nartifact: {path}")
+            if any(ch in args.name for ch in "*?["):
+                matched = [n for n in names() if fnmatchcase(n, args.name)]
+                if not matched:
+                    print(f"error: no experiment matches {args.name!r}",
+                          file=sys.stderr)
+                    return 2
+            else:
+                matched = [args.name]
+            for name in matched:
+                artifact, path = run_experiment(
+                    name,
+                    quick=args.quick,
+                    overrides=overrides or None,
+                    results_dir=args.results_dir,
+                )
+                _print_artifact_summary(artifact)
+                print(f"\nartifact: {path}")
             return 0
 
         if args.bench_command == "sweep":

@@ -34,6 +34,7 @@ __all__ = [
     "single_machine_times",
     "adaptive_run",
     "ordering_by_name",
+    "scale_epoch_measurements",
     "ORDERING_NAMES",
 ]
 
@@ -363,6 +364,164 @@ def _exp_table5(params: Mapping[str, Any], *, seed: int) -> dict[str, float]:
         "remap_time": report.remap_time,
         "check_time": report.lb_check_time,
         "num_remaps": float(report.num_remaps),
+    }
+
+
+# --------------------------------------------------------------------------
+# Scale tier — host-time benchmarks of the backend hot paths (ROADMAP
+# north star: "as fast as the hardware allows", far past the paper's
+# 30,269-vertex mesh).  Unlike the table experiments, these measure *host*
+# wall seconds, because both backends charge identical virtual time by
+# design — the contract the differential tests enforce.
+
+
+@lru_cache(maxsize=2)
+def _scale_workload(tier: str, family: str, seed: int):
+    """(graph, y0) for one scale-tier mesh, shared across backend configs.
+
+    The mesh arrives already phase-A ordered — grids are naturally
+    row-major, geometric meshes get one (cached) Hilbert indexing — so the
+    benchmark times phases B/C on the pipeline's actual input, never on an
+    artificially shuffled layout the paper's runtime would never see.
+    """
+    from repro.graph.generators import scale_mesh
+
+    graph = scale_mesh(tier, family=family, seed=seed)
+    if family == "geometric":
+        from repro.partition.sfc import HilbertOrdering
+
+        graph = graph.permute(HilbertOrdering()(graph))
+    y0 = np.random.default_rng(seed).uniform(0.0, 100.0, graph.num_vertices)
+    return graph, y0
+
+
+def scale_epoch_measurements(
+    tier: str,
+    family: str,
+    backend: str,
+    p: int,
+    epochs: int,
+    *,
+    workload_seed: int = 1995,
+) -> dict[str, float]:
+    """Host-time one inspector build plus *epochs* gather/scatter rounds.
+
+    Returns both timings and structural schedule facts (ghost counts, send
+    volume, message counts) — the structural part is deterministic and is
+    what the golden-artifact regression test pins.
+    """
+    from repro.net.cluster import uniform_cluster
+    from repro.net.spmd import run_spmd
+    from repro.partition.intervals import partition_list
+    from repro.runtime.executor import gather, scatter
+    from repro.runtime.inspector import run_inspector
+
+    graph, y0 = _scale_workload(tier, family, workload_seed)
+    n = graph.num_vertices
+    part = partition_list(n, np.ones(p))
+
+    t0 = time.perf_counter()
+    insp = [
+        run_inspector(graph, part, r, strategy="sort2", backend=backend)
+        for r in range(p)
+    ]
+    inspector_s = time.perf_counter() - t0
+
+    def fn(ctx):
+        sched = insp[ctx.rank].schedule
+        lo, hi = part.interval(ctx.rank)
+        local = y0[lo:hi].copy()
+        for _ in range(epochs):
+            ghost = gather(ctx, sched, local, backend=backend)
+            scatter(ctx, sched, ghost, local, op="add", backend=backend)
+        return float(local.sum())
+
+    t0 = time.perf_counter()
+    run_spmd(uniform_cluster(p), fn)
+    executor_s = time.perf_counter() - t0
+
+    stats = [r.schedule.stats() for r in insp]
+    return {
+        "inspector_host_s": inspector_s,
+        "executor_host_s": executor_s,
+        "epoch_host_s": inspector_s + executor_s,
+        "n_vertices": float(n),
+        "n_edges": float(graph.num_edges),
+        "ghost_total": float(sum(s["ghosts"] for s in stats)),
+        "send_volume_total": float(sum(s["send_volume"] for s in stats)),
+        "send_messages_total": float(sum(s["send_messages"] for s in stats)),
+    }
+
+
+@experiment(
+    "scale-epoch",
+    title="Scale tier: inspector+executor epoch, vectorized vs reference",
+    paper_anchor="ROADMAP (beyond Table 3)",
+    grid={
+        "tier": ("250k", "500k"),
+        "family": ("grid", "geometric"),
+        "backend": ("vectorized", "reference"),
+        "p": (4,),
+        "epochs": (3,),
+        "workload_seed": (1995,),
+    },
+    quick_grid={
+        "tier": ("100k",),
+        "family": ("grid",),
+        "backend": ("vectorized", "reference"),
+        "p": (4,),
+        "epochs": (1,),
+        "workload_seed": (1995,),
+    },
+    description="Host seconds per epoch on 100k-500k meshes, per backend.",
+    tags=("scale", "perf"),
+)
+def _exp_scale_epoch(params: Mapping[str, Any], *, seed: int) -> dict[str, float]:
+    return scale_epoch_measurements(
+        str(params["tier"]),
+        str(params["family"]),
+        str(params["backend"]),
+        int(params["p"]),
+        int(params["epochs"]),
+        workload_seed=int(params["workload_seed"]),
+    )
+
+
+@experiment(
+    "scale-generate",
+    title="Scale tier: streamed mesh construction throughput",
+    paper_anchor="ROADMAP (workload generation)",
+    grid={
+        "tier": ("100k", "250k", "500k", "1m"),
+        "family": ("grid", "geometric"),
+        "workload_seed": (1995,),
+    },
+    quick_grid={
+        "tier": ("100k",),
+        "family": ("grid", "geometric"),
+        "workload_seed": (1995,),
+    },
+    description="Host seconds (and sizes) to construct each tier mesh.",
+    tags=("scale", "perf"),
+)
+def _exp_scale_generate(
+    params: Mapping[str, Any], *, seed: int
+) -> dict[str, float]:
+    from repro.graph.generators import scale_mesh
+
+    t0 = time.perf_counter()
+    graph = scale_mesh(
+        str(params["tier"]),
+        family=str(params["family"]),
+        seed=int(params["workload_seed"]),
+    )
+    build_s = time.perf_counter() - t0
+    n = graph.num_vertices
+    return {
+        "build_host_s": build_s,
+        "n_vertices": float(n),
+        "n_edges": float(graph.num_edges),
+        "mean_degree": float(graph.indices.size / n) if n else 0.0,
     }
 
 

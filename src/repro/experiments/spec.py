@@ -81,7 +81,9 @@ class Experiment:
     tags: tuple[str, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
-        if not self.name or not self.name.replace("_", "").isalnum():
+        # Names are slugs: alphanumerics plus "_" and "-" (experiment
+        # families use a hyphenated prefix, e.g. "scale-epoch").
+        if not self.name or not self.name.replace("_", "").replace("-", "").isalnum():
             raise ReproError(f"invalid experiment name {self.name!r}")
         expand_grid(self.grid)  # validate axes early
         if self.quick_grid is not None:

@@ -30,8 +30,12 @@ __all__ = [
     "random_geometric_graph",
     "thin_to_edge_count",
     "paper_mesh",
+    "streamed_grid_graph",
+    "scale_mesh",
     "PAPER_MESH_VERTICES",
     "PAPER_MESH_EDGES",
+    "SCALE_TIERS",
+    "SCALE_FAMILIES",
 ]
 
 #: Vertex/edge counts of the paper's Fig. 9 mesh.
@@ -286,6 +290,102 @@ def thin_to_edge_count(
     keep[keep_extra] = True
     return CSRGraph.from_edges(
         n, edges[keep], coords=graph.coords, vertex_weights=graph.vertex_weights
+    )
+
+
+#: Named mesh sizes of the scale benchmark tier (target vertex counts; the
+#: generated mesh lands within a percent or two of the target).
+SCALE_TIERS = {
+    "10k": 10_000,
+    "100k": 100_000,
+    "250k": 250_000,
+    "500k": 500_000,
+    "1m": 1_000_000,
+}
+
+#: Graph families available at scale-tier sizes.
+SCALE_FAMILIES = ("grid", "geometric")
+
+
+def streamed_grid_graph(
+    nx: int, ny: int, *, block_rows: int = 256, with_coords: bool = True
+) -> CSRGraph:
+    """A structured grid built straight into CSR form, block by block.
+
+    Identical to :func:`grid_graph` (same adjacency, same sorted neighbor
+    order, same coordinates) but never materializes the global edge list:
+    ``indptr`` comes from a closed-form degree formula and ``indices`` is
+    filled in row blocks of bounded size, so peak construction memory is
+    the output CSR plus O(``block_rows`` * nx) scratch.  This is what lets
+    the scale tier construct multi-million-vertex meshes without the 4x
+    edge-array blowup of the edge-list path.
+    """
+    if nx < 1 or ny < 1:
+        raise GraphError(f"grid dimensions must be >= 1, got {nx}x{ny}")
+    if block_rows < 1:
+        raise GraphError(f"block_rows must be >= 1, got {block_rows}")
+    n = nx * ny
+    cols = np.arange(nx, dtype=np.intp)
+    # Closed-form degrees: 4 minus one per domain boundary the vertex sits on.
+    row_deg = np.full(nx, 4, dtype=np.intp)
+    row_deg[0] -= 1
+    row_deg[-1] -= 1
+    deg = np.tile(row_deg, ny)
+    if ny == 1:
+        deg -= 2  # no north and no south anywhere
+    else:
+        deg[:nx] -= 1       # first row: no north
+        deg[-nx:] -= 1      # last row: no south
+    indptr = np.concatenate([[0], np.cumsum(deg)]).astype(np.intp)
+    indices = np.empty(int(indptr[-1]), dtype=np.intp)
+    for r0 in range(0, ny, block_rows):
+        r1 = min(r0 + block_rows, ny)
+        rows = np.arange(r0, r1, dtype=np.intp)
+        vs = rows[:, None] * nx + cols[None, :]
+        # Candidate neighbors in ascending index order: N, W, E, S.
+        cand = np.stack([vs - nx, vs - 1, vs + 1, vs + nx], axis=2)
+        valid = np.stack(
+            [
+                np.broadcast_to((rows > 0)[:, None], vs.shape),
+                np.broadcast_to((cols > 0)[None, :], vs.shape),
+                np.broadcast_to((cols < nx - 1)[None, :], vs.shape),
+                np.broadcast_to((rows < ny - 1)[:, None], vs.shape),
+            ],
+            axis=2,
+        )
+        indices[indptr[r0 * nx] : indptr[r1 * nx]] = cand[valid]
+    coords = None
+    if with_coords:
+        xs, ys = np.meshgrid(
+            np.arange(nx, dtype=float), np.arange(ny, dtype=float)
+        )
+        coords = np.stack([xs.ravel(), ys.ravel()], axis=1)
+    return CSRGraph(indptr, indices, coords=coords)
+
+
+def scale_mesh(
+    tier: str, *, family: str = "grid", seed: SeedLike = 0
+) -> CSRGraph:
+    """A scale-tier workload mesh: ``tier`` names the target vertex count.
+
+    ``family="grid"`` is a square structured grid built with
+    :func:`streamed_grid_graph` (exactly ``round(sqrt(n))**2`` vertices,
+    natural row-major order — already a good 1-D ordering).
+    ``family="geometric"`` is a random geometric graph at mean degree ~6
+    (its largest connected component, so counts land slightly under the
+    target).
+    """
+    if tier not in SCALE_TIERS:
+        known = ", ".join(SCALE_TIERS)
+        raise GraphError(f"unknown scale tier {tier!r}; known: {known}")
+    n = SCALE_TIERS[tier]
+    if family == "grid":
+        side = int(round(math.sqrt(n)))
+        return streamed_grid_graph(side, side)
+    if family == "geometric":
+        return random_geometric_graph(n, seed=seed)
+    raise GraphError(
+        f"unknown scale family {family!r}; known: {', '.join(SCALE_FAMILIES)}"
     )
 
 

@@ -23,7 +23,15 @@ import numpy as np
 from repro.errors import CommunicationError, ConfigurationError
 from repro.net.cluster import ClusterSpec
 from repro.net.mailbox import Mailbox
-from repro.net.message import ANY_SOURCE, ANY_TAG, Message, Tags, payload_nbytes
+from repro.net.message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Message,
+    Tags,
+    pack_arrays,
+    payload_nbytes,
+    unpack_arrays,
+)
 from repro.net.trace import TraceEvent, TraceLog
 
 __all__ = ["Communicator", "RankContext"]
@@ -200,6 +208,26 @@ class RankContext:
                 send_time=t0, arrival_time=arrival, seq=comm._next_seq(),
             )
             comm.mailboxes[d].deposit(msg)
+
+    def send_packed(
+        self,
+        dest: int,
+        arrays: Sequence[np.ndarray],
+        tag: int = Tags.USER_BASE,
+    ) -> None:
+        """Send several arrays coalesced into **one** message (one frame,
+        one per-message setup) instead of one message per array.
+
+        The receiver unpacks with :meth:`recv_packed` (or
+        :func:`repro.net.message.unpack_arrays` on the raw payload).
+        """
+        self.send(dest, pack_arrays(list(arrays)), tag)
+
+    def recv_packed(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> list[np.ndarray]:
+        """Receive one coalesced message and return its arrays."""
+        return unpack_arrays(self.recv(source, tag))
 
     def recv(
         self,

@@ -20,13 +20,23 @@ __all__ = ["Mailbox"]
 
 
 class Mailbox:
-    """Unbounded buffered mailbox for a single receiving rank."""
+    """Unbounded buffered mailbox for a single receiving rank.
+
+    Matching is O(1) amortized for exact (source, tag) receives: messages
+    removed through the per-channel queues are only *marked* dead in the
+    arrival-order deque and reclaimed lazily when the scan next passes
+    them, instead of the O(pending) ``deque.remove`` a naive design needs
+    per receive (quadratic over a burst of coalesced executor messages).
+    """
 
     def __init__(self, rank: int):
         self.rank = rank
         self._cond = threading.Condition()
         self._queues: dict[tuple[int, int], Deque[Message]] = {}
         self._arrival_order: Deque[Message] = deque()
+        #: id() of messages already popped via a channel queue but not yet
+        #: swept out of ``_arrival_order`` (always a subset of it).
+        self._dead: set[int] = set()
         self._closed = False
 
     def deposit(self, msg: Message) -> None:
@@ -45,22 +55,46 @@ class Mailbox:
             self._arrival_order.append(msg)
             self._cond.notify_all()
 
+    def _compact_head(self) -> None:
+        """Drop dead entries from the front of the arrival deque.
+
+        If dead entries pile up *behind* a stuck head message (one nobody
+        ever receives), a full sweep rebuilds the deque so memory stays
+        proportional to live messages, not total traffic.
+        """
+        order = self._arrival_order
+        dead = self._dead
+        while order and id(order[0]) in dead:
+            dead.discard(id(order.popleft()))
+        if len(dead) > len(order) // 2:
+            self._arrival_order = deque(
+                m for m in order if id(m) not in dead
+            )
+            dead.clear()
+
     def _match(self, source: int, tag: int) -> Optional[Message]:
         """Pop the first matching message, or None. Caller holds the lock."""
+        self._compact_head()
         if source != ANY_SOURCE and tag != ANY_TAG:
             q = self._queues.get((source, tag))
             if q:
                 msg = q.popleft()
-                self._arrival_order.remove(msg)
+                self._dead.add(id(msg))
                 return msg
             return None
-        # Wildcard: take the earliest-deposited message that matches.
+        # Wildcard: take the earliest-deposited live message that matches.
+        # The earliest arrival on a channel is that channel's queue head,
+        # so removal from the channel queue is a popleft.
+        dead = self._dead
         for msg in self._arrival_order:
+            if id(msg) in dead:
+                continue
             if (source == ANY_SOURCE or msg.source == source) and (
                 tag == ANY_TAG or msg.tag == tag
             ):
-                self._arrival_order.remove(msg)
-                self._queues[(msg.source, msg.tag)].remove(msg)
+                self._queues[(msg.source, msg.tag)].popleft()
+                dead.add(id(msg))
+                self._compact_head()
                 return msg
         return None
 
@@ -93,6 +127,8 @@ class Mailbox:
         """True if a matching message is already buffered (non-blocking)."""
         with self._cond:
             for msg in self._arrival_order:
+                if id(msg) in self._dead:
+                    continue
                 if (source == ANY_SOURCE or msg.source == source) and (
                     tag == ANY_TAG or msg.tag == tag
                 ):
@@ -101,7 +137,7 @@ class Mailbox:
 
     def pending_count(self) -> int:
         with self._cond:
-            return len(self._arrival_order)
+            return len(self._arrival_order) - len(self._dead)
 
     def close(self) -> None:
         """Wake all blocked receivers with :class:`MailboxClosedError`."""

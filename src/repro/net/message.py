@@ -18,6 +18,9 @@ __all__ = [
     "ANY_TAG",
     "Tags",
     "Message",
+    "PackedArrays",
+    "pack_arrays",
+    "unpack_arrays",
     "payload_nbytes",
 ]
 
@@ -80,6 +83,68 @@ class Message:
             raise ValueError(f"message tag must be >= 0, got {self.tag}")
 
 
+@dataclass(frozen=True)
+class PackedArrays:
+    """Several arrays coalesced into one contiguous wire payload.
+
+    The batching primitive behind per-peer message coalescing: a sender
+    with k logical arrays for one destination ships a single
+    ``PackedArrays`` (one message, one per-message setup charge) instead
+    of k messages.  ``buffer`` is the concatenated raw bytes; ``index``
+    records ``(dtype string, shape)`` per segment so the receiver can
+    reconstruct zero-copy views.
+    """
+
+    buffer: np.ndarray  # 1-D uint8
+    index: tuple[tuple[str, tuple[int, ...]], ...]
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.index)
+
+
+def pack_arrays(arrays: "list[np.ndarray] | tuple[np.ndarray, ...]") -> PackedArrays:
+    """Coalesce *arrays* into one contiguous byte buffer + segment index."""
+    segments = []
+    index = []
+    for a in arrays:
+        a = np.asarray(a)
+        # ascontiguousarray promotes 0-d to 1-d, so record the shape first.
+        shape = a.shape
+        contiguous = np.ascontiguousarray(a)
+        segments.append(contiguous.reshape(-1).view(np.uint8))
+        index.append((a.dtype.str, shape))
+    buffer = (
+        np.concatenate(segments)
+        if segments
+        else np.empty(0, dtype=np.uint8)
+    )
+    return PackedArrays(buffer=buffer, index=tuple(index))
+
+
+def unpack_arrays(packed: PackedArrays) -> list[np.ndarray]:
+    """Reconstruct the packed arrays as views into the shared buffer."""
+    if not isinstance(packed, PackedArrays):
+        raise TypeError(f"expected PackedArrays, got {type(packed).__name__}")
+    out: list[np.ndarray] = []
+    offset = 0
+    for dtype_str, shape in packed.index:
+        dt = np.dtype(dtype_str)
+        count = 1
+        for s in shape:
+            count *= s
+        nbytes = count * dt.itemsize
+        seg = packed.buffer[offset : offset + nbytes]
+        out.append(seg.view(dt).reshape(shape))
+        offset += nbytes
+    if offset != packed.buffer.nbytes:
+        raise ValueError(
+            f"packed buffer has {packed.buffer.nbytes} bytes, index describes "
+            f"{offset}"
+        )
+    return out
+
+
 def payload_nbytes(payload: Any) -> int:
     """Estimate the wire size of *payload* in bytes.
 
@@ -90,6 +155,9 @@ def payload_nbytes(payload: Any) -> int:
     fixed header, so even empty messages have nonzero cost.
     """
     header = 16
+    if isinstance(payload, PackedArrays):
+        # One wire message: shared header + 8 bytes of index per segment.
+        return header + int(payload.buffer.nbytes) + 8 * payload.num_segments
     if isinstance(payload, np.ndarray):
         return header + int(payload.nbytes)
     if isinstance(payload, (np.generic,)):

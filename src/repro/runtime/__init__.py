@@ -1,6 +1,13 @@
 """Phases B-D of the paper's Fig. 1 runtime: inspector/executor (Secs.
 3.2-3.3), redistribution (Sec. 3.4), adaptive load balancing (Sec. 3.5)."""
 
+from repro.runtime.backend import (
+    BACKENDS,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
 from repro.runtime.controller import Decision, LoadBalanceConfig, controller_check
 from repro.runtime.distributed_lb import distributed_check
 from repro.runtime.efficiency import (
@@ -10,7 +17,7 @@ from repro.runtime.efficiency import (
     nonuniform_efficiency,
     sequential_times,
 )
-from repro.runtime.executor import ExecutorCostModel, gather, scatter
+from repro.runtime.executor import ExecutorCostModel, gather, gather_fields, scatter
 from repro.runtime.inspector import STRATEGIES, InspectorResult, run_inspector
 from repro.runtime.kernels import (
     KernelCostModel,
@@ -54,6 +61,7 @@ from repro.runtime.translation import (
 )
 
 __all__ = [
+    "BACKENDS",
     "CapabilityPredictor",
     "CommSchedule",
     "ConsistencyReport",
@@ -90,7 +98,12 @@ __all__ = [
     "controller_check",
     "estimate_remap_cost",
     "gather",
+    "gather_fields",
+    "get_backend",
     "local_references",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
     "nonuniform_efficiency",
     "run_inspector",
     "run_program",

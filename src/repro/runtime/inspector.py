@@ -58,12 +58,17 @@ def run_inspector(
     strategy: str = "sort2",
     ctx: "RankContext | None" = None,
     cost_model: InspectorCostModel = InspectorCostModel(),
+    backend: str | None = None,
 ) -> InspectorResult:
     """Build this rank's communication schedule and kernel plan.
 
     ``strategy`` is one of :data:`STRATEGIES`.  The ``simple`` strategy is
     an SPMD collective and therefore requires *ctx*; the sorting strategies
     run locally (ctx, when given, only receives the virtual time charge).
+
+    ``backend`` selects the ``reference`` (scalar loop) or ``vectorized``
+    (bulk numpy) implementation of the hot paths; both yield bit-identical
+    schedules and plans and the same virtual-time charges.
     """
     if strategy not in STRATEGIES:
         raise ScheduleError(
@@ -81,17 +86,19 @@ def run_inspector(
                 f"ctx.rank={ctx.rank} disagrees with rank={rank}"
             )
         schedule = build_schedule_simple(
-            graph, partition, ctx=ctx, cost_model=cost_model
+            graph, partition, ctx=ctx, cost_model=cost_model, backend=backend
         )
     elif strategy == "sort1":
         schedule = build_schedule_sort1(
-            graph, partition, rank, ctx=ctx, cost_model=cost_model
+            graph, partition, rank, ctx=ctx, cost_model=cost_model,
+            backend=backend,
         )
     else:
         schedule = build_schedule_sort2(
-            graph, partition, rank, ctx=ctx, cost_model=cost_model
+            graph, partition, rank, ctx=ctx, cost_model=cost_model,
+            backend=backend,
         )
-    plan = build_kernel_plan(graph, partition, schedule)
+    plan = build_kernel_plan(graph, partition, schedule, backend=backend)
     build_time = (ctx.clock - t0) if ctx is not None else 0.0
     return InspectorResult(
         schedule=schedule,

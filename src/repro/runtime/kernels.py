@@ -164,6 +164,8 @@ def build_kernel_plan(
     graph: CSRGraph,
     partition: IntervalPartition,
     schedule: CommSchedule,
+    *,
+    backend: str | None = None,
 ) -> KernelPlan:
     """Translate the global Fig. 8 indirection into local+ghost slots.
 
@@ -171,37 +173,53 @@ def build_kernel_plan(
     offsets into the local block; off-processor neighbors become
     ``n_local + position`` in the (sorted or request-ordered) ghost buffer.
     """
+    from repro.runtime.backend import resolve_backend
+
     rank = schedule.rank
     lo, hi = partition.interval(rank)
     n_local = hi - lo
     start, stop = graph.indptr[lo], graph.indptr[hi]
     nbr = graph.indices[start:stop]
     counts = np.diff(graph.indptr[lo : hi + 1]).astype(np.intp)
-    slots = np.empty(nbr.size, dtype=np.intp)
-    local_mask = (nbr >= lo) & (nbr < hi)
-    slots[local_mask] = nbr[local_mask] - lo
-    off = nbr[~local_mask]
-    if off.size:
-        ghost = schedule.ghost_globals
-        if ghost.size == 0:
-            raise ScheduleError(
-                f"rank {rank}: off-processor references but empty ghost buffer"
-            )
-        pos = np.searchsorted(ghost, off)
-        ok = (pos < ghost.size) & (ghost[np.minimum(pos, ghost.size - 1)] == off)
-        if not np.all(ok):
-            # Request-ordered ghost buffers (simple strategy) are not
-            # sorted; fall back to a dictionary translation.
-            lookup = {int(g): i for i, g in enumerate(ghost)}
-            try:
-                pos = np.fromiter(
-                    (lookup[int(g)] for g in off), dtype=np.intp, count=off.size
-                )
-            except KeyError as exc:
+    if resolve_backend(backend) == "reference":
+        from repro.runtime.reference import kernel_slots_loop
+
+        try:
+            slots = kernel_slots_loop(nbr, lo, hi, schedule.ghost_globals)
+        except ScheduleError as exc:
+            raise ScheduleError(f"rank {rank}: {exc}") from None
+    else:
+        slots = np.empty(nbr.size, dtype=np.intp)
+        local_mask = (nbr >= lo) & (nbr < hi)
+        slots[local_mask] = nbr[local_mask] - lo
+        off = nbr[~local_mask]
+        if off.size:
+            ghost = schedule.ghost_globals
+            if ghost.size == 0:
                 raise ScheduleError(
-                    f"rank {rank}: reference {exc} missing from ghost buffer"
-                ) from None
-        slots[~local_mask] = n_local + pos
+                    f"rank {rank}: off-processor references but empty ghost "
+                    "buffer"
+                )
+            pos = np.searchsorted(ghost, off)
+            ok = (pos < ghost.size) & (
+                ghost[np.minimum(pos, ghost.size - 1)] == off
+            )
+            if not np.all(ok):
+                # Request-ordered ghost buffers (simple strategy) are not
+                # sorted; fall back to a dictionary translation.
+                lookup = {int(g): i for i, g in enumerate(ghost)}
+                try:
+                    pos = np.fromiter(
+                        (lookup[int(g)] for g in off),
+                        dtype=np.intp,
+                        count=off.size,
+                    )
+                except KeyError as exc:
+                    raise ScheduleError(
+                        f"rank {rank}: reference {exc} missing from ghost "
+                        "buffer"
+                    ) from None
+            slots[~local_mask] = n_local + pos
     starts = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.intp)
     return KernelPlan(
         rank=rank, n_local=n_local, slots=slots, starts=starts, counts=counts

@@ -47,6 +47,10 @@ class ProgramConfig:
 
     iterations: int = 100
     strategy: str = "sort2"
+    #: Hot-path implementation: "reference" | "vectorized" | None (= the
+    #: process default from :mod:`repro.runtime.backend`).  Both backends
+    #: produce bit-identical results and virtual times.
+    backend: str | None = None
     ordering: OrderingMethod | None = None  # None -> RCB (or identity if no coords)
     #: "speeds" (split by known base speeds), "equal" (the paper's adaptive
     #: experiment: "the graph was decomposed assuming all the processors had
@@ -64,6 +68,10 @@ class ProgramConfig:
             raise ConfigurationError(
                 f"iterations must be >= 1, got {self.iterations}"
             )
+        if self.backend is not None:
+            from repro.runtime.backend import resolve_backend
+
+            resolve_backend(self.backend)  # raises on unknown names
 
 
 @dataclass
@@ -163,6 +171,7 @@ def _rank_main(
         strategy=config.strategy,
         ctx=ctx,
         cost_model=config.inspector_cost,
+        backend=config.backend,
     )
     stats.inspector_time += insp.build_time
     lo, hi = partition.interval(ctx.rank)
@@ -177,7 +186,8 @@ def _rank_main(
 
     for it in range(config.iterations):
         ghost = gather(
-            ctx, insp.schedule, local, cost_model=config.executor_cost
+            ctx, insp.schedule, local, cost_model=config.executor_cost,
+            backend=config.backend,
         )
         t0 = ctx.clock
         local = insp.kernel_plan.sweep(local, ghost)
@@ -239,6 +249,7 @@ def _rank_main(
                     strategy=config.strategy,
                     ctx=ctx,
                     cost_model=config.inspector_cost,
+                    backend=config.backend,
                 )
                 ctx.barrier()
                 stats.remap_time += ctx.clock - t0

@@ -103,6 +103,29 @@ class CommSchedule:
         """Total elements this rank sends per gather."""
         return sum(int(arr.size) for arr in self.send_lists.values())
 
+    def send_peers(self) -> list[int]:
+        """Destinations with a non-empty send list, ascending.
+
+        The executor issues sends in exactly this order (and applies
+        received contributions in ascending source order), so schedule
+        *dict insertion order* can never influence results.
+        """
+        return sorted(d for d, arr in self.send_lists.items() if arr.size)
+
+    def recv_peers(self) -> list[int]:
+        """Sources with a non-empty recv list, ascending."""
+        return sorted(s for s, pos in self.recv_lists.items() if pos.size)
+
+    def stats(self) -> dict[str, int]:
+        """Structural facts of this schedule (deterministic; used by the
+        scale benchmarks and pinned by the golden regression test)."""
+        return {
+            "ghosts": self.ghost_size,
+            "send_volume": self.send_volume,
+            "send_messages": self.num_send_messages,
+            "recv_messages": self.num_recv_messages,
+        }
+
     def send_globals(self, dest: int) -> np.ndarray:
         """Global indices of the elements sent to *dest*, in send order."""
         lo, _ = self.partition.interval(self.rank)

@@ -25,6 +25,7 @@ import numpy as np
 from repro.errors import TranslationError
 from repro.net.message import Tags
 from repro.partition.intervals import IntervalPartition
+from repro.runtime.backend import resolve_backend
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.comm import RankContext
@@ -52,17 +53,27 @@ class IntervalTranslationTable:
         """Table entries stored per processor (2 bounds per processor)."""
         return 2 * self.partition.num_processors
 
-    def dereference(self, global_indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def dereference(
+        self, global_indices: np.ndarray, *, backend: str | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """(processor, local index) for each global index — no communication.
 
         "The local address of a particular element is computed by
         subtracting it from the first element that belongs to its home
-        processor."
+        processor."  The ``vectorized`` backend is one bulk binary search;
+        ``reference`` walks the query per element (bit-identical results).
         """
-        return self.partition.dereference(np.asarray(global_indices, dtype=np.intp))
+        gi = np.asarray(global_indices, dtype=np.intp)
+        if resolve_backend(backend) == "reference":
+            from repro.runtime.reference import dereference_loop
 
-    def owner_of(self, global_indices: np.ndarray) -> np.ndarray:
-        owner, _ = self.dereference(global_indices)
+            return dereference_loop(self.partition, gi)
+        return self.partition.dereference(gi)
+
+    def owner_of(
+        self, global_indices: np.ndarray, *, backend: str | None = None
+    ) -> np.ndarray:
+        owner, _ = self.dereference(global_indices, backend=backend)
         return owner
 
 
@@ -91,10 +102,19 @@ class ReplicatedTranslationTable:
     def memory_entries(self) -> int:
         return 2 * self.owner.size
 
-    def dereference(self, global_indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def dereference(
+        self, global_indices: np.ndarray, *, backend: str | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         gi = np.asarray(global_indices, dtype=np.intp)
         if gi.size and (gi.min() < 0 or gi.max() >= self.owner.size):
             raise TranslationError("global index out of range")
+        if resolve_backend(backend) == "reference":
+            owner = np.empty(gi.size, dtype=np.intp)
+            local = np.empty(gi.size, dtype=np.intp)
+            for k, g in enumerate(gi.tolist()):
+                owner[k] = self.owner[g]
+                local[k] = self.local[g]
+            return owner, local
         return self.owner[gi], self.local[gi]
 
 
@@ -139,7 +159,9 @@ class DistributedTranslationTable:
     def memory_entries(self) -> int:
         return 2 * self._owner.size
 
-    def lookup_local(self, global_indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def lookup_local(
+        self, global_indices: np.ndarray, *, backend: str | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Look up entries stored on *this* rank."""
         gi = np.asarray(global_indices, dtype=np.intp)
         off = gi - self._lo
@@ -147,10 +169,21 @@ class DistributedTranslationTable:
             raise TranslationError(
                 f"rank {self.rank} asked for table entries it does not store"
             )
+        if resolve_backend(backend) == "reference":
+            owner = np.empty(off.size, dtype=np.intp)
+            local = np.empty(off.size, dtype=np.intp)
+            for k, o in enumerate(off.tolist()):
+                owner[k] = self._owner[o]
+                local[k] = self._local[o]
+            return owner, local
         return self._owner[off], self._local[off]
 
     def dereference_collective(
-        self, ctx: "RankContext", global_indices: np.ndarray
+        self,
+        ctx: "RankContext",
+        global_indices: np.ndarray,
+        *,
+        backend: str | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """SPMD collective dereference through query/reply messages.
 
@@ -160,6 +193,7 @@ class DistributedTranslationTable:
         from the closed-form distribution; the pattern is made globally
         known with one allgather of per-destination counts.
         """
+        backend = resolve_backend(backend)
         gi = np.asarray(global_indices, dtype=np.intp)
         n = self.partition.num_elements
         p = ctx.size
@@ -186,7 +220,7 @@ class DistributedTranslationTable:
         for src, q in incoming.items():
             if src == ctx.rank:
                 continue
-            owner, local = self.lookup_local(q)
+            owner, local = self.lookup_local(q, backend=backend)
             ctx.compute_items(q.size, 2.0e-6, label="table-lookup")
             replies_out[src] = np.stack([owner, local], axis=0)
         expect_replies = [d for d in queries_out]
@@ -200,7 +234,7 @@ class DistributedTranslationTable:
             if offsets[home + 1] == offsets[home]:
                 continue
             if home == ctx.rank:
-                o, l = self.lookup_local(sorted_gi[seg])
+                o, l = self.lookup_local(sorted_gi[seg], backend=backend)
                 ctx.compute_items(offsets[home + 1] - offsets[home], 2.0e-6,
                                   label="table-lookup")
             else:
@@ -209,6 +243,12 @@ class DistributedTranslationTable:
             local_sorted[seg] = l
         owner = np.empty(gi.size, dtype=np.intp)
         local = np.empty(gi.size, dtype=np.intp)
-        owner[order] = owner_sorted
-        local[order] = local_sorted
+        if backend == "reference":
+            # Scalar inverse permutation back to query order.
+            for k, dst in enumerate(order.tolist()):
+                owner[dst] = owner_sorted[k]
+                local[dst] = local_sorted[k]
+        else:
+            owner[order] = owner_sorted
+            local[order] = local_sorted
         return owner, local

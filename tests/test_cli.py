@@ -76,3 +76,41 @@ class TestCommands:
     def test_mcr_length_mismatch(self, capsys):
         rc = main(["mcr", "--old", "0.5", "0.5", "--new", "1.0"])
         assert rc == 2
+
+    def test_run_backend_flag(self, capsys):
+        rc = main([
+            "run", "--vertices", "300", "--iterations", "5",
+            "--workstations", "2", "--backend", "reference", "--verify",
+        ])
+        assert rc == 0
+        assert "verified against sequential oracle" in capsys.readouterr().out
+
+
+class TestBenchGlobs:
+    def test_bench_run_glob(self, capsys, tmp_path):
+        rc = main([
+            "bench", "run", "table1*", "--quick",
+            "--results-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert (tmp_path / "table1-quick.json").exists()
+
+    def test_bench_run_glob_no_match(self, capsys, tmp_path):
+        rc = main([
+            "bench", "run", "no-such-*", "--results-dir", str(tmp_path),
+        ])
+        assert rc == 2
+        assert "no experiment matches" in capsys.readouterr().err
+
+    def test_bench_run_scale_quick(self, capsys, tmp_path):
+        rc = main([
+            "bench", "run", "scale-epoch", "--quick",
+            "--set", 'tier="10k"',
+            "--results-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend=vectorized" in out and "backend=reference" in out
+        assert (tmp_path / "scale-epoch-quick.json").exists()

@@ -1,0 +1,66 @@
+"""Golden-artifact regression tests (ISSUE 2 satellite).
+
+Re-derives the *structural* outputs of a small ``repro bench run`` — ghost
+counts, send volumes, message counts, remap decisions — and compares them
+against the committed fixture ``tests/golden/schedule_semantics.json``, so
+schedule semantics cannot silently drift under refactors.  Timings are
+deliberately excluded: only facts that are bit-deterministic are pinned.
+
+If a semantics change is *intentional*, regenerate the fixture with
+``PYTHONPATH=src python tools/make_golden.py`` and review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+GOLDEN = Path(__file__).parent / "golden" / "schedule_semantics.json"
+TOOLS = Path(__file__).parent.parent / "tools"
+
+
+@pytest.fixture(scope="module")
+def current():
+    sys.path.insert(0, str(TOOLS))
+    try:
+        from make_golden import build_golden
+    finally:
+        sys.path.remove(str(TOOLS))
+    return build_golden()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text(encoding="utf-8"))
+
+
+def test_scale_epoch_structural_facts_match(current, golden):
+    got = current["scale_epoch_structural"]
+    want = golden["scale_epoch_structural"]
+    assert [run["params"] for run in got] == [run["params"] for run in want]
+    for g, w in zip(got, want):
+        assert g["structural"] == w["structural"], g["params"]
+
+
+def test_remap_decisions_match(current, golden):
+    assert current["remap_decisions"] == golden["remap_decisions"]
+
+
+def test_artifact_schema_still_validates():
+    """The bench artifact produced by the scale family passes the normative
+    schema check (schema-versioned results are a public contract)."""
+    from repro.experiments.artifacts import validate_artifact
+    from repro.experiments.runner import run_experiment
+
+    artifact, _ = run_experiment(
+        "scale-epoch",
+        quick=True,
+        overrides={"tier": "10k", "backend": "vectorized"},
+        results_dir=None,
+    )
+    validate_artifact(artifact)
+    assert artifact["experiment"] == "scale-epoch"
+    assert all(run["wall_s"] >= 0 for run in artifact["runs"])

@@ -193,3 +193,54 @@ class TestPaperMesh:
     def test_rejects_tiny(self):
         with pytest.raises(GraphError):
             paper_mesh(4)
+
+
+class TestStreamedGridGraph:
+    """The streamed CSR builder must match the edge-list path exactly."""
+
+    @pytest.mark.parametrize("nx,ny", [(1, 1), (2, 1), (1, 6), (8, 8), (13, 7)])
+    def test_matches_grid_graph(self, nx, ny):
+        from repro.graph.generators import grid_graph, streamed_grid_graph
+
+        a = grid_graph(nx, ny)
+        b = streamed_grid_graph(nx, ny, block_rows=3)
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+    def test_block_rows_irrelevant(self):
+        from repro.graph.generators import streamed_grid_graph
+
+        a = streamed_grid_graph(20, 15, block_rows=1)
+        b = streamed_grid_graph(20, 15, block_rows=1000)
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_rejects_bad_arguments(self):
+        from repro.errors import GraphError
+        from repro.graph.generators import streamed_grid_graph
+
+        with pytest.raises(GraphError):
+            streamed_grid_graph(0, 5)
+        with pytest.raises(GraphError):
+            streamed_grid_graph(5, 5, block_rows=0)
+
+
+class TestScaleMesh:
+    def test_tiers_and_families(self):
+        from repro.graph.generators import SCALE_TIERS, scale_mesh
+
+        g = scale_mesh("10k")
+        assert g.num_vertices == 10_000  # 100^2 exactly
+        geo = scale_mesh("10k", family="geometric", seed=3)
+        assert 0.9 * SCALE_TIERS["10k"] <= geo.num_vertices <= SCALE_TIERS["10k"]
+        assert geo.coords is not None
+
+    def test_unknown_tier_or_family(self):
+        from repro.errors import GraphError
+        from repro.graph.generators import scale_mesh
+
+        with pytest.raises(GraphError):
+            scale_mesh("3k")
+        with pytest.raises(GraphError):
+            scale_mesh("10k", family="torus")

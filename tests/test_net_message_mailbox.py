@@ -151,3 +151,111 @@ class TestMailbox:
         box.deposit(make_msg(payload="late-arrival"))
         t.join(timeout=2.0)
         assert result == ["late-arrival"]
+
+
+class TestPackedArrays:
+    """Per-peer message coalescing: several arrays, one wire payload."""
+
+    def test_roundtrip_mixed_dtypes_and_shapes(self):
+        from repro.net.message import pack_arrays, unpack_arrays
+
+        arrays = [
+            np.arange(7, dtype=np.float64),
+            np.arange(12, dtype=np.intp).reshape(3, 4),
+            np.empty(0, dtype=np.float32),
+            np.array(5.0),
+        ]
+        out = unpack_arrays(pack_arrays(arrays))
+        assert len(out) == len(arrays)
+        for a, b in zip(arrays, out):
+            assert a.dtype == b.dtype and a.shape == b.shape
+            np.testing.assert_array_equal(a, b)
+
+    def test_one_message_cheaper_than_k(self):
+        """The coalesced payload costs one header, not one per array."""
+        from repro.net.message import pack_arrays
+
+        arrays = [np.zeros(10), np.zeros(20), np.zeros(30)]
+        packed = payload_nbytes(pack_arrays(arrays))
+        separate = sum(payload_nbytes(a) for a in arrays)
+        assert packed < separate
+
+    def test_unpack_rejects_non_packed(self):
+        from repro.net.message import unpack_arrays
+
+        with pytest.raises(TypeError):
+            unpack_arrays(np.zeros(3))
+
+    def test_send_packed_recv_packed(self):
+        from repro.net.cluster import uniform_cluster
+        from repro.net.spmd import run_spmd
+
+        fields = [np.arange(4, dtype=np.float64), np.ones((2, 3))]
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                ctx.send_packed(1, fields, tag=101)
+                return None
+            parts = ctx.recv_packed(0, tag=101)
+            for a, b in zip(fields, parts):
+                np.testing.assert_array_equal(a, b)
+            return len(parts)
+
+        res = run_spmd(uniform_cluster(2), fn)
+        assert res.values[1] == 2
+
+    def test_send_packed_is_one_message(self):
+        from repro.net.cluster import uniform_cluster
+        from repro.net.spmd import run_spmd
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                ctx.send_packed(1, [np.zeros(5), np.zeros(6)], tag=102)
+            else:
+                ctx.recv_packed(0, tag=102)
+
+        res = run_spmd(uniform_cluster(2), fn, trace=True)
+        assert res.trace.message_count() == 1
+
+
+class TestMailboxLazyDeletion:
+    """The O(1)-amortized matching path keeps wildcard/exact semantics."""
+
+    def test_exact_then_wildcard_interleaved(self):
+        box = Mailbox(1)
+        msgs = [make_msg(src=s, tag=t, seq=i)
+                for i, (s, t) in enumerate([(0, 5), (2, 5), (0, 6), (3, 5)])]
+        for m in msgs:
+            box.deposit(m)
+        assert box.receive(0, 5) is msgs[0]          # exact: marks dead
+        assert box.receive(ANY_SOURCE, 5) is msgs[1]  # skips the dead head
+        assert box.pending_count() == 2
+        assert box.receive(ANY_SOURCE, ANY_TAG) is msgs[2]
+        assert box.receive(3, 5) is msgs[3]
+        assert box.pending_count() == 0
+
+    def test_probe_ignores_dead_entries(self):
+        box = Mailbox(1)
+        box.deposit(make_msg(src=0, tag=5, seq=1))
+        box.deposit(make_msg(src=0, tag=7, seq=2))
+        box.receive(0, 5)
+        assert not box.probe(0, 5)
+        assert box.probe(0, 7)
+
+    def test_fifo_per_channel_preserved(self):
+        box = Mailbox(1)
+        first = make_msg(src=0, tag=5, seq=1)
+        second = make_msg(src=0, tag=5, seq=2)
+        box.deposit(first)
+        box.deposit(second)
+        assert box.receive(ANY_SOURCE, ANY_TAG) is first
+        assert box.receive(0, 5) is second
+
+    def test_burst_drain_in_arrival_order(self):
+        box = Mailbox(1)
+        msgs = [make_msg(src=i % 4, tag=9, seq=i) for i in range(64)]
+        for m in msgs:
+            box.deposit(m)
+        drained = [box.receive(ANY_SOURCE, 9) for _ in range(64)]
+        assert drained == msgs
+        assert box.pending_count() == 0

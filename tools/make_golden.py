@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Regenerate tests/golden/schedule_semantics.json.
+
+Run from the repo root after an *intentional* schedule-semantics change:
+
+    PYTHONPATH=src python tools/make_golden.py
+
+then review the diff — every changed number is a behavior change that
+``tests/test_golden_artifacts.py`` would otherwise flag.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+STRUCTURAL = (
+    "n_vertices",
+    "n_edges",
+    "ghost_total",
+    "send_volume_total",
+    "send_messages_total",
+)
+
+
+def build_golden() -> dict:
+    """Compute the pinned facts (shared with the regression test)."""
+    from repro.experiments.catalog import _workload, adaptive_run
+    from repro.experiments.runner import run_experiment
+
+    artifact, _ = run_experiment(
+        "scale-epoch", quick=True, overrides={"tier": "10k"}, results_dir=None
+    )
+    epoch = [
+        {
+            "params": run["params"],
+            "structural": {k: run["metrics"][k] for k in STRUCTURAL},
+        }
+        for run in artifact["runs"]
+    ]
+
+    graph, y0 = _workload(800, 1995)
+    report = adaptive_run(graph, y0, 20, 3, lb=True, check_interval=5)
+    stats = report.rank_stats[0]
+    remap = {
+        "num_remaps": int(stats.num_remaps),
+        "num_checks": int(stats.num_checks),
+        "final_sizes": [int(s) for s in report.partition_final.sizes()],
+    }
+    return {
+        "comment": "Structural schedule facts and remap decisions pinned by "
+        "tests/test_golden_artifacts.py; regenerate with "
+        "tools/make_golden.py if semantics intentionally change.",
+        "scale_epoch_structural": epoch,
+        "remap_decisions": remap,
+    }
+
+
+def main() -> int:
+    golden = build_golden()
+    out = GOLDEN_PATH / "schedule_semantics.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
