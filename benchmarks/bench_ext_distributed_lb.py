@@ -18,8 +18,7 @@ from repro.net.cluster import uniform_cluster
 from repro.net.network import PointToPointNetwork, SharedEthernet
 from repro.net.spmd import run_spmd
 from repro.partition.intervals import partition_list
-from repro.runtime.controller import LoadBalanceConfig, controller_check
-from repro.runtime.distributed_lb import distributed_check
+from repro.runtime.adaptive import LoadBalanceConfig, make_strategy
 
 SIZES = (4, 8, 16)
 N_CHECKS = 5
@@ -30,15 +29,13 @@ def check_cost(p: int, *, style: str, multicast: bool) -> float:
     cluster = uniform_cluster(p, network_factory=factory)
     part = partition_list(50_000, np.ones(p))
     config = LoadBalanceConfig(style=style)
+    strategy = make_strategy(config)
     times = 1e-4 * (1.0 + 0.01 * np.arange(p))  # nearly balanced: no remap
 
     def fn(ctx):
         t0 = ctx.clock
         for _ in range(N_CHECKS):
-            if style == "distributed":
-                distributed_check(ctx, part, times[ctx.rank], 100, config)
-            else:
-                controller_check(ctx, part, times[ctx.rank], 100, config)
+            strategy.check(ctx, part, times[ctx.rank], 100, config)
             ctx.barrier()
         return (ctx.clock - t0) / N_CHECKS
 

@@ -25,7 +25,7 @@ from repro.partition.hpf import (
     redistribute_hpf,
 )
 from repro.partition.intervals import partition_list
-from repro.runtime.redistribution import redistribute
+from repro.runtime.adaptive import redistribute
 
 N = 65_536
 P = 4

@@ -14,7 +14,7 @@ import pytest
 from benchmarks.common import emit_table
 from repro.net.cluster import sun4_cluster
 from repro.net.loadmodel import RampLoad
-from repro.runtime.controller import LoadBalanceConfig
+from repro.runtime.adaptive import LoadBalanceConfig
 from repro.runtime.program import ProgramConfig, run_program
 
 PREDICTORS = (None, "last", "moving-average", "ewma", "trend")

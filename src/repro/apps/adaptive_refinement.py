@@ -9,8 +9,10 @@ We model refinement as per-vertex computational weights that follow a
 moving hotspot across the mesh (a shock front sweeping the domain).  The
 driver repartitions with **weighted** intervals
 (:func:`repro.partition.weighted.partition_weighted_list`) whenever the
-weights change, redistributes, and rebuilds schedules — exercising the
-inspector-refresh path the paper describes for adaptive applications.
+weights change, then hands the remap to
+:meth:`repro.runtime.adaptive.AdaptiveSession.remap_to` — the same
+redistribute-and-rebuild path the load-balancing strategies use, driven
+here by adaptation instead of a profitability check.
 """
 
 from __future__ import annotations
@@ -27,10 +29,9 @@ from repro.net.spmd import run_spmd
 from repro.partition.ordering import OrderingMethod
 from repro.partition.rcb import RCBOrdering
 from repro.partition.weighted import partition_weighted_list
+from repro.runtime.adaptive import AdaptiveSession
 from repro.runtime.executor import gather
-from repro.runtime.inspector import run_inspector
 from repro.runtime.kernels import KernelCostModel
-from repro.runtime.redistribution import redistribute
 
 __all__ = ["MovingHotspot", "AdaptiveRunReport", "run_adaptive_application"]
 
@@ -132,33 +133,28 @@ def run_adaptive_application(
     def rank_main(ctx: Any) -> dict[str, Any]:
         phase = 0
         cost_w = base_cost * hotspot_p.weights(phase)
-        partition = partition_weighted_list(cost_w, caps)
-        insp = run_inspector(gperm, partition, ctx.rank, strategy="sort2", ctx=ctx)
-        lo, hi = partition.interval(ctx.rank)
+        session = AdaptiveSession(
+            ctx,
+            gperm,
+            partition_weighted_list(cost_w, caps),
+            total_iterations=iterations,
+        )
+        lo, hi = session.interval()
         local = y_init[lo:hi].copy()
-        repartitions = 0
-        repartition_time = 0.0
         for it in range(iterations):
-            ghost = gather(ctx, insp.schedule, local)
-            local = insp.kernel_plan.sweep(local, ghost)
+            ghost = gather(ctx, session.schedule, local)
+            local = session.kernel_plan.sweep(local, ghost)
             ctx.compute(float(cost_w[lo:hi].sum()), label="kernel")
             ctx.barrier()
             if (it + 1) % adapt_interval == 0 and (it + 1) < iterations:
                 phase += 1
                 cost_w = base_cost * hotspot_p.weights(phase)
                 if repartition:
-                    t0 = ctx.clock
-                    new_partition = partition_weighted_list(cost_w, caps)
-                    local = redistribute(ctx, partition, new_partition, local)
-                    partition = new_partition
-                    insp = run_inspector(
-                        gperm, partition, ctx.rank, strategy="sort2", ctx=ctx
+                    (local,) = session.remap_to(
+                        partition_weighted_list(cost_w, caps), (local,)
                     )
-                    ctx.barrier()
-                    repartition_time += ctx.clock - t0
-                    repartitions += 1
-                    lo, hi = partition.interval(ctx.rank)
-        pieces = ctx.gather((partition.interval(ctx.rank)[0], local), root=0)
+                    lo, hi = session.interval()
+        pieces = ctx.gather((session.interval()[0], local), root=0)
         full = None
         if ctx.rank == 0:
             full = np.empty(n)
@@ -166,8 +162,8 @@ def run_adaptive_application(
                 full[piece_lo : piece_lo + data.size] = data
         return {
             "full": full,
-            "repartitions": repartitions,
-            "repartition_time": repartition_time,
+            "repartitions": session.stats.num_remaps,
+            "repartition_time": session.stats.remap_time,
         }
 
     result = run_spmd(cluster, rank_main)

@@ -14,7 +14,13 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import paper_mesh
-from repro.net.cluster import ClusterSpec, adaptive_cluster, sun4_cluster
+from repro.net.cluster import (
+    ClusterSpec,
+    adaptive_cluster,
+    sun4_cluster,
+    uniform_cluster,
+)
+from repro.net.loadmodel import RampLoad, StepLoad
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = [
@@ -23,6 +29,8 @@ __all__ = [
     "paper_workload",
     "random_capabilities",
     "adaptive_testbed",
+    "DYNAMIC_SCENARIOS",
+    "dynamic_load_cluster",
 ]
 
 
@@ -97,4 +105,68 @@ def adaptive_testbed(
     """
     return adaptive_cluster(
         n_workstations, loaded_rank=0, competing_load=competing_load
+    )
+
+
+#: The dynamic-load scenario names of the ``scale-adaptive`` experiments.
+DYNAMIC_SCENARIOS = ("onset", "hotspot", "ramp")
+
+
+def dynamic_load_cluster(
+    p: int,
+    scenario: str,
+    horizon: float,
+    *,
+    competing_load: float = 2.0,
+) -> ClusterSpec:
+    """A uniform pool whose competing load changes *during* the run.
+
+    These are the "dynamic" computational environments of the paper's
+    Sec. 1 taxonomy (capabilities change over the run, not just between
+    runs), built from the :mod:`repro.net.loadmodel` traces.  *horizon*
+    is the expected virtual duration of the run; the traces scale to it
+    so every scenario forces its load changes mid-run at any mesh size:
+
+    * ``"onset"`` — a competing load appears on workstation 0 at 15% of
+      the horizon and leaves at 55%: the runtime must remap away from the
+      loaded machine and then remap back;
+    * ``"hotspot"`` — the competing load moves from workstation to
+      workstation, holding each for ``horizon / p``: no single remap is
+      ever final;
+    * ``"ramp"`` — the load on workstation 0 climbs linearly from 0 to
+      ``1.5 x competing_load`` over the first 70% of the horizon (the
+      scenario where multi-phase capability *prediction*, footnote 2,
+      can beat the last-value rule).
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    cluster = uniform_cluster(p, name=f"dynamic-{scenario}")
+    if scenario == "onset":
+        return cluster.with_load(
+            0,
+            StepLoad([
+                (0.0, 0.0),
+                (0.15 * horizon, competing_load),
+                (0.55 * horizon, 0.0),
+            ]),
+        )
+    if scenario == "hotspot":
+        dwell = horizon / p
+        for rank in range(p):
+            cluster = cluster.with_load(
+                rank,
+                StepLoad([
+                    (0.0, competing_load if rank == 0 else 0.0),
+                    (rank * dwell, competing_load),
+                    ((rank + 1) * dwell, 0.0),
+                ]),
+            )
+        return cluster
+    if scenario == "ramp":
+        return cluster.with_load(
+            0, RampLoad(0.0, 0.7 * horizon, 0.0, 1.5 * competing_load)
+        )
+    raise ValueError(
+        f"unknown dynamic-load scenario {scenario!r}; "
+        f"known: {DYNAMIC_SCENARIOS}"
     )

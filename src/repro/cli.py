@@ -43,8 +43,11 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("reference", "vectorized"),
                      help="hot-path implementation (default: REPRO_BACKEND "
                           "env var, else vectorized)")
-    run.add_argument("--load-balance", action="store_true",
-                     help="enable phase-D adaptive load balancing")
+    run.add_argument("--load-balance", nargs="?", const="centralized",
+                     default="off",
+                     choices=("off", "centralized", "distributed"),
+                     help="phase-D rebalance strategy (bare flag = "
+                          "centralized, the paper's protocol)")
     run.add_argument("--competing-load", type=float, default=0.0,
                      help="competing load on workstation 1 (Table 5: 2.0)")
     run.add_argument("--check-interval", type=int, default=10)
@@ -132,14 +135,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         cluster = sun4_cluster(args.workstations)
     y0 = np.random.default_rng(args.seed).uniform(0, 100, graph.num_vertices)
+    balancing = args.load_balance != "off"
     config = ProgramConfig(
         iterations=args.iterations,
         strategy=args.strategy,
         backend=args.backend,
         initial_capabilities="equal" if args.competing_load > 0 else "speeds",
         load_balance=(
-            LoadBalanceConfig(check_interval=args.check_interval)
-            if args.load_balance
+            LoadBalanceConfig(
+                check_interval=args.check_interval, style=args.load_balance
+            )
+            if balancing
             else None
         ),
     )
@@ -150,8 +156,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"virtual time: {report.makespan:.4f} s")
     eff = cluster_efficiency(cluster, report.makespan, report.total_work_seconds)
     print(f"efficiency (Sec. 4): {eff:.3f}")
-    if args.load_balance:
-        print(f"remaps: {report.num_remaps}, check cost {report.lb_check_time:.4f} s, "
+    if balancing:
+        print(f"strategy: {args.load_balance}, remaps: {report.num_remaps}, "
+              f"check cost {report.lb_check_time:.4f} s, "
               f"remap cost {report.remap_time:.4f} s")
     if args.verify:
         oracle = run_sequential(graph, y0, args.iterations)
@@ -283,6 +290,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     return 2
             else:
                 matched = [args.name]
+            if overrides:
+                # Fail fast: validate the overrides against every matched
+                # experiment *before* running any, so a glob run cannot
+                # burn minutes and then die mid-loop on the first
+                # experiment lacking an overridden axis.  Same check the
+                # runner applies per experiment.
+                from repro.experiments.runner import validate_overrides
+
+                for name in matched:
+                    validate_overrides(name, overrides, quick=args.quick)
             for name in matched:
                 artifact, path = run_experiment(
                     name,

@@ -35,6 +35,7 @@ __all__ = [
     "adaptive_run",
     "ordering_by_name",
     "scale_epoch_measurements",
+    "scale_adaptive_measurements",
     "ORDERING_NAMES",
 ]
 
@@ -118,7 +119,7 @@ def measure_remap(n: int, p: int, old_caps, new_caps, arrangement) -> float:
     from repro.net.cluster import sun4_cluster
     from repro.net.spmd import run_spmd
     from repro.partition.intervals import partition_list
-    from repro.runtime.redistribution import redistribute
+    from repro.runtime.adaptive import redistribute
 
     cluster = sun4_cluster(p)
     old = partition_list(n, old_caps)
@@ -308,17 +309,25 @@ def adaptive_run(
     lb: bool,
     competing_load: float = 2.0,
     check_interval: int = 10,
+    style: str = "centralized",
 ):
-    """One Table-5 run: competing load on ws 0, equal initial decomposition."""
+    """One Table-5 run: competing load on ws 0, equal initial decomposition.
+
+    *style* picks the rebalance strategy ("centralized" is the paper's
+    protocol, "distributed" its stated future work); ``lb=False`` runs the
+    no-balancing baseline regardless of style.
+    """
     from repro.apps.workloads import adaptive_testbed
-    from repro.runtime.controller import LoadBalanceConfig
+    from repro.runtime.adaptive import LoadBalanceConfig
     from repro.runtime.program import ProgramConfig, run_program
 
     cfg = ProgramConfig(
         iterations=iterations,
         initial_capabilities="equal",
         load_balance=(
-            LoadBalanceConfig(check_interval=check_interval) if lb else None
+            LoadBalanceConfig(check_interval=check_interval, style=style)
+            if lb
+            else None
         ),
     )
     cluster = adaptive_testbed(p, competing_load=competing_load)
@@ -523,6 +532,111 @@ def _exp_scale_generate(
         "n_edges": float(graph.num_edges),
         "mean_degree": float(graph.indices.size / n) if n else 0.0,
     }
+
+
+# --------------------------------------------------------------------------
+# Scale tier — dynamic-load scenarios through the full adaptive runtime
+# (Phase D at the 10k-500k tiers: the environment's capabilities change
+# *during* the run and the AdaptiveSession must keep up).
+
+
+def scale_adaptive_measurements(
+    tier: str,
+    scenario: str,
+    backend: str,
+    style: str,
+    p: int,
+    iterations: int,
+    check_interval: int,
+    *,
+    family: str = "grid",
+    workload_seed: int = 1995,
+) -> dict[str, float]:
+    """One dynamic-load run at a scale tier, through the adaptive session.
+
+    Virtual metrics (makespan, remap/check cost, remap count) are
+    backend-independent by the differential contract; the host-time
+    metrics (``redistribute_host_s``, ``run_host_s``) are what separates
+    the ``vectorized`` packed-slab exchange from the ``reference``
+    per-element loops.
+    """
+    from repro.apps.workloads import dynamic_load_cluster
+    from repro.runtime.adaptive import LoadBalanceConfig
+    from repro.runtime.kernels import KernelCostModel
+    from repro.runtime.program import ProgramConfig, run_program
+
+    graph, y0 = _scale_workload(tier, family, workload_seed)
+    n = graph.num_vertices
+    # Expected unloaded duration: the traces scale their onset/removal
+    # breakpoints to it so load changes always land mid-run.
+    work_per_iter = KernelCostModel().sweep_seconds(int(graph.indices.size), n)
+    horizon = iterations * work_per_iter / p
+    cluster = dynamic_load_cluster(p, scenario, horizon)
+    config = ProgramConfig(
+        iterations=iterations,
+        backend=backend,
+        initial_capabilities="equal",
+        load_balance=LoadBalanceConfig(
+            check_interval=check_interval, style=style
+        ),
+    )
+    t0 = time.perf_counter()
+    report = run_program(graph, cluster, config, y0=y0)
+    run_host_s = time.perf_counter() - t0
+    return {
+        "makespan": report.makespan,
+        "num_remaps": float(report.num_remaps),
+        "remap_time": report.remap_time,
+        "check_time": report.lb_check_time,
+        "redistribute_host_s": max(
+            s.redistribute_host_s for s in report.rank_stats
+        ),
+        "run_host_s": run_host_s,
+        "n_vertices": float(n),
+    }
+
+
+@experiment(
+    "scale-adaptive",
+    title="Scale tier: dynamic-load scenarios under adaptive load balancing",
+    paper_anchor="ROADMAP (beyond Table 5)",
+    grid={
+        "tier": ("10k", "100k", "250k", "500k"),
+        "scenario": ("onset", "hotspot", "ramp"),
+        "backend": ("vectorized", "reference"),
+        "style": ("centralized",),
+        "p": (4,),
+        "iterations": (30,),
+        "check_interval": (5,),
+        "workload_seed": (1995,),
+    },
+    quick_grid={
+        "tier": ("10k",),
+        "scenario": ("onset",),
+        "backend": ("vectorized", "reference"),
+        "style": ("centralized", "distributed"),
+        "p": (4,),
+        "iterations": (20,),
+        "check_interval": (5,),
+        "workload_seed": (1995,),
+    },
+    description="Phase D keeping up with mid-run load changes at scale; "
+    "vectorized vs reference packed redistribution.",
+    tags=("scale", "perf", "adaptive"),
+)
+def _exp_scale_adaptive(
+    params: Mapping[str, Any], *, seed: int
+) -> dict[str, float]:
+    return scale_adaptive_measurements(
+        str(params["tier"]),
+        str(params["scenario"]),
+        str(params["backend"]),
+        str(params["style"]),
+        int(params["p"]),
+        int(params["iterations"]),
+        int(params["check_interval"]),
+        workload_seed=int(params["workload_seed"]),
+    )
 
 
 # --------------------------------------------------------------------------

@@ -18,7 +18,12 @@ from repro.errors import ReproError
 from repro.experiments import artifacts, registry
 from repro.experiments.spec import Experiment, config_seed
 
-__all__ = ["DEFAULT_RESULTS_DIR", "max_rss_kb", "run_experiment"]
+__all__ = [
+    "DEFAULT_RESULTS_DIR",
+    "max_rss_kb",
+    "run_experiment",
+    "validate_overrides",
+]
 
 #: Artifacts land here unless the caller (CLI ``--results-dir``) overrides it.
 DEFAULT_RESULTS_DIR = Path("results")
@@ -59,6 +64,32 @@ def _check_metrics(name: str, params: Mapping[str, Any], metrics: Any) -> dict:
     return out
 
 
+def validate_overrides(
+    exp: Experiment | str,
+    overrides: Mapping[str, Any],
+    *,
+    quick: bool = False,
+) -> None:
+    """Reject override keys that are not axes of the selected grid.
+
+    Only grid axes may be overridden: a stray key would be recorded in
+    the artifact (and perturb the seed) without the experiment ever
+    reading it, making the artifact lie about what ran.  The CLI calls
+    this for every glob match *before* running anything, so one bad key
+    cannot kill a multi-experiment run mid-loop; :func:`run_experiment`
+    applies the same rule for direct callers.
+    """
+    if isinstance(exp, str):
+        exp = registry.get(exp)
+    axes = set(exp.configs(quick=quick)[0])
+    unknown = sorted(set(overrides) - axes)
+    if unknown:
+        raise ReproError(
+            f"unknown parameter(s) for experiment {exp.name!r}: "
+            f"{', '.join(unknown)}; grid axes: {', '.join(sorted(axes))}"
+        )
+
+
 def run_experiment(
     exp: Experiment | str,
     *,
@@ -77,16 +108,7 @@ def run_experiment(
         exp = registry.get(exp)
     configs = exp.configs(quick=quick)
     if overrides:
-        # Only grid axes may be overridden: a stray key would be recorded in
-        # the artifact (and perturb the seed) without the experiment ever
-        # reading it, making the artifact lie about what ran.
-        axes = set(configs[0])
-        unknown = sorted(set(overrides) - axes)
-        if unknown:
-            raise ReproError(
-                f"unknown parameter(s) for experiment {exp.name!r}: "
-                f"{', '.join(unknown)}; grid axes: {', '.join(sorted(axes))}"
-            )
+        validate_overrides(exp, overrides, quick=quick)
         merged: list[dict[str, Any]] = []
         for cfg in configs:
             cfg = {**cfg, **overrides}

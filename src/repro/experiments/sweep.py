@@ -80,7 +80,7 @@ def _make_cluster(load: str, p: int, seed: int):
 def run_scenario(params: Mapping[str, Any], *, seed: int) -> dict[str, float]:
     """Run one sweep scenario; metrics cover time, efficiency, and LB activity."""
     from repro.experiments.catalog import ordering_by_name
-    from repro.runtime.controller import LoadBalanceConfig
+    from repro.runtime.adaptive import LoadBalanceConfig
     from repro.runtime.efficiency import cluster_efficiency
     from repro.runtime.program import ProgramConfig, run_program
 

@@ -51,13 +51,12 @@ def gather(
         return None
     values: list[Any] = [None] * ctx.size
     values[root] = payload
-    for _ in range(ctx.size - 1):
-        msg = ctx.recv(tag=tag, return_message=True)
-        if values[msg.source] is not None and msg.source != root:
-            raise CommunicationError(
-                f"gather: duplicate contribution from rank {msg.source}"
-            )
-        values[msg.source] = msg.payload
+    # Deterministic drain: one contribution per peer, virtual time charged
+    # in arrival order regardless of host thread scheduling (duplicate
+    # contributions surface as unexpected-source errors).
+    peers = [r for r in range(ctx.size) if r != root]
+    for source, msg in ctx.recv_expected(peers, tag).items():
+        values[source] = msg.payload
     return values
 
 

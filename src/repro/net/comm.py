@@ -10,7 +10,9 @@ Real OS threads give true SPMD concurrency (ranks block on receives exactly
 as P4 processes would); **all reported time is virtual**, so results do not
 depend on the host machine, the GIL, or thread scheduling — except that the
 shared-Ethernet model orders contended frames by thread arrival (see
-:mod:`repro.net.network`).
+:mod:`repro.net.network`).  Known-pattern drains
+(:meth:`RankContext.recv_expected`) charge receives in virtual-arrival
+order, keeping clocks bit-reproducible on deterministic networks.
 """
 
 from __future__ import annotations
@@ -248,6 +250,51 @@ class RankContext:
                        peer=msg.source, tag=msg.tag)
         )
         return msg if return_message else msg.payload
+
+    def recv_expected(
+        self, sources: Iterable[int], tag: int = ANY_TAG
+    ) -> dict[int, Message]:
+        """Receive exactly one message from each of *sources*, in any
+        arrival order, and return them keyed by source rank.
+
+        The drain uses wildcard matching so progress never stalls on a
+        particular peer, but the **clock is charged in ascending virtual
+        (arrival_time, source) order** — not the host-thread order the
+        messages happened to be deposited in.  On deterministic networks
+        this makes the receiver's clock bit-reproducible across runs,
+        thread schedules, and runtime backends; it is the receive pattern
+        behind the executor primitives, rooted collectives, and the
+        load-report drains (one message per known peer per phase).
+        """
+        comm = self._comm
+        pending = set(sources)
+        if self.rank in pending:
+            raise CommunicationError(
+                "recv_expected cannot expect a message from self"
+            )
+        received: dict[int, Message] = {}
+        while pending:
+            msg = comm.mailboxes[self.rank].receive(
+                ANY_SOURCE, tag, timeout=comm.recv_timeout
+            )
+            if msg.source not in pending:
+                raise CommunicationError(
+                    f"rank {self.rank}: unexpected message from rank "
+                    f"{msg.source} (tag {msg.tag}) while expecting "
+                    f"{sorted(pending)}"
+                )
+            received[msg.source] = msg
+            pending.discard(msg.source)
+        for msg in sorted(
+            received.values(), key=lambda m: (m.arrival_time, m.source)
+        ):
+            t0 = self.clock
+            self.clock = max(self.clock, msg.arrival_time) + comm.recv_overhead
+            comm.trace.record(
+                TraceEvent("recv", self.rank, t0, self.clock,
+                           nbytes=msg.nbytes, peer=msg.source, tag=msg.tag)
+            )
+        return received
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         """Non-blocking check for a buffered matching message."""

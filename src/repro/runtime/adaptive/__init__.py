@@ -1,0 +1,66 @@
+"""Phase D as a subsystem: adaptive load balancing (Secs. 3.4-3.5).
+
+The paper's headline capability — monitor the load, test profitability,
+MinimizeCostRedistribution, remap — lives here as three pluggable layers:
+
+* :mod:`~repro.runtime.adaptive.strategy` — *when and what to remap*:
+  the :class:`RebalanceStrategy` protocol with the paper's
+  :class:`CentralizedStrategy`, the future-work
+  :class:`DistributedStrategy`, and :class:`NoBalancing`, all sharing one
+  deterministic :func:`decide` profitability function;
+* :mod:`~repro.runtime.adaptive.redistribution` — *how data moves*:
+  :func:`redistribute_fields` ships k fields plus vertex identity in one
+  packed message per peer, with backend-paired (reference/vectorized)
+  buffer packing;
+* :mod:`~repro.runtime.adaptive.session` — *the loop*:
+  :class:`AdaptiveSession` owns monitor → decide → redistribute →
+  inspector-rebuild, so ``run_program``, the adaptive apps, and the
+  benchmarks all drive the same code path.
+
+The old single-module homes (``repro.runtime.controller``,
+``repro.runtime.distributed_lb``, ``repro.runtime.redistribution``) remain
+importable as deprecation shims.
+"""
+
+from repro.runtime.adaptive.redistribution import (
+    IDENTITY_NBYTES,
+    estimate_remap_cost,
+    redistribute,
+    redistribute_fields,
+    transfer_plan_summary,
+)
+from repro.runtime.adaptive.session import AdaptiveSession, SessionStats
+from repro.runtime.adaptive.strategy import (
+    STRATEGY_NAMES,
+    CentralizedStrategy,
+    Decision,
+    DistributedStrategy,
+    LoadBalanceConfig,
+    NoBalancing,
+    RebalanceStrategy,
+    controller_check,
+    decide,
+    distributed_check,
+    make_strategy,
+)
+
+__all__ = [
+    "AdaptiveSession",
+    "CentralizedStrategy",
+    "Decision",
+    "DistributedStrategy",
+    "IDENTITY_NBYTES",
+    "LoadBalanceConfig",
+    "NoBalancing",
+    "RebalanceStrategy",
+    "STRATEGY_NAMES",
+    "SessionStats",
+    "controller_check",
+    "decide",
+    "distributed_check",
+    "estimate_remap_cost",
+    "make_strategy",
+    "redistribute",
+    "redistribute_fields",
+    "transfer_plan_summary",
+]

@@ -1,0 +1,237 @@
+"""The Phase D session: one owner for the monitor→decide→remap→rebuild loop.
+
+Before this subsystem existed, the loop of Sec. 3.5 — monitor the load,
+run the profitability check, redistribute, re-run the inspector — was
+hand-wired separately in ``run_program``, the adaptive-refinement app, and
+several benchmarks.  :class:`AdaptiveSession` is the single code path all
+of them drive now:
+
+* :meth:`record` feeds the per-iteration load sample to the monitor
+  ("average computation time per data item");
+* :meth:`maybe_rebalance` runs the configured
+  :class:`~repro.runtime.adaptive.strategy.RebalanceStrategy` at the
+  check interval and, when the decision says remap, performs the packed
+  redistribution and the inspector rebuild;
+* :meth:`remap_to` is the unconditional form for *adaptive applications*
+  (paper footnote 1), where the computational structure itself changes and
+  the caller supplies the new (typically weighted) partition.
+
+The session also does the bookkeeping Tables 4-5 are made of: virtual time
+spent in checks and remaps, check/remap counts, and the host seconds of
+the redistribution exchange (what the ``scale-adaptive`` benchmarks
+compare across backends).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import LoadBalanceError
+from repro.graph.csr import CSRGraph
+from repro.partition.intervals import IntervalPartition
+from repro.runtime.adaptive.redistribution import redistribute_fields
+from repro.runtime.adaptive.strategy import (
+    LoadBalanceConfig,
+    NoBalancing,
+    RebalanceStrategy,
+    make_strategy,
+)
+from repro.runtime.inspector import InspectorResult, run_inspector
+from repro.runtime.monitor import LoadMonitor
+from repro.runtime.schedule_builders import InspectorCostModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.comm import RankContext
+
+__all__ = ["SessionStats", "AdaptiveSession"]
+
+
+@dataclass
+class SessionStats:
+    """Per-rank Phase D bookkeeping for one session."""
+
+    inspector_time: float = 0.0  # virtual s: initial schedule build
+    lb_check_time: float = 0.0  # virtual s: strategy checks
+    remap_time: float = 0.0  # virtual s: redistribute + rebuild + barrier
+    num_checks: int = 0
+    num_remaps: int = 0
+    redistribute_host_s: float = 0.0  # host s inside the packed exchange
+
+
+@dataclass
+class AdaptiveSession:
+    """One rank's Phase D state machine (SPMD: every rank owns one).
+
+    Construction runs the inspector (Phase B) for the initial partition;
+    thereafter the session keeps ``partition`` and ``inspector`` consistent
+    through every remap, so callers always read the current schedule and
+    kernel plan from it.
+    """
+
+    ctx: "RankContext"
+    graph: CSRGraph
+    partition: IntervalPartition
+    total_iterations: int
+    lb: "LoadBalanceConfig | str | None" = None
+    strategy: "RebalanceStrategy | None" = None
+    schedule_strategy: str = "sort2"
+    inspector_cost: InspectorCostModel = field(default_factory=InspectorCostModel)
+    backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.total_iterations < 1:
+            raise LoadBalanceError(
+                f"total_iterations must be >= 1, got {self.total_iterations}"
+            )
+        explicit_off = self.lb == "off"
+        if isinstance(self.lb, str):
+            self.lb = (
+                None if explicit_off else LoadBalanceConfig(style=self.lb)
+            )
+        if self.strategy is None:
+            self.strategy = make_strategy(self.lb)
+        elif explicit_off:
+            # An explicit lb="off" wins over a supplied strategy object:
+            # the caller asked for the static baseline.
+            self.strategy = NoBalancing()
+        elif self.lb is None and not isinstance(self.strategy, NoBalancing):
+            # A caller-supplied strategy with no config would otherwise be
+            # silently inert (checks gate on the config); give it the
+            # default knobs so the pluggable path actually balances.
+            self.lb = LoadBalanceConfig()
+        self.stats = SessionStats()
+        self.monitor = LoadMonitor()
+        self._predictor = None
+        if self.lb is not None and self.lb.predictor is not None:
+            from repro.runtime.prediction import make_predictor
+
+            self._predictor = make_predictor(self.lb.predictor)
+        self.inspector: InspectorResult = self._build_inspector()
+        self.stats.inspector_time += self.inspector.build_time
+
+    # ------------------------------------------------------------------ #
+    # phase B plumbing
+    # ------------------------------------------------------------------ #
+
+    def _build_inspector(self) -> InspectorResult:
+        return run_inspector(
+            self.graph,
+            self.partition,
+            self.ctx.rank,
+            strategy=self.schedule_strategy,
+            ctx=self.ctx,
+            cost_model=self.inspector_cost,
+            backend=self.backend,
+        )
+
+    @property
+    def schedule(self):
+        """The current communication schedule (tracks remaps)."""
+        return self.inspector.schedule
+
+    @property
+    def kernel_plan(self):
+        """The current kernel plan (tracks remaps)."""
+        return self.inspector.kernel_plan
+
+    def interval(self) -> tuple[int, int]:
+        """This rank's current [lo, hi) block of the 1-D list."""
+        return self.partition.interval(self.ctx.rank)
+
+    # ------------------------------------------------------------------ #
+    # phase D proper
+    # ------------------------------------------------------------------ #
+
+    def record(self, compute_seconds: float, items: int) -> None:
+        """Feed one iteration's compute sample to the load monitor."""
+        self.monitor.record(compute_seconds, items)
+
+    def check_due(self, iteration: int) -> bool:
+        """Whether :meth:`maybe_rebalance` would run a check now.
+
+        *iteration* is 0-based; checks fire every ``check_interval``
+        completed iterations, never after the final one (there is nothing
+        left to rebalance for), and only once the monitor has a window.
+        """
+        if self.lb is None or isinstance(self.strategy, NoBalancing):
+            return False
+        done = iteration + 1
+        return (
+            done % self.lb.check_interval == 0
+            and done < self.total_iterations
+            and self.monitor.has_window
+        )
+
+    def maybe_rebalance(
+        self, iteration: int, fields: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Run Phase D at the end of *iteration* (0-based); SPMD collective.
+
+        When a check is due, every rank contributes its monitored load to
+        the strategy; if the collective decision says remap, *fields* are
+        redistributed to the new partition and the inspector is rebuilt.
+        Returns the (possibly moved) fields.
+        """
+        fields = list(fields)
+        if not self.check_due(iteration):
+            return fields
+        assert self.lb is not None
+        ctx = self.ctx
+        config = self.lb
+        if fields and config.num_fields != len(fields):
+            # Price the remap for what the packed exchange will really
+            # ship: every field plus identity, not just one field.  With
+            # no fields at all the configured pricing stands (the remap
+            # then only moves ownership and rebuilds schedules).
+            config = replace(config, num_fields=len(fields))
+        t0 = ctx.clock
+        time_per_item = self.monitor.avg_time_per_item()
+        if self._predictor is not None:
+            # Footnote 2: forecast next-phase capability from history.
+            self._predictor.observe(1.0 / time_per_item)
+            time_per_item = 1.0 / self._predictor.predict()
+        decision = self.strategy.check(
+            ctx,
+            self.partition,
+            time_per_item,
+            remaining_iterations=self.total_iterations - (iteration + 1),
+            config=config,
+        )
+        self.stats.lb_check_time += ctx.clock - t0
+        self.stats.num_checks += 1
+        self.monitor.reset_window()
+        if decision.remap:
+            assert decision.new_partition is not None
+            fields = self.remap_to(decision.new_partition, fields)
+        return fields
+
+    def remap_to(
+        self, new_partition: IntervalPartition, fields: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Remap unconditionally: redistribute, rebuild, synchronize.
+
+        The adaptive-application path (footnote 1): the caller computed a
+        new partition from changed per-vertex weights and every rank moves
+        its fields to their new homes, rebuilds the schedule, and barriers
+        so the remap cost is charged consistently across ranks.
+        """
+        ctx = self.ctx
+        fields = list(fields)
+        t0 = ctx.clock
+        if fields:
+            host0 = time.perf_counter()
+            fields = redistribute_fields(
+                ctx, self.partition, new_partition, fields,
+                backend=self.backend,
+            )
+            self.stats.redistribute_host_s += time.perf_counter() - host0
+        self.partition = new_partition
+        self.inspector = self._build_inspector()
+        ctx.barrier()
+        self.stats.remap_time += ctx.clock - t0
+        self.stats.num_remaps += 1
+        return fields

@@ -7,7 +7,9 @@ backend, in :mod:`repro.runtime.reference`) next to bulk-numpy rewrites
 
 * translation-table lookup / dereference,
 * inspector schedule construction (sort1/sort2/no-dedup/simple grouping),
-* executor gather/scatter buffer pack/unpack.
+* executor gather/scatter buffer pack/unpack,
+* redistribution slab pack/unpack and vertex-identity runs
+  (:func:`repro.runtime.adaptive.redistribute_fields`).
 
 Both backends produce **bit-identical** translation tables, schedules, and
 gather/scatter results, and charge identical *virtual* time — they differ

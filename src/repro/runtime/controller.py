@@ -1,192 +1,38 @@
-"""The centralized load-balancing controller (Sec. 3.5).
+"""Deprecated home of the centralized controller (Sec. 3.5).
 
-"In our current implementation each processor monitors its own load and
-sends it to a controller processor, which makes the decision about
-repartitioning the data.  ...  This currently requires sending the load
-information as separate messages to the controller, which broadcasts the
-decision to all the processors."
-
-The controller's profitability rule: remapping is profitable iff the
-predicted per-iteration improvement, summed over the remaining iterations,
-exceeds the estimated remap cost (redistribution + schedule rebuild).
+The controller moved into the Phase D subsystem:
+:mod:`repro.runtime.adaptive` (``CentralizedStrategy`` /
+``controller_check`` / the public ``decide`` profitability function).
+This module remains as a thin compatibility shim: the dataclasses
+re-export directly, the entry-point function warns once per call site.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+import warnings
+from typing import Any
 
-import numpy as np
-
-from repro.errors import LoadBalanceError
-from repro.net.message import Tags
-from repro.partition.arrangement import (
-    RedistributionCostModel,
-    minimize_cost_redistribution,
+from repro.runtime.adaptive.strategy import (  # noqa: F401  (re-exports)
+    Decision,
+    LoadBalanceConfig,
+    decide,
 )
-from repro.partition.intervals import IntervalPartition, partition_list
-from repro.runtime.redistribution import estimate_remap_cost
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.net.comm import RankContext
+from repro.runtime.adaptive.strategy import (
+    controller_check as _controller_check,
+)
 
 __all__ = ["LoadBalanceConfig", "Decision", "controller_check"]
 
-
-@dataclass(frozen=True)
-class LoadBalanceConfig:
-    """Knobs of the load-balancing protocol.
-
-    ``check_interval`` — iterations between checks (the paper checks every
-    10 and calls frequency selection out of scope; the ablation bench
-    sweeps it).
-    ``profitability_margin`` — remap only if predicted savings exceed
-    ``margin`` x estimated remap cost (1.0 = the paper's break-even rule).
-    ``min_improvement`` — additionally require the predicted per-iteration
-    improvement to exceed this fraction of the current per-iteration time;
-    filters out remaps that only chase block-rounding noise.
-    ``use_mcr`` — choose the new arrangement with MCR (True) or keep the
-    current arrangement (False; the "without MCR" baseline of Table 2).
-    ``rebuild_cost_estimate`` — virtual seconds charged for re-running the
-    inspector after a remap, included in the profitability test.
-    ``style`` — "centralized" (the paper's implementation) or "distributed"
-    (its stated future work; see :mod:`repro.runtime.distributed_lb`).
-    ``predictor`` — None for the paper's last-phase assumption, or a
-    predictor name from :mod:`repro.runtime.prediction` ("last",
-    "moving-average", "ewma", "trend") to forecast capabilities from more
-    than one previous phase (paper footnote 2).
-    """
-
-    check_interval: int = 10
-    profitability_margin: float = 1.0
-    min_improvement: float = 0.02
-    use_mcr: bool = True
-    element_nbytes: int = 8
-    rebuild_cost_estimate: float = 0.0
-    cost_model: RedistributionCostModel = RedistributionCostModel()
-    style: str = "centralized"
-    predictor: str | None = None
-
-    def __post_init__(self) -> None:
-        if self.check_interval < 1:
-            raise LoadBalanceError(
-                f"check_interval must be >= 1, got {self.check_interval}"
-            )
-        if self.profitability_margin < 0:
-            raise LoadBalanceError("profitability_margin must be >= 0")
-        if not (0.0 <= self.min_improvement < 1.0):
-            raise LoadBalanceError("min_improvement must be in [0, 1)")
-        if self.style not in ("centralized", "distributed"):
-            raise LoadBalanceError(
-                f"style must be 'centralized' or 'distributed', got "
-                f"{self.style!r}"
-            )
-        if self.element_nbytes <= 0:
-            raise LoadBalanceError("element_nbytes must be > 0")
+#: Deprecated private alias; use :func:`repro.runtime.adaptive.decide`.
+_decide = decide
 
 
-@dataclass(frozen=True)
-class Decision:
-    """The controller's broadcast decision."""
-
-    remap: bool
-    new_partition: IntervalPartition | None
-    predicted_current: float  # predicted next-phase time under current split
-    predicted_balanced: float  # predicted next-phase time after remap
-    remap_cost: float  # estimated redistribution + rebuild cost
-
-
-def controller_check(
-    ctx: "RankContext",
-    partition: IntervalPartition,
-    time_per_item: float,
-    remaining_iterations: int,
-    config: LoadBalanceConfig,
-    *,
-    root: int = 0,
-) -> Decision:
-    """One load-balance check (SPMD collective; all ranks call it).
-
-    Every rank contributes its monitored average compute time per item; the
-    controller (rank *root*) predicts the next phase's duration under the
-    current and the rebalanced partition, prices the remap, and broadcasts
-    a :class:`Decision`.
-    """
-    if remaining_iterations < 0:
-        raise LoadBalanceError("remaining_iterations must be >= 0")
-    # "sending the load information as separate messages to the controller"
-    if ctx.rank == root:
-        times = np.empty(ctx.size, dtype=np.float64)
-        times[root] = time_per_item
-        for _ in range(ctx.size - 1):
-            msg = ctx.recv(tag=Tags.LOAD_REPORT, return_message=True)
-            times[msg.source] = msg.payload
-        decision = _decide(ctx, partition, times, remaining_iterations, config)
-    else:
-        ctx.send(root, float(time_per_item), Tags.LOAD_REPORT)
-        decision = None
-    # "broadcasts the decision to all the processors"
-    return ctx.bcast(decision, root=root, tag=Tags.LB_DECISION)
-
-
-def _decide(
-    ctx: "RankContext",
-    partition: IntervalPartition,
-    times_per_item: np.ndarray,
-    remaining_iterations: int,
-    config: LoadBalanceConfig,
-) -> Decision:
-    if np.any(times_per_item <= 0) or not np.all(np.isfinite(times_per_item)):
-        raise LoadBalanceError(
-            f"invalid load reports: {times_per_item.tolist()}"
-        )
-    sizes = partition.sizes().astype(np.float64)
-    n = partition.num_elements
-    # Predicted next-phase (per-iteration) time under the current split:
-    # the slowest processor bounds the loosely synchronous iteration.
-    predicted_current = float(np.max(sizes * times_per_item))
-    # Estimated capabilities for the next phase (items/second), assuming
-    # the environment persists ("the computational resources allocated ...
-    # are the same as for the previous phase").
-    capabilities = 1.0 / times_per_item
-    predicted_balanced = float(n / capabilities.sum())
-
-    if config.use_mcr:
-        # Charge the controller's O(p^3) MCR search (paper Table 1 measures
-        # it at ~2 microseconds x p^3 on the testbed's workstations).
-        ctx.compute(2.0e-6 * ctx.size**3, label="mcr")
-        arrangement = minimize_cost_redistribution(
-            partition.owners,
-            sizes / max(sizes.sum(), 1.0),
-            capabilities / capabilities.sum(),
-            n,
-            cost_model=config.cost_model,
-        )
-    else:
-        arrangement = partition.owners
-    new_partition = partition_list(
-        n, capabilities / capabilities.sum(), arrangement
+def controller_check(*args: Any, **kwargs: Any) -> Decision:
+    """Deprecated alias of :func:`repro.runtime.adaptive.controller_check`."""
+    warnings.warn(
+        "repro.runtime.controller.controller_check moved to "
+        "repro.runtime.adaptive; import it from there",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    remap_cost = (
-        estimate_remap_cost(
-            ctx._comm.network, partition, new_partition, config.element_nbytes
-        )
-        + config.rebuild_cost_estimate
-    )
-    savings = (predicted_current - predicted_balanced) * remaining_iterations
-    relative_gain = (
-        (predicted_current - predicted_balanced) / predicted_current
-        if predicted_current > 0
-        else 0.0
-    )
-    profitable = (
-        savings > config.profitability_margin * remap_cost
-        and relative_gain >= config.min_improvement
-    )
-    return Decision(
-        remap=bool(profitable),
-        new_partition=new_partition if profitable else None,
-        predicted_current=predicted_current,
-        predicted_balanced=predicted_balanced,
-        remap_cost=remap_cost,
-    )
+    return _controller_check(*args, **kwargs)

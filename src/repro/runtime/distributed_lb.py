@@ -1,66 +1,32 @@
-"""Distributed load balancing — the paper's stated future work.
+"""Deprecated home of the distributed strategy (Sec. 3.5 future work).
 
-Sec. 3.5: "Centralized load-balancing algorithms are suitable for an
-environment with a small number of processors. ... When better resource
-management tools are available, we hope to have distributed strategies."
-
-This module provides that strategy: every rank announces its load to all
-peers (one hardware multicast per rank on Ethernet), then every rank runs
-the *same deterministic* decision procedure on the same inputs — no
-controller, no decision broadcast, no single point of serialization.  The
-decision logic is shared with the centralized controller, so the two
-strategies differ only in protocol cost:
-
-* centralized: (p-1) unicast load reports + 1 decision broadcast, decision
-  computed once;
-* distributed: p load multicasts, decision computed p times (redundantly).
-
-On multicast networks the distributed protocol's message count is O(p)
-either way but it removes the controller hot spot; on unicast-only networks
-it degrades to O(p^2) messages — exactly the trade-off the ablation
-benchmark quantifies.
+The strategy moved into the Phase D subsystem:
+:mod:`repro.runtime.adaptive` (``DistributedStrategy`` /
+``distributed_check``), which also makes the shared decision function a
+public API (``decide``) instead of the private ``controller._decide``
+this module used to import.  This shim keeps the old entry point
+importable; it warns once per call site.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import warnings
+from typing import Any
 
-import numpy as np
-
-from repro.errors import LoadBalanceError
-from repro.net.message import Tags
-from repro.partition.intervals import IntervalPartition
-from repro.runtime.controller import Decision, LoadBalanceConfig, _decide
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.net.comm import RankContext
+from repro.runtime.adaptive.strategy import Decision
+from repro.runtime.adaptive.strategy import (
+    distributed_check as _distributed_check,
+)
 
 __all__ = ["distributed_check"]
 
 
-def distributed_check(
-    ctx: "RankContext",
-    partition: IntervalPartition,
-    time_per_item: float,
-    remaining_iterations: int,
-    config: LoadBalanceConfig,
-) -> Decision:
-    """One decentralized load-balance check (SPMD collective).
-
-    Every rank multicasts its average compute time per item and collects the
-    p-1 peer reports, then evaluates the shared decision function locally.
-    Determinism of the decision procedure guarantees all ranks reach the
-    identical conclusion without exchanging it.
-    """
-    if remaining_iterations < 0:
-        raise LoadBalanceError("remaining_iterations must be >= 0")
-    peers = [r for r in range(ctx.size) if r != ctx.rank]
-    if peers:
-        ctx.multicast(peers, float(time_per_item), Tags.LOAD_REPORT)
-    times = np.empty(ctx.size, dtype=np.float64)
-    times[ctx.rank] = time_per_item
-    for _ in peers:
-        msg = ctx.recv(tag=Tags.LOAD_REPORT, return_message=True)
-        times[msg.source] = msg.payload
-    # Every rank redundantly runs the same deterministic decision.
-    return _decide(ctx, partition, times, remaining_iterations, config)
+def distributed_check(*args: Any, **kwargs: Any) -> Decision:
+    """Deprecated alias of :func:`repro.runtime.adaptive.distributed_check`."""
+    warnings.warn(
+        "repro.runtime.distributed_lb.distributed_check moved to "
+        "repro.runtime.adaptive; import it from there",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _distributed_check(*args, **kwargs)

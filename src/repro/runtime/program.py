@@ -6,8 +6,9 @@ kernel) over a simulated cluster, wiring together:
 * **Phase A** — a 1-D ordering of the graph + proportional interval split;
 * **Phase B** — the inspector (translation + communication schedule);
 * **Phase C** — the executor loop (gather, kernel sweep, barrier);
-* **Phase D** — optional adaptive load balancing (monitor, controller
-  check every ``check_interval`` iterations, MCR repartition,
+* **Phase D** — optional adaptive load balancing, delegated to
+  :class:`repro.runtime.adaptive.AdaptiveSession` (monitor, strategy
+  check every ``check_interval`` iterations, MCR repartition, packed
   redistribution, inspector rebuild).
 
 The report carries final values (in original vertex numbering), virtual
@@ -22,7 +23,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LoadBalanceError
 from repro.graph.csr import CSRGraph
 from repro.net.cluster import ClusterSpec
 from repro.net.spmd import SPMDResult, run_spmd
@@ -30,12 +31,9 @@ from repro.net.trace import TraceLog
 from repro.partition.intervals import IntervalPartition, partition_list
 from repro.partition.ordering import OrderingMethod
 from repro.partition.rcb import RCBOrdering
-from repro.runtime.controller import LoadBalanceConfig, controller_check
+from repro.runtime.adaptive import AdaptiveSession, LoadBalanceConfig
 from repro.runtime.executor import ExecutorCostModel, gather
-from repro.runtime.inspector import run_inspector
 from repro.runtime.kernels import KernelCostModel
-from repro.runtime.monitor import LoadMonitor
-from repro.runtime.redistribution import redistribute
 from repro.runtime.schedule_builders import InspectorCostModel
 
 __all__ = ["ProgramConfig", "RankStats", "ProgramReport", "run_program"]
@@ -56,7 +54,10 @@ class ProgramConfig:
     #: experiment: "the graph was decomposed assuming all the processors had
     #: equal computational ratio"), or an explicit capability vector.
     initial_capabilities: str | Sequence[float] = "speeds"
-    load_balance: LoadBalanceConfig | None = None
+    #: Phase D strategy: a :class:`LoadBalanceConfig`, a strategy name
+    #: ("off" | "centralized" | "distributed", default knobs), or None
+    #: (same as "off").  Normalized to LoadBalanceConfig | None on init.
+    load_balance: LoadBalanceConfig | str | None = None
     kernel_cost: KernelCostModel = KernelCostModel()
     inspector_cost: InspectorCostModel = InspectorCostModel()
     executor_cost: ExecutorCostModel = ExecutorCostModel()
@@ -67,6 +68,21 @@ class ProgramConfig:
         if self.iterations < 1:
             raise ConfigurationError(
                 f"iterations must be >= 1, got {self.iterations}"
+            )
+        if isinstance(self.load_balance, str):
+            from repro.runtime.adaptive import STRATEGY_NAMES
+
+            if self.load_balance not in STRATEGY_NAMES:
+                raise ConfigurationError(
+                    f"load_balance must be one of {STRATEGY_NAMES}, a "
+                    f"LoadBalanceConfig, or None; got {self.load_balance!r}"
+                )
+            object.__setattr__(
+                self,
+                "load_balance",
+                None
+                if self.load_balance == "off"
+                else LoadBalanceConfig(style=self.load_balance),
             )
         if self.backend is not None:
             from repro.runtime.backend import resolve_backend
@@ -87,6 +103,7 @@ class RankStats:
     num_checks: int = 0
     num_remaps: int = 0
     final_clock: float = 0.0
+    redistribute_host_s: float = 0.0  # host s inside packed remap exchanges
 
 
 @dataclass
@@ -105,7 +122,21 @@ class ProgramReport:
 
     @property
     def num_remaps(self) -> int:
-        return self.rank_stats[0].num_remaps
+        """Remaps performed, aggregated across ranks.
+
+        Remap decisions are collective, so every rank must report the same
+        count; a disagreement means the ranks desynchronized somewhere in
+        Phase D, which this property surfaces instead of silently
+        reporting rank 0's view.
+        """
+        counts = {s.num_remaps for s in self.rank_stats}
+        if len(counts) != 1:
+            per_rank = {s.rank: s.num_remaps for s in self.rank_stats}
+            raise LoadBalanceError(
+                f"ranks disagree on the number of remaps: {per_rank} — "
+                f"Phase D desynchronized"
+            )
+        return counts.pop()
 
     @property
     def total_work_seconds(self) -> float:
@@ -161,102 +192,51 @@ def _rank_main(
     config: ProgramConfig,
 ) -> dict[str, Any]:
     n = gperm.num_vertices
-    partition = partition_list(n, caps)
     stats = RankStats(rank=ctx.rank, n_local_final=0)
 
-    insp = run_inspector(
+    # Phase D lives in one place: the session builds the inspector, owns
+    # the monitor, and runs the strategy check / packed remap / rebuild.
+    session = AdaptiveSession(
+        ctx,
         gperm,
-        partition,
-        ctx.rank,
-        strategy=config.strategy,
-        ctx=ctx,
-        cost_model=config.inspector_cost,
+        partition_list(n, caps),
+        total_iterations=config.iterations,
+        lb=config.load_balance,
+        schedule_strategy=config.strategy,
+        inspector_cost=config.inspector_cost,
         backend=config.backend,
     )
-    stats.inspector_time += insp.build_time
-    lo, hi = partition.interval(ctx.rank)
+    lo, hi = session.interval()
     local = y_init[lo:hi].copy()
-    monitor = LoadMonitor()
-    lb = config.load_balance
-    predictor = None
-    if lb is not None and lb.predictor is not None:
-        from repro.runtime.prediction import make_predictor
-
-        predictor = make_predictor(lb.predictor)
 
     for it in range(config.iterations):
         ghost = gather(
-            ctx, insp.schedule, local, cost_model=config.executor_cost,
+            ctx, session.schedule, local, cost_model=config.executor_cost,
             backend=config.backend,
         )
         t0 = ctx.clock
-        local = insp.kernel_plan.sweep(local, ghost)
+        local = session.kernel_plan.sweep(local, ghost)
         ctx.compute(
             config.kernel_cost.sweep_seconds(
-                insp.kernel_plan.n_references, local.size
+                session.kernel_plan.n_references, local.size
             ),
             label="kernel",
         )
         stats.compute_time += ctx.clock - t0
-        monitor.record(ctx.clock - t0, int(local.size))
+        session.record(ctx.clock - t0, int(local.size))
         if config.barrier_each_iteration:
             ctx.barrier()
+        (local,) = session.maybe_rebalance(it, (local,))
 
-        if (
-            lb is not None
-            and (it + 1) % lb.check_interval == 0
-            and (it + 1) < config.iterations
-            and monitor.has_window
-        ):
-            t0 = ctx.clock
-            time_per_item = monitor.avg_time_per_item()
-            if predictor is not None:
-                # Footnote 2: forecast next-phase capability from history.
-                predictor.observe(1.0 / time_per_item)
-                time_per_item = 1.0 / predictor.predict()
-            if lb.style == "distributed":
-                from repro.runtime.distributed_lb import distributed_check
-
-                decision = distributed_check(
-                    ctx,
-                    partition,
-                    time_per_item,
-                    remaining_iterations=config.iterations - (it + 1),
-                    config=lb,
-                )
-            else:
-                decision = controller_check(
-                    ctx,
-                    partition,
-                    time_per_item,
-                    remaining_iterations=config.iterations - (it + 1),
-                    config=lb,
-                )
-            stats.lb_check_time += ctx.clock - t0
-            stats.num_checks += 1
-            monitor.reset_window()
-            if decision.remap:
-                assert decision.new_partition is not None
-                t0 = ctx.clock
-                local = redistribute(
-                    ctx, partition, decision.new_partition, local
-                )
-                partition = decision.new_partition
-                insp = run_inspector(
-                    gperm,
-                    partition,
-                    ctx.rank,
-                    strategy=config.strategy,
-                    ctx=ctx,
-                    cost_model=config.inspector_cost,
-                    backend=config.backend,
-                )
-                ctx.barrier()
-                stats.remap_time += ctx.clock - t0
-                stats.num_remaps += 1
+    stats.inspector_time = session.stats.inspector_time
+    stats.lb_check_time = session.stats.lb_check_time
+    stats.remap_time = session.stats.remap_time
+    stats.num_checks = session.stats.num_checks
+    stats.num_remaps = session.stats.num_remaps
+    stats.redistribute_host_s = session.stats.redistribute_host_s
 
     # Final assembly at rank 0.
-    lo, hi = partition.interval(ctx.rank)
+    lo, hi = session.interval()
     pieces = ctx.gather((lo, local), root=0)
     full = None
     if ctx.rank == 0:
@@ -265,7 +245,7 @@ def _rank_main(
             full[piece_lo : piece_lo + data.size] = data
     stats.n_local_final = int(local.size)
     stats.final_clock = ctx.clock
-    return {"stats": stats, "full": full, "partition": partition}
+    return {"stats": stats, "full": full, "partition": session.partition}
 
 
 def run_program(

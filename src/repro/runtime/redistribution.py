@@ -1,124 +1,44 @@
-"""Data redistribution between interval partitions (Sec. 3.4 mechanics).
+"""Deprecated home of interval redistribution (Sec. 3.4 mechanics).
 
-Given old and new partitions of the same 1-D list, every rank can compute
-the full transfer pattern locally (the partitions are replicated knowledge,
-like the Fig. 3 interval list), so the exchange needs no pattern-discovery
-round: each rank sends its outgoing slabs and receives exactly the incoming
-slabs the shared plan predicts.
-
-:func:`estimate_remap_cost` is the analytic cost the load-balancing
-controller uses for its profitability test before actually moving anything.
+The exchange moved into the Phase D subsystem:
+:mod:`repro.runtime.adaptive` (``redistribute`` / ``redistribute_fields``
+/ ``estimate_remap_cost``), gaining packed multi-field messages and
+backend-paired packing on the way.  This shim keeps the old entry points
+importable; they warn once per call site.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import warnings
+from typing import Any
 
 import numpy as np
 
-from repro.errors import RedistributionError
-from repro.net.message import Tags
-from repro.partition.arrangement import Transfer, transfer_matrix
-from repro.partition.intervals import IntervalPartition
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.net.comm import RankContext
-    from repro.net.network import NetworkModel
+from repro.runtime.adaptive.redistribution import (
+    estimate_remap_cost as _estimate_remap_cost,
+)
+from repro.runtime.adaptive.redistribution import redistribute as _redistribute
 
 __all__ = ["redistribute", "estimate_remap_cost"]
 
 
-def redistribute(
-    ctx: "RankContext",
-    old: IntervalPartition,
-    new: IntervalPartition,
-    local_data: np.ndarray,
-    *,
-    tag: int = Tags.REDISTRIBUTE,
-) -> np.ndarray:
-    """Move this rank's block from the *old* to the *new* partition.
-
-    SPMD collective: all ranks call it with their old-block data; each
-    returns its new-block data.  One message per transfer slab, matching
-    the message accounting of
-    :func:`repro.partition.arrangement.message_count`.
-    """
-    local_data = np.asarray(local_data)
-    old_lo, old_hi = old.interval(ctx.rank)
-    if local_data.shape[0] != old_hi - old_lo:
-        raise RedistributionError(
-            f"rank {ctx.rank}: data has {local_data.shape[0]} elements, old "
-            f"interval holds {old_hi - old_lo}"
-        )
-    transfers = transfer_matrix(old, new)
-    new_lo, new_hi = new.interval(ctx.rank)
-    out = np.empty((new_hi - new_lo,) + local_data.shape[1:],
-                   dtype=local_data.dtype)
-
-    # Retained overlap: the slab (if any) that stays on this rank.
-    keep_lo = max(old_lo, new_lo)
-    keep_hi = min(old_hi, new_hi)
-    if keep_lo < keep_hi:
-        out[keep_lo - new_lo : keep_hi - new_lo] = local_data[
-            keep_lo - old_lo : keep_hi - old_lo
-        ]
-
-    # Outgoing slabs (in global order, so per-destination FIFO order is
-    # deterministic and matches the receiver's expectation).
-    for tr in transfers:
-        if tr.source == ctx.rank:
-            ctx.send(tr.dest, np.ascontiguousarray(
-                local_data[tr.lo - old_lo : tr.hi - old_lo]), tag)
-
-    # Incoming slabs: receive per (source, slab) in plan order.
-    for tr in transfers:
-        if tr.dest == ctx.rank:
-            payload = np.asarray(ctx.recv(tr.source, tag))
-            if payload.shape[0] != tr.count:
-                raise RedistributionError(
-                    f"rank {ctx.rank}: slab from {tr.source} has "
-                    f"{payload.shape[0]} elements, plan says {tr.count}"
-                )
-            out[tr.lo - new_lo : tr.hi - new_lo] = payload
-    return out
+def redistribute(*args: Any, **kwargs: Any) -> np.ndarray:
+    """Deprecated alias of :func:`repro.runtime.adaptive.redistribute`."""
+    warnings.warn(
+        "repro.runtime.redistribution.redistribute moved to "
+        "repro.runtime.adaptive; import it from there",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _redistribute(*args, **kwargs)
 
 
-def estimate_remap_cost(
-    network: "NetworkModel",
-    old: IntervalPartition,
-    new: IntervalPartition,
-    element_nbytes: int,
-    *,
-    shared_medium: bool | None = None,
-) -> float:
-    """Predicted virtual seconds to redistribute, without doing it.
-
-    On a shared medium (Ethernet) all frames serialize, so the estimate is
-    the sum of per-message fixed costs plus total bytes over the shared
-    bandwidth.  On switched fabrics transfers to distinct destinations can
-    overlap; we approximate with the per-destination maximum.
-    """
-    if element_nbytes <= 0:
-        raise RedistributionError(
-            f"element_nbytes must be > 0, got {element_nbytes}"
-        )
-    transfers = transfer_matrix(old, new)
-    if not transfers:
-        return 0.0
-    latency = float(getattr(network, "latency", 1e-3))
-    bandwidth = float(getattr(network, "bandwidth", 1.25e6))
-    overhead = float(getattr(network, "per_message_overhead", 5e-4))
-    if shared_medium is None:
-        from repro.net.network import SharedEthernet
-
-        shared_medium = isinstance(network, SharedEthernet)
-    fixed = len(transfers) * (overhead + latency)
-    if shared_medium:
-        total_bytes = sum(tr.count for tr in transfers) * element_nbytes
-        return fixed + total_bytes / bandwidth
-    by_link: dict[tuple[int, int], int] = {}
-    for tr in transfers:
-        key = (tr.source, tr.dest)
-        by_link[key] = by_link.get(key, 0) + tr.count * element_nbytes
-    slowest = max(by_link.values())
-    return fixed + slowest / bandwidth
+def estimate_remap_cost(*args: Any, **kwargs: Any) -> float:
+    """Deprecated alias of :func:`repro.runtime.adaptive.estimate_remap_cost`."""
+    warnings.warn(
+        "repro.runtime.redistribution.estimate_remap_cost moved to "
+        "repro.runtime.adaptive; import it from there",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _estimate_remap_cost(*args, **kwargs)

@@ -38,6 +38,9 @@ __all__ = [
     "unpack_loop",
     "scatter_add_loop",
     "scatter_replace_loop",
+    "slab_pack_loop",
+    "slab_unpack_loop",
+    "iota_loop",
 ]
 
 
@@ -273,3 +276,34 @@ def scatter_replace_loop(
     fancy-index assignment)."""
     for k, i in enumerate(idx.tolist()):
         local[i] = payload[k]
+
+
+# ---------------------------------------------------------------------- #
+# redistribution slab pack/unpack (phase D)
+# ---------------------------------------------------------------------- #
+
+
+def slab_pack_loop(data: np.ndarray, start: int, stop: int) -> np.ndarray:
+    """Copy the contiguous slab ``data[start:stop]`` into a fresh send
+    buffer one element at a time (matches ``np.ascontiguousarray`` of the
+    vectorized slice)."""
+    buf = np.empty((stop - start,) + data.shape[1:], dtype=data.dtype)
+    for k in range(stop - start):
+        buf[k] = data[start + k]
+    return buf
+
+
+def slab_unpack_loop(out: np.ndarray, start: int, payload: np.ndarray) -> None:
+    """Place a received slab at ``out[start:...]`` one element at a time
+    (matches the vectorized slice assignment)."""
+    for k in range(payload.shape[0]):
+        out[start + k] = payload[k]
+
+
+def iota_loop(lo: int, hi: int) -> np.ndarray:
+    """Build the vertex-identity run [lo, hi) one element at a time
+    (matches ``np.arange(lo, hi, dtype=np.intp)``)."""
+    arr = np.empty(hi - lo, dtype=np.intp)
+    for k in range(hi - lo):
+        arr[k] = lo + k
+    return arr

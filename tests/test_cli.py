@@ -16,7 +16,18 @@ class TestParser:
         args = build_parser().parse_args(["run"])
         assert args.vertices == 4000
         assert args.strategy == "sort2"
-        assert not args.load_balance
+        assert args.load_balance == "off"
+
+    def test_run_load_balance_forms(self):
+        # Bare flag means the paper's centralized protocol.
+        args = build_parser().parse_args(["run", "--load-balance"])
+        assert args.load_balance == "centralized"
+        args = build_parser().parse_args(
+            ["run", "--load-balance", "distributed"]
+        )
+        assert args.load_balance == "distributed"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--load-balance", "magic"])
 
     def test_run_rejects_bad_workstations(self):
         with pytest.raises(SystemExit):
@@ -55,6 +66,18 @@ class TestCommands:
         ])
         assert rc == 0
         out = capsys.readouterr().out
+        assert "strategy: centralized" in out
+        assert "remaps:" in out
+
+    def test_run_with_distributed_load_balance(self, capsys):
+        rc = main([
+            "run", "--vertices", "400", "--iterations", "20",
+            "--workstations", "3", "--load-balance", "distributed",
+            "--competing-load", "2.0", "--verify",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "strategy: distributed" in out
         assert "remaps:" in out
 
     def test_orderings(self, capsys):
@@ -114,3 +137,18 @@ class TestBenchGlobs:
         out = capsys.readouterr().out
         assert "backend=vectorized" in out and "backend=reference" in out
         assert (tmp_path / "scale-epoch-quick.json").exists()
+
+
+class TestBenchGlobOverrideValidation:
+    def test_glob_override_fails_fast_before_running(self, capsys, tmp_path):
+        # "family" is an axis of scale-epoch/scale-generate but not of
+        # scale-adaptive: the whole glob run must refuse up front, before
+        # any experiment burns time or writes an artifact.
+        rc = main([
+            "bench", "run", "scale-*", "--set", 'family="grid"',
+            "--results-dir", str(tmp_path),
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "scale-adaptive" in err and "family" in err
+        assert list(tmp_path.iterdir()) == []

@@ -45,6 +45,7 @@ def test_registry_discovery_finds_all_registered_experiments():
     found = set(names())
     assert PAPER_EXPERIMENTS <= found
     assert {"sweep_small", "sweep_full"} <= found
+    assert {"scale-epoch", "scale-generate", "scale-adaptive"} <= found
 
 
 def test_every_experiment_has_anchor_and_grids():

@@ -49,6 +49,12 @@ def test_remap_decisions_match(current, golden):
     assert current["remap_decisions"] == golden["remap_decisions"]
 
 
+def test_transfer_plan_matches(current, golden):
+    """The packed-exchange plan for the paper's Fig. 5 remap is pinned:
+    slab boundaries, per-peer message count, and packed wire sizes."""
+    assert current["transfer_plan"] == golden["transfer_plan"]
+
+
 def test_artifact_schema_still_validates():
     """The bench artifact produced by the scale family passes the normative
     schema check (schema-versioned results are a public contract)."""

@@ -19,7 +19,7 @@ from repro.net.loadmodel import ConstantLoad, StepLoad
 from repro.partition.ordering import IdentityOrdering, RandomOrdering
 from repro.partition.rcb import RCBOrdering
 from repro.partition.sfc import MortonOrdering
-from repro.runtime.controller import LoadBalanceConfig
+from repro.runtime.adaptive import LoadBalanceConfig
 from repro.runtime.kernels import run_sequential
 from repro.runtime.program import ProgramConfig, run_program
 

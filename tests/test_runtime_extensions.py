@@ -16,8 +16,8 @@ from repro.net.cluster import adaptive_cluster, heterogeneous_cluster, uniform_c
 from repro.net.network import PointToPointNetwork, SharedEthernet
 from repro.net.spmd import run_spmd
 from repro.partition.intervals import partition_list
-from repro.runtime.controller import LoadBalanceConfig
-from repro.runtime.distributed_lb import distributed_check
+from repro.runtime.adaptive import LoadBalanceConfig
+from repro.runtime.adaptive import distributed_check
 from repro.runtime.kernels import run_sequential
 from repro.runtime.prediction import (
     ExponentialSmoothingPredictor,

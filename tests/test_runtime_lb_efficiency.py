@@ -10,7 +10,7 @@ from repro.net.cluster import heterogeneous_cluster, uniform_cluster
 from repro.net.loadmodel import ConstantLoad
 from repro.net.spmd import run_spmd
 from repro.partition.intervals import partition_list
-from repro.runtime.controller import LoadBalanceConfig, controller_check
+from repro.runtime.adaptive import LoadBalanceConfig, controller_check
 from repro.runtime.efficiency import (
     adaptive_cluster_efficiency,
     adaptive_efficiency,

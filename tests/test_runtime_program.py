@@ -16,7 +16,7 @@ from repro.net.loadmodel import ConstantLoad, StepLoad
 from repro.partition.ordering import IdentityOrdering, RandomOrdering
 from repro.partition.sfc import HilbertOrdering
 from repro.partition.spectral import SpectralOrdering
-from repro.runtime.controller import LoadBalanceConfig
+from repro.runtime.adaptive import LoadBalanceConfig
 from repro.runtime.kernels import run_sequential
 from repro.runtime.program import ProgramConfig, run_program
 

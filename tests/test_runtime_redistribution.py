@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.errors import RankFailedError, RedistributionError
 from repro.net.cluster import uniform_cluster
+from repro.net.message import Tags, pack_arrays
 from repro.net.network import ETHERNET_10MBIT, PointToPointNetwork, SwitchedNetwork
 from repro.net.spmd import run_spmd
 from repro.partition.arrangement import (
@@ -17,7 +18,13 @@ from repro.partition.arrangement import (
     transfer_matrix,
 )
 from repro.partition.intervals import partition_list
-from repro.runtime.redistribution import estimate_remap_cost, redistribute
+from repro.runtime.adaptive import (
+    estimate_remap_cost,
+    redistribute,
+    redistribute_fields,
+    transfer_plan_summary,
+)
+from repro.runtime.backend import BACKENDS
 
 
 def do_redistribute(n, old_caps, new_caps, p, old_arr=None, new_arr=None):
@@ -173,3 +180,164 @@ class TestEstimateRemapCost:
         res = run_spmd(uniform_cluster(4), fn)
         actual = max(res.values)
         assert est == pytest.approx(actual, rel=1.0)
+
+
+class TestRedistributeFields:
+    """The packed multi-field exchange (ISSUE 3 tentpole)."""
+
+    def run_fields(self, n, old, new, fields, p, *, backend=None):
+        def fn(ctx):
+            lo, hi = old.interval(ctx.rank)
+            outs = redistribute_fields(
+                ctx, old, new, [f[lo:hi].copy() for f in fields],
+                backend=backend,
+            )
+            return outs
+
+        return run_spmd(uniform_cluster(p), fn, trace=True)
+
+    def test_multi_field_lands_at_new_homes(self):
+        n, p = 120, 4
+        rng = np.random.default_rng(7)
+        old = partition_list(n, [0.3, 0.3, 0.2, 0.2])
+        new = partition_list(n, [0.1, 0.2, 0.3, 0.4], [2, 0, 3, 1])
+        fields = [
+            rng.uniform(size=n),
+            rng.integers(0, 1000, size=n),
+            rng.uniform(size=(n, 3)),
+        ]
+        res = self.run_fields(n, old, new, fields, p)
+        for rank, outs in enumerate(res.values):
+            lo, hi = new.interval(rank)
+            for f, out in zip(fields, outs):
+                np.testing.assert_array_equal(out, f[lo:hi])
+                assert out.dtype == f.dtype
+
+    def test_one_packed_message_per_peer(self):
+        """k fields still cost one message per peer pair, not k."""
+        n, p = 100, 5
+        old = partition_list(n, [0.27, 0.18, 0.34, 0.07, 0.14])
+        new = partition_list(n, [0.10, 0.13, 0.29, 0.24, 0.24])
+        fields = [np.arange(n, dtype=np.float64), np.ones(n)]
+        res = self.run_fields(n, old, new, fields, p)
+        assert res.trace.message_count() == message_count(old, new)
+
+    def test_identity_guard_detects_corrupt_slab(self):
+        """A slab whose vertex identity disagrees with the plan is rejected."""
+        n = 10
+        old = partition_list(n, [1.0, 1.0])
+        new = partition_list(n, [1.2, 0.8])  # plan: rank1 -> rank0 slab
+        data = np.arange(n, dtype=np.float64)
+
+        def fn(ctx):
+            lo, hi = old.interval(ctx.rank)
+            if ctx.rank == 1:
+                # Impersonate the exchange but lie about which vertices move.
+                [tr] = transfer_matrix(old, new)
+                wrong_identity = np.arange(tr.lo + 1, tr.hi + 1, dtype=np.intp)
+                ctx.send(
+                    tr.dest,
+                    pack_arrays([
+                        wrong_identity,
+                        data[tr.lo - lo : tr.hi - lo],
+                    ]),
+                    Tags.REDISTRIBUTE,
+                )
+                return None
+            return redistribute_fields(ctx, old, new, [data[lo:hi].copy()])
+
+        with pytest.raises(RankFailedError) as err:
+            run_spmd(uniform_cluster(2), fn)
+        assert "identities" in str(err.value)
+
+    def test_rejects_empty_field_list(self):
+        old = partition_list(10, [1, 1])
+
+        def fn(ctx):
+            redistribute_fields(ctx, old, old, [])
+
+        with pytest.raises(RankFailedError):
+            run_spmd(uniform_cluster(2), fn)
+
+    @given(
+        seed=st.integers(0, 60),
+        n=st.integers(6, 250),
+        p=st.integers(2, 5),
+        k=st.integers(1, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_bit_identical_across_backends(self, seed, n, p, k):
+        """Both backends: same arrays, bit for bit, and same virtual times."""
+        rng = np.random.default_rng(seed)
+        old = partition_list(n, rng.dirichlet(np.ones(p)) + 0.05)
+        new = partition_list(
+            n, rng.dirichlet(np.ones(p)) + 0.05, rng.permutation(p)
+        )
+        fields = [rng.uniform(-1e6, 1e6, size=n) for _ in range(k)]
+
+        per_backend = {}
+        for backend in BACKENDS:
+            def fn(ctx):
+                lo, hi = old.interval(ctx.rank)
+                return redistribute_fields(
+                    ctx, old, new,
+                    [f[lo:hi].copy() for f in fields],
+                    backend=backend,
+                )
+
+            res = run_spmd(uniform_cluster(p), fn)
+            per_backend[backend] = res
+            for rank, outs in enumerate(res.values):
+                lo, hi = new.interval(rank)
+                for f, out in zip(fields, outs):
+                    np.testing.assert_array_equal(out, f[lo:hi])
+        ref, vec = per_backend["reference"], per_backend["vectorized"]
+        for a, b in zip(ref.values, vec.values):
+            for fa, fb in zip(a, b):
+                np.testing.assert_array_equal(fa, fb)
+        # PointToPointNetwork is deterministic, so virtual clocks must agree
+        # exactly: both backends send identical payloads in identical order.
+        assert ref.clocks == vec.clocks
+
+    def test_single_field_wrapper_matches_fields_form(self):
+        n, p = 80, 3
+        rng = np.random.default_rng(3)
+        old = partition_list(n, [0.5, 0.3, 0.2])
+        new = partition_list(n, [0.2, 0.3, 0.5])
+        base = rng.uniform(size=n)
+
+        def fn(ctx):
+            lo, hi = old.interval(ctx.rank)
+            a = redistribute(ctx, old, new, base[lo:hi].copy())
+            [b] = redistribute_fields(ctx, old, new, [base[lo:hi].copy()])
+            np.testing.assert_array_equal(a, b)
+            return True
+
+        assert all(run_spmd(uniform_cluster(p), fn).values)
+
+
+class TestTransferPlanSummary:
+    def test_paper_example_structure(self):
+        old = partition_list(100, [0.27, 0.18, 0.34, 0.07, 0.14])
+        new = partition_list(100, [0.10, 0.13, 0.29, 0.24, 0.24])
+        summary = transfer_plan_summary(old, new, num_fields=2)
+        assert summary["packed_messages"] == message_count(old, new)
+        assert summary["moved_elements"] == sum(
+            tr.count for tr in transfer_matrix(old, new)
+        )
+        # Every packed message prices identity + both fields.
+        for key, nbytes in summary["packed_message_nbytes"].items():
+            src, dst = key.split("->")
+            count = sum(
+                tr.count
+                for tr in transfer_matrix(old, new)
+                if tr.source == int(src) and tr.dest == int(dst)
+            )
+            assert nbytes >= count * (8 + 2 * 8)
+
+    def test_identity_partition_is_empty(self):
+        part = partition_list(50, np.ones(4))
+        summary = transfer_plan_summary(part, part)
+        assert summary["transfers"] == []
+        assert summary["packed_messages"] == 0
+        assert summary["moved_elements"] == 0

@@ -29,6 +29,9 @@ def build_golden() -> dict:
     """Compute the pinned facts (shared with the regression test)."""
     from repro.experiments.catalog import _workload, adaptive_run
     from repro.experiments.runner import run_experiment
+    from repro.partition.arrangement import minimize_cost_redistribution
+    from repro.partition.intervals import partition_list
+    from repro.runtime.adaptive import transfer_plan_summary
 
     artifact, _ = run_experiment(
         "scale-epoch", quick=True, overrides={"tier": "10k"}, results_dir=None
@@ -49,12 +52,29 @@ def build_golden() -> dict:
         "num_checks": int(stats.num_checks),
         "final_sizes": [int(s) for s in report.partition_final.sizes()],
     }
+
+    # The packed-exchange transfer plan for the paper's Fig. 5 capability
+    # change (Sec. 3.4), under the MCR arrangement: slabs, per-peer packed
+    # message count, and each message's wire size for 2 fields + identity.
+    old_caps = [0.27, 0.18, 0.34, 0.07, 0.14]
+    new_caps = [0.10, 0.13, 0.29, 0.24, 0.24]
+    arrangement = minimize_cost_redistribution(
+        list(range(5)), old_caps, new_caps, 100
+    )
+    plan = transfer_plan_summary(
+        partition_list(100, old_caps),
+        partition_list(100, new_caps, arrangement),
+        num_fields=2,
+    )
+
     return {
-        "comment": "Structural schedule facts and remap decisions pinned by "
+        "comment": "Structural schedule facts, remap decisions, and the "
+        "packed-exchange transfer plan pinned by "
         "tests/test_golden_artifacts.py; regenerate with "
         "tools/make_golden.py if semantics intentionally change.",
         "scale_epoch_structural": epoch,
         "remap_decisions": remap,
+        "transfer_plan": plan,
     }
 
 
