@@ -20,7 +20,12 @@ from repro.net.cluster import (
     sun4_cluster,
     uniform_cluster,
 )
-from repro.net.loadmodel import RampLoad, StepLoad
+from repro.net.loadmodel import (
+    MembershipEvent,
+    MembershipTrace,
+    RampLoad,
+    StepLoad,
+)
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = [
@@ -31,6 +36,8 @@ __all__ = [
     "adaptive_testbed",
     "DYNAMIC_SCENARIOS",
     "dynamic_load_cluster",
+    "ELASTIC_SCENARIOS",
+    "elastic_cluster",
 ]
 
 
@@ -170,3 +177,77 @@ def dynamic_load_cluster(
         f"unknown dynamic-load scenario {scenario!r}; "
         f"known: {DYNAMIC_SCENARIOS}"
     )
+
+
+#: The elastic-membership scenario names of the ``scale-elastic`` experiments.
+ELASTIC_SCENARIOS = ("leave-at-peak", "join-midrun", "churn")
+
+
+def elastic_cluster(
+    p: int,
+    scenario: str,
+    horizon: float,
+    *,
+    competing_load: float = 2.0,
+) -> ClusterSpec:
+    """A uniform pool whose *membership* changes during the run.
+
+    These are the elastic computational environments of the paper's Sec. 1
+    taxonomy taken to their limit: machines do not merely slow down, they
+    appear and disappear.  *horizon* is the expected virtual duration of
+    the run on the full pool; the membership events scale to it so every
+    scenario forces its changes mid-run at any mesh size:
+
+    * ``"leave-at-peak"`` — the owner of workstation 0 returns at 15% of
+      the horizon (``competing_load`` competing processes) and reclaims
+      the machine outright at 105%, when its contention is at its peak.  A
+      balancing run sheds work soon after the onset and later drains a
+      lightly-loaded block; the static baseline rides the full imbalance
+      for roughly half its (stretched) run and then pays the same
+      mandatory drain;
+    * ``"join-midrun"`` — workstation ``p-1`` starts standby and becomes
+      available at 40% of the horizon: only a balancing run re-runs the
+      profitability test and adopts the extra capability;
+    * ``"churn"`` — workstation 1 leaves at 30%, rejoins at 60%, and
+      workstation 2 leaves at 90%: no membership decision is ever final,
+      and every remap repartitions onto a different-sized active set.
+
+    *horizon* is a **compute-only** estimate (kernel cost x iterations /
+    pool size); the real run is longer — communication per iteration, and
+    competing loads or shrunken pools stretching every phase they touch —
+    which is why the leave-at-peak departure sits at 105%: it lands
+    mid-run for the balancing arm and around the halfway point for the
+    slower static baseline, so both arms pay the mandatory drain.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    if p < 2:
+        raise ValueError(f"elastic scenarios need p >= 2, got {p}")
+    cluster = uniform_cluster(p, name=f"elastic-{scenario}")
+    if scenario == "leave-at-peak":
+        cluster = cluster.with_load(
+            0, StepLoad([(0.0, 0.0), (0.15 * horizon, competing_load)])
+        )
+        trace = MembershipTrace(
+            p, [MembershipEvent(1.05 * horizon, "leave", 0)]
+        )
+    elif scenario == "join-midrun":
+        trace = MembershipTrace(
+            p,
+            [MembershipEvent(0.40 * horizon, "join", p - 1)],
+            initially_inactive=[p - 1],
+        )
+    elif scenario == "churn":
+        trace = MembershipTrace(
+            p,
+            [
+                MembershipEvent(0.30 * horizon, "leave", 1),
+                MembershipEvent(0.60 * horizon, "join", 1),
+                MembershipEvent(0.90 * horizon, "leave", 2 % p),
+            ],
+        )
+    else:
+        raise ValueError(
+            f"unknown elastic scenario {scenario!r}; known: {ELASTIC_SCENARIOS}"
+        )
+    return cluster.with_membership(trace)

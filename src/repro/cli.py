@@ -50,6 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "centralized, the paper's protocol)")
     run.add_argument("--competing-load", type=float, default=0.0,
                      help="competing load on workstation 1 (Table 5: 2.0)")
+    run.add_argument("--membership", default=None, metavar="TRACE",
+                     help="elastic membership events, e.g. "
+                          "'standby:3, join:3@5.0, leave:0@9.5, "
+                          "replace:1->2@12' (kind:rank@virtual-time; "
+                          "standby:R starts rank R inactive)")
     run.add_argument("--check-interval", type=int, default=10)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--verify", action="store_true",
@@ -117,6 +122,7 @@ def _cmd_info() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.errors import LoadBalanceError
     from repro.graph import paper_mesh
     from repro.net import adaptive_cluster, sun4_cluster
     from repro.runtime import (
@@ -140,7 +146,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         strategy=args.strategy,
         backend=args.backend,
-        initial_capabilities="equal" if args.competing_load > 0 else "speeds",
+        initial_capabilities=(
+            "equal"
+            if args.competing_load > 0 or args.membership
+            else "speeds"
+        ),
         load_balance=(
             LoadBalanceConfig(
                 check_interval=args.check_interval, style=args.load_balance
@@ -148,8 +158,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if balancing
             else None
         ),
+        membership=args.membership,
     )
-    report = run_program(graph, cluster, config, y0=y0)
+    try:
+        report = run_program(graph, cluster, config, y0=y0)
+    except LoadBalanceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"workload: {graph}")
     print(f"cluster:  {args.workstations} workstations "
           f"(speeds {cluster.speeds.tolist()})")
@@ -160,6 +175,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"strategy: {args.load_balance}, remaps: {report.num_remaps}, "
               f"check cost {report.lb_check_time:.4f} s, "
               f"remap cost {report.remap_time:.4f} s")
+    if args.membership:
+        events = report.membership_events
+        final = report.partition_final
+        survivors = np.flatnonzero(final.sizes() > 0).tolist()
+        print(f"membership: {events} event(s) applied, "
+              f"{report.num_remaps} remap(s), final data on ranks "
+              f"{survivors} (sizes {final.sizes().tolist()})")
     if args.verify:
         oracle = run_sequential(graph, y0, args.iterations)
         err = float(np.abs(report.values - oracle).max())

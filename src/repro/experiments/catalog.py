@@ -36,6 +36,7 @@ __all__ = [
     "ordering_by_name",
     "scale_epoch_measurements",
     "scale_adaptive_measurements",
+    "scale_elastic_measurements",
     "ORDERING_NAMES",
 ]
 
@@ -632,6 +633,112 @@ def _exp_scale_adaptive(
         str(params["scenario"]),
         str(params["backend"]),
         str(params["style"]),
+        int(params["p"]),
+        int(params["iterations"]),
+        int(params["check_interval"]),
+        workload_seed=int(params["workload_seed"]),
+    )
+
+
+# --------------------------------------------------------------------------
+# Scale tier — elastic membership scenarios (machines join and leave the
+# pool mid-run; the AdaptiveSession drains departures through the packed
+# redistribution and re-runs the profitability test for joiners).
+
+
+def scale_elastic_measurements(
+    tier: str,
+    scenario: str,
+    backend: str,
+    lb: bool,
+    p: int,
+    iterations: int,
+    check_interval: int,
+    *,
+    family: str = "grid",
+    workload_seed: int = 1995,
+) -> dict[str, float]:
+    """One elastic-membership run at a scale tier, through the session.
+
+    ``lb=False`` is the static baseline: departures still drain (the data
+    has nowhere else to go), but load imbalance is never corrected and
+    joins are never adopted.  Virtual metrics are backend-independent by
+    the differential contract; ``final_active`` counts the ranks actually
+    holding data at the end (the surviving set).
+    """
+    from repro.apps.workloads import elastic_cluster
+    from repro.runtime.adaptive import LoadBalanceConfig
+    from repro.runtime.kernels import KernelCostModel
+    from repro.runtime.program import ProgramConfig, run_program
+
+    graph, y0 = _scale_workload(tier, family, workload_seed)
+    n = graph.num_vertices
+    work_per_iter = KernelCostModel().sweep_seconds(int(graph.indices.size), n)
+    horizon = iterations * work_per_iter / p
+    cluster = elastic_cluster(p, scenario, horizon)
+    config = ProgramConfig(
+        iterations=iterations,
+        backend=backend,
+        initial_capabilities="equal",
+        load_balance=(
+            LoadBalanceConfig(check_interval=check_interval) if lb else None
+        ),
+    )
+    t0 = time.perf_counter()
+    report = run_program(graph, cluster, config, y0=y0)
+    run_host_s = time.perf_counter() - t0
+    final = report.partition_final
+    return {
+        "makespan": report.makespan,
+        "num_remaps": float(report.num_remaps),
+        "membership_events": float(report.membership_events),
+        "remap_time": report.remap_time,
+        "check_time": report.lb_check_time,
+        "redistribute_host_s": max(
+            s.redistribute_host_s for s in report.rank_stats
+        ),
+        "run_host_s": run_host_s,
+        "final_active": float((final.sizes() > 0).sum()),
+        "n_vertices": float(n),
+    }
+
+
+@experiment(
+    "scale-elastic",
+    title="Scale tier: elastic membership (join/leave/churn) mid-run",
+    paper_anchor="ROADMAP (beyond Table 5; Sec. 1 adaptive taxonomy)",
+    grid={
+        "tier": ("10k", "100k", "250k", "500k"),
+        "scenario": ("leave-at-peak", "join-midrun", "churn"),
+        "backend": ("vectorized", "reference"),
+        "lb": (True, False),
+        "p": (4,),
+        "iterations": (30,),
+        "check_interval": (5,),
+        "workload_seed": (1995,),
+    },
+    quick_grid={
+        "tier": ("10k",),
+        "scenario": ("leave-at-peak", "join-midrun"),
+        "backend": ("vectorized", "reference"),
+        "lb": (True, False),
+        "p": (4,),
+        "iterations": (20,),
+        "check_interval": (5,),
+        "workload_seed": (1995,),
+    },
+    description="Machines join/leave the pool mid-run; mandatory drains, "
+    "profitability-tested joins, vs the static (drain-only) baseline.",
+    tags=("scale", "perf", "adaptive", "elastic"),
+)
+def _exp_scale_elastic(
+    params: Mapping[str, Any], *, seed: int
+) -> dict[str, float]:
+    return scale_elastic_measurements(
+        str(params["tier"]),
+        str(params["scenario"]),
+        str(params["backend"]),
+        bool(params["lb"]),
         int(params["p"]),
         int(params["iterations"]),
         int(params["check_interval"]),

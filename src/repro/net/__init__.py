@@ -18,6 +18,8 @@ from repro.net.loadmodel import (
     CompositeLoad,
     ConstantLoad,
     LoadTrace,
+    MembershipEvent,
+    MembershipTrace,
     NoLoad,
     RampLoad,
     RandomWalkLoad,
@@ -54,6 +56,8 @@ __all__ = [
     "ETHERNET_100MBIT",
     "ETHERNET_10MBIT",
     "LoadTrace",
+    "MembershipEvent",
+    "MembershipTrace",
     "Message",
     "NetworkModel",
     "NoLoad",

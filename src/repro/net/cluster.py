@@ -14,7 +14,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.net.loadmodel import ConstantLoad, LoadTrace, NoLoad
+from repro.net.loadmodel import ConstantLoad, LoadTrace, MembershipTrace, NoLoad
 from repro.net.network import ETHERNET_10MBIT, NetworkModel, PointToPointNetwork
 from repro.net.processor import ProcessorSpec
 
@@ -36,15 +36,30 @@ SUN4_SPEEDS: tuple[float, ...] = (1.0, 0.95, 0.80, 0.70, 0.55)
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """An immutable description of a simulated cluster."""
+    """An immutable description of a simulated cluster.
+
+    ``membership`` (optional) records when machines join or leave the pool
+    at runtime (the elastic axis of the paper's adaptive environments); a
+    cluster without a trace is statically provisioned.
+    """
 
     processors: tuple[ProcessorSpec, ...]
     network_factory: Callable[[], NetworkModel] = field(default=PointToPointNetwork)
     name: str = "cluster"
+    membership: MembershipTrace | None = None
 
     def __post_init__(self) -> None:
         if not self.processors:
             raise ConfigurationError("a cluster needs at least one processor")
+        if (
+            self.membership is not None
+            and self.membership.world_size != len(self.processors)
+        ):
+            raise ConfigurationError(
+                f"membership trace describes a world of "
+                f"{self.membership.world_size} ranks, cluster has "
+                f"{len(self.processors)}"
+            )
 
     @property
     def size(self) -> int:
@@ -55,14 +70,46 @@ class ClusterSpec:
         """Relative base speeds as a float vector."""
         return np.array([p.speed for p in self.processors], dtype=np.float64)
 
-    def capability_ratios(self, t: float = 0.0) -> np.ndarray:
+    def effective_speeds(self, t: float = 0.0) -> np.ndarray:
+        """Unnormalized effective speeds at *t*, ignoring membership.
+
+        This is the raw machine view: what each workstation could deliver if
+        it were participating.  Membership masking happens in
+        :meth:`capability_ratios`.
+        """
+        return np.array(
+            [p.effective_speed(t) for p in self.processors], dtype=np.float64
+        )
+
+    def active_mask(self, t: float = 0.0) -> np.ndarray:
+        """Boolean active-rank mask at *t* (all-true without a trace)."""
+        if self.membership is None:
+            return np.ones(self.size, dtype=bool)
+        return self.membership.active_mask(t)
+
+    def capability_ratios(
+        self, t: float = 0.0, active: Sequence[bool] | np.ndarray | None = None
+    ) -> np.ndarray:
         """Normalized effective speeds at virtual time *t*.
 
         This is the paper's "computational capability ratio" vector (e.g.
         P0=0.27, P1=0.18, ... in Sec. 3.4): effective speeds normalized to
-        sum to one.
+        sum to one.  Inactive ranks (from *active*, or the cluster's own
+        membership trace when *active* is omitted) contribute a ratio of
+        exactly 0, so proportional splits give them nothing.
         """
-        eff = np.array([p.effective_speed(t) for p in self.processors])
+        eff = self.effective_speeds(t)
+        mask = self.active_mask(t) if active is None else np.asarray(active, bool)
+        if mask.shape != (self.size,):
+            raise ConfigurationError(
+                f"active mask has shape {mask.shape}, cluster has "
+                f"{self.size} processors"
+            )
+        if not mask.any():
+            raise ConfigurationError(
+                f"no active processors at t={t}; capability ratios undefined"
+            )
+        eff = np.where(mask, eff, 0.0)
         return eff / eff.sum()
 
     def make_network(self) -> NetworkModel:
@@ -73,16 +120,29 @@ class ClusterSpec:
 
     def subset(self, ranks: Sequence[int]) -> "ClusterSpec":
         """A cluster using only the listed processors (paper's "workstations
-        1,2,3" notation selects prefixes of the pool)."""
+        1,2,3" notation selects prefixes of the pool).  A membership trace
+        is re-indexed onto the sub-world; events for dropped ranks vanish."""
         ranks = list(ranks)
         if not ranks:
             raise ConfigurationError("subset needs at least one rank")
         if any(r < 0 or r >= self.size for r in ranks):
             raise ConfigurationError(f"subset ranks out of range: {ranks}")
+        sub_membership = None
+        if self.membership is not None:
+            try:
+                sub_membership = self.membership.subset(ranks)
+            except ValueError as exc:
+                # E.g. the kept ranks all start standby, or the surviving
+                # events empty the active set: not a runnable sub-world.
+                raise ConfigurationError(
+                    f"membership trace does not restrict to ranks "
+                    f"{ranks}: {exc}"
+                ) from None
         return replace(
             self,
             processors=tuple(self.processors[r] for r in ranks),
             name=f"{self.name}[{','.join(map(str, ranks))}]",
+            membership=sub_membership,
         )
 
     def prefix(self, n: int) -> "ClusterSpec":
@@ -96,6 +156,10 @@ class ClusterSpec:
         procs = list(self.processors)
         procs[rank] = procs[rank].with_load(load)
         return replace(self, processors=tuple(procs))
+
+    def with_membership(self, trace: MembershipTrace | None) -> "ClusterSpec":
+        """A copy whose active rank set follows *trace* (None detaches)."""
+        return replace(self, membership=trace)
 
 
 def uniform_cluster(

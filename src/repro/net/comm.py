@@ -374,6 +374,12 @@ class RankContext:
     def trace(self) -> TraceLog:
         return self._comm.trace
 
+    @property
+    def cluster(self) -> ClusterSpec:
+        """The cluster specification this rank runs on (replicated
+        knowledge: every rank may consult speeds, loads, membership)."""
+        return self._comm.cluster
+
     def capability_snapshot(self) -> np.ndarray:
         """Current normalized effective speeds of all processors.
 

@@ -1,4 +1,4 @@
-"""Competing-load traces for adaptive computational environments.
+"""Competing-load and membership traces for adaptive environments.
 
 The paper's adaptive experiments (Table 5) add "a constant competing load" to
 one workstation: the data-parallel process then receives only a fraction of
@@ -10,6 +10,16 @@ speed ``s`` is ``s / (1 + L(t))``.
 All traces are piecewise-constant in time (ramps and random walks are
 discretized at construction), which lets :func:`advance_clock` integrate the
 rate exactly, segment by segment.
+
+Sec. 1's definition of an adaptive environment also covers machines whose
+*availability* changes at runtime — a workstation is reclaimed by its owner,
+a faster one becomes idle and joins.  :class:`MembershipTrace` describes
+that axis: join/leave/replace events at virtual times over a fixed world of
+processors.  It deliberately shares the load traces' piecewise-constant
+algebra (``next_change_after`` with a ``math.inf`` sentinel), and
+:meth:`MembershipTrace.presence_load` projects absence onto an ordinary
+:class:`StepLoad` so membership composes with competing loads through
+:class:`CompositeLoad`.
 """
 
 from __future__ import annotations
@@ -32,6 +42,8 @@ __all__ = [
     "RampLoad",
     "RandomWalkLoad",
     "CompositeLoad",
+    "MembershipEvent",
+    "MembershipTrace",
     "advance_clock",
     "work_done_in",
 ]
@@ -201,6 +213,287 @@ class CompositeLoad(LoadTrace):
 
     def next_change_after(self, t: float) -> float:
         return min(tr.next_change_after(t) for tr in self._traces)
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One change of the active processor set at a virtual time.
+
+    ``kind`` is ``"leave"`` (the machine is reclaimed), ``"join"`` (a
+    standby machine becomes available), or ``"replace"`` (*rank* leaves and
+    *replacement* joins atomically — the "a workstation is swapped for a
+    faster one" scenario).
+    """
+
+    time: float
+    kind: str
+    rank: int
+    replacement: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("leave", "join", "replace"):
+            raise ValueError(
+                f"membership event kind must be leave/join/replace, "
+                f"got {self.kind!r}"
+            )
+        if not (math.isfinite(self.time) and self.time >= 0):
+            raise ValueError(f"event time must be finite and >= 0, got {self.time}")
+        if self.rank < 0:
+            raise ValueError(f"event rank must be >= 0, got {self.rank}")
+        if (self.replacement is not None) != (self.kind == "replace"):
+            raise ValueError(
+                "replacement is required for 'replace' events and forbidden "
+                "otherwise"
+            )
+        if self.replacement is not None and self.replacement < 0:
+            raise ValueError(
+                f"replacement rank must be >= 0, got {self.replacement}"
+            )
+        if self.replacement == self.rank:
+            raise ValueError(
+                f"replace event cannot swap rank {self.rank} for itself"
+            )
+
+
+class MembershipTrace:
+    """The active rank set over virtual time for a *world_size* pool.
+
+    All ranks start active except those in *initially_inactive* (standby
+    machines that may join later).  Events apply at their timestamp:
+    ``active_mask(t)`` reflects every event with ``time <= t``.  The trace
+    is validated at construction by replaying it: a leave requires the rank
+    to be active, a join requires it to be standby, and the active set may
+    never become empty — an invalid trace fails here, not mid-run.
+
+    Like the load traces, the trace is replicated knowledge (every rank
+    holds a copy, mirroring the paper's replicated interval list), which is
+    what lets membership decisions be evaluated redundantly on every rank
+    without a discovery protocol.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        events: Sequence[MembershipEvent] = (),
+        *,
+        initially_inactive: Sequence[int] = (),
+    ):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = int(world_size)
+        inactive = frozenset(int(r) for r in initially_inactive)
+        if any(r < 0 or r >= world_size for r in inactive):
+            raise ValueError(
+                f"initially_inactive ranks out of range: {sorted(inactive)}"
+            )
+        if len(inactive) == world_size:
+            raise ValueError("at least one rank must start active")
+        self.initially_inactive = inactive
+        # Stable sort: coincident events apply in their listed order.
+        self.events: tuple[MembershipEvent, ...] = tuple(
+            sorted(events, key=lambda ev: ev.time)
+        )
+        self._times = [ev.time for ev in self.events]
+        # Replay once to validate and precompute the mask after each event.
+        active = set(range(world_size)) - inactive
+        masks = []
+        for ev in self.events:
+            for leaving, joining in self._as_moves(ev):
+                if leaving is not None:
+                    if leaving not in active:
+                        raise ValueError(
+                            f"rank {leaving} cannot leave at t={ev.time}: "
+                            f"not active"
+                        )
+                    active.discard(leaving)
+                if joining is not None:
+                    if joining >= world_size:
+                        raise ValueError(
+                            f"event rank {joining} out of range for world "
+                            f"of {world_size}"
+                        )
+                    if joining in active:
+                        raise ValueError(
+                            f"rank {joining} cannot join at t={ev.time}: "
+                            f"already active"
+                        )
+                    active.add(joining)
+            if not active:
+                raise ValueError(
+                    f"active set empties at t={ev.time}; a run needs at "
+                    f"least one processor"
+                )
+            mask = np.zeros(world_size, dtype=bool)
+            mask[sorted(active)] = True
+            masks.append(mask)
+        self._masks = masks
+
+    def _as_moves(
+        self, ev: MembershipEvent
+    ) -> list[tuple[int | None, int | None]]:
+        """Decompose one event into (leaving, joining) rank moves."""
+        if ev.rank >= self.world_size:
+            raise ValueError(
+                f"event rank {ev.rank} out of range for world of "
+                f"{self.world_size}"
+            )
+        if ev.kind == "leave":
+            return [(ev.rank, None)]
+        if ev.kind == "join":
+            return [(None, ev.rank)]
+        return [(ev.rank, ev.replacement)]
+
+    # ------------------------------------------------------------------ #
+    # the piecewise-constant algebra shared with the load traces
+    # ------------------------------------------------------------------ #
+
+    def active_mask(self, t: float) -> np.ndarray:
+        """Boolean mask (indexed by rank) of the active set at time *t*."""
+        idx = bisect_right(self._times, t) - 1
+        if idx < 0:
+            mask = np.ones(self.world_size, dtype=bool)
+            if self.initially_inactive:
+                mask[sorted(self.initially_inactive)] = False
+            return mask
+        return self._masks[idx].copy()
+
+    def active_at(self, t: float) -> frozenset[int]:
+        """The active rank set at time *t* (set form of the mask)."""
+        return frozenset(int(r) for r in np.flatnonzero(self.active_mask(t)))
+
+    def events_between(self, t0: float, t1: float) -> list[MembershipEvent]:
+        """Events with ``t0 < time <= t1`` (the poll window of a session)."""
+        if t1 < t0:
+            raise ValueError(f"need t1 >= t0, got ({t0}, {t1}]")
+        lo = bisect_right(self._times, t0)
+        hi = bisect_right(self._times, t1)
+        return list(self.events[lo:hi])
+
+    def next_change_after(self, t: float) -> float:
+        """The next membership breakpoint strictly after *t*, or ``inf``."""
+        idx = bisect_right(self._times, t)
+        if idx >= len(self._times):
+            return math.inf
+        return self._times[idx]
+
+    # ------------------------------------------------------------------ #
+    # composition and derivation helpers
+    # ------------------------------------------------------------------ #
+
+    def presence_load(self, rank: int, *, absent_load: float = 1e9) -> StepLoad:
+        """Project one rank's absence onto a :class:`StepLoad`.
+
+        While the rank is inactive the step carries *absent_load* competing
+        processes (default: effectively starving the application), so
+        membership can be composed with ordinary competing loads through
+        :class:`CompositeLoad` — useful for visualisation and for the
+        algebra property tests, not used by the runtime itself (the session
+        drains a departing rank instead of letting it starve).
+        """
+        if not (0 <= rank < self.world_size):
+            raise ValueError(f"rank {rank} out of range")
+        steps: list[tuple[float, float]] = [
+            (0.0, 0.0 if rank not in self.initially_inactive else absent_load)
+        ]
+        for ev, mask in zip(self.events, self._masks):
+            load = 0.0 if mask[rank] else absent_load
+            if load != steps[-1][1]:
+                steps.append((ev.time, load))
+        return StepLoad(steps)
+
+    def subset(self, ranks: Sequence[int]) -> "MembershipTrace":
+        """Re-index the trace onto the sub-world of *ranks*.
+
+        Events touching dropped ranks are discarded; a replace whose two
+        sides straddle the subset degrades to the surviving half.
+        """
+        ranks = [int(r) for r in ranks]
+        if any(r < 0 or r >= self.world_size for r in ranks):
+            raise ValueError(f"subset ranks out of range: {ranks}")
+        index = {r: i for i, r in enumerate(ranks)}
+        events: list[MembershipEvent] = []
+        for ev in self.events:
+            if ev.kind == "replace":
+                old_in = ev.rank in index
+                new_in = ev.replacement in index
+                if old_in and new_in:
+                    events.append(
+                        MembershipEvent(
+                            ev.time, "replace", index[ev.rank],
+                            replacement=index[ev.replacement],
+                        )
+                    )
+                elif old_in:
+                    events.append(MembershipEvent(ev.time, "leave", index[ev.rank]))
+                elif new_in:
+                    events.append(
+                        MembershipEvent(ev.time, "join", index[ev.replacement])
+                    )
+            elif ev.rank in index:
+                events.append(MembershipEvent(ev.time, ev.kind, index[ev.rank]))
+        return MembershipTrace(
+            len(ranks),
+            events,
+            initially_inactive=[
+                index[r] for r in sorted(self.initially_inactive) if r in index
+            ],
+        )
+
+    @classmethod
+    def parse(cls, spec: str, world_size: int) -> "MembershipTrace":
+        """Build a trace from the CLI mini-language.
+
+        *spec* is a comma- or semicolon-separated event list::
+
+            standby:3, join:3@5.0, leave:0@9.5, replace:1->2@12
+
+        ``standby:R`` marks rank R initially inactive; the other tokens are
+        ``kind:rank@time`` with ``replace`` naming ``old->new``.
+        """
+        inactive: list[int] = []
+        events: list[MembershipEvent] = []
+        for raw in spec.replace(";", ",").split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            kind, sep, rest = token.partition(":")
+            kind = kind.strip()
+            if not sep:
+                raise ValueError(f"malformed membership token {token!r}")
+            try:
+                if kind == "standby":
+                    inactive.append(int(rest))
+                    continue
+                body, at, time_text = rest.partition("@")
+                if not at:
+                    raise ValueError("missing @time")
+                t = float(time_text)
+                if kind == "replace":
+                    old_text, arrow, new_text = body.partition("->")
+                    if not arrow:
+                        raise ValueError("replace needs old->new")
+                    events.append(
+                        MembershipEvent(
+                            t, "replace", int(old_text),
+                            replacement=int(new_text),
+                        )
+                    )
+                elif kind in ("leave", "join"):
+                    events.append(MembershipEvent(t, kind, int(body)))
+                else:
+                    raise ValueError(f"unknown event kind {kind!r}")
+            except ValueError as exc:
+                raise ValueError(
+                    f"malformed membership token {token!r}: {exc}"
+                ) from None
+        return cls(world_size, events, initially_inactive=inactive)
+
+    def __repr__(self) -> str:
+        return (
+            f"MembershipTrace(world_size={self.world_size}, "
+            f"events={len(self.events)}, "
+            f"initially_inactive={sorted(self.initially_inactive)})"
+        )
 
 
 def advance_clock(

@@ -15,13 +15,25 @@ MinimizeCostRedistribution, remap — lives here as three pluggable layers:
 * :mod:`~repro.runtime.adaptive.session` — *the loop*:
   :class:`AdaptiveSession` owns monitor → decide → redistribute →
   inspector-rebuild, so ``run_program``, the adaptive apps, and the
-  benchmarks all drive the same code path.
+  benchmarks all drive the same code path;
+* :mod:`~repro.runtime.adaptive.elastic` — *who participates*:
+  :class:`MembershipTrace` events grow and shrink the active rank set at
+  runtime; :class:`ElasticState` + :func:`membership_decision` drain
+  departing ranks through the same packed redistribution and re-run the
+  profitability test for joiners.
 
 The old single-module homes (``repro.runtime.controller``,
 ``repro.runtime.distributed_lb``, ``repro.runtime.redistribution``) remain
 importable as deprecation shims.
 """
 
+from repro.runtime.adaptive.elastic import (
+    ElasticState,
+    MembershipEvent,
+    MembershipTrace,
+    membership_decision,
+    resolve_membership,
+)
 from repro.runtime.adaptive.redistribution import (
     IDENTITY_NBYTES,
     estimate_remap_cost,
@@ -49,8 +61,11 @@ __all__ = [
     "CentralizedStrategy",
     "Decision",
     "DistributedStrategy",
+    "ElasticState",
     "IDENTITY_NBYTES",
     "LoadBalanceConfig",
+    "MembershipEvent",
+    "MembershipTrace",
     "NoBalancing",
     "RebalanceStrategy",
     "STRATEGY_NAMES",
@@ -60,7 +75,9 @@ __all__ = [
     "distributed_check",
     "estimate_remap_cost",
     "make_strategy",
+    "membership_decision",
     "redistribute",
     "redistribute_fields",
+    "resolve_membership",
     "transfer_plan_summary",
 ]

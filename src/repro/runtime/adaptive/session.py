@@ -14,7 +14,11 @@ of them drive now:
   redistribution and the inspector rebuild;
 * :meth:`remap_to` is the unconditional form for *adaptive applications*
   (paper footnote 1), where the computational structure itself changes and
-  the caller supplies the new (typically weighted) partition.
+  the caller supplies the new (typically weighted) partition;
+* :meth:`poll_membership` applies elastic membership events
+  (:mod:`repro.runtime.adaptive.elastic`): a departing rank's fields are
+  drained through the same packed redistribution and the schedules are
+  rebuilt for the shrunk (or grown) active set.
 
 The session also does the bookkeeping Tables 4-5 are made of: virtual time
 spent in checks and remaps, check/remap counts, and the host seconds of
@@ -33,6 +37,12 @@ import numpy as np
 from repro.errors import LoadBalanceError
 from repro.graph.csr import CSRGraph
 from repro.partition.intervals import IntervalPartition
+from repro.runtime.adaptive.elastic import (
+    ElasticState,
+    MembershipTrace,
+    membership_decision,
+    resolve_membership,
+)
 from repro.runtime.adaptive.redistribution import redistribute_fields
 from repro.runtime.adaptive.strategy import (
     LoadBalanceConfig,
@@ -59,6 +69,7 @@ class SessionStats:
     remap_time: float = 0.0  # virtual s: redistribute + rebuild + barrier
     num_checks: int = 0
     num_remaps: int = 0
+    membership_events: int = 0  # elastic join/leave/replace events applied
     redistribute_host_s: float = 0.0  # host s inside the packed exchange
 
 
@@ -81,6 +92,10 @@ class AdaptiveSession:
     schedule_strategy: str = "sort2"
     inspector_cost: InspectorCostModel = field(default_factory=InspectorCostModel)
     backend: str | None = None
+    #: Elastic membership: a trace, a CLI DSL string, or None to inherit
+    #: the cluster's own trace (ClusterSpec.membership); clusters without
+    #: one run with a fixed rank set, exactly as before.
+    membership: "MembershipTrace | str | None" = None
 
     def __post_init__(self) -> None:
         if self.total_iterations < 1:
@@ -110,6 +125,48 @@ class AdaptiveSession:
             from repro.runtime.prediction import make_predictor
 
             self._predictor = make_predictor(self.lb.predictor)
+        trace = resolve_membership(
+            self.membership
+            if self.membership is not None
+            else self.ctx.cluster.membership,
+            self.ctx.size,
+        )
+        self.elastic: ElasticState | None = (
+            ElasticState(trace) if trace is not None else None
+        )
+        if self.elastic is not None and not isinstance(
+            self.strategy, NoBalancing
+        ):
+            # Elastic checks pass the active mask through check(); fail
+            # fast on a caller-supplied strategy with the pre-elastic
+            # signature instead of a mid-run TypeError at the first check.
+            import inspect
+
+            params = inspect.signature(self.strategy.check).parameters
+            accepts_active = "active" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in params.values()
+            )
+            if not accepts_active:
+                raise LoadBalanceError(
+                    f"strategy {self.strategy.name!r} does not accept the "
+                    f"'active' keyword its check() needs under elastic "
+                    f"membership; update it to the current "
+                    f"RebalanceStrategy protocol"
+                )
+        self._last_sync_clock = self.ctx.clock
+        self._last_span = 0.0
+        self._rebuild_cost = 0.0  # learned from the last remap's true span
+        if self.elastic is not None:
+            sizes = self.partition.sizes()
+            standby = ~self.elastic.active
+            if np.any(standby & (sizes > 0)):
+                bad = np.flatnonzero(standby & (sizes > 0)).tolist()
+                raise LoadBalanceError(
+                    f"initial partition assigns elements to standby ranks "
+                    f"{bad}; mask the initial capabilities with the "
+                    f"membership trace's active set at t=0"
+                )
         self.inspector: InspectorResult = self._build_inspector()
         self.stats.inspector_time += self.inspector.build_time
 
@@ -142,6 +199,77 @@ class AdaptiveSession:
         """This rank's current [lo, hi) block of the 1-D list."""
         return self.partition.interval(self.ctx.rank)
 
+    @property
+    def active(self) -> np.ndarray:
+        """Current active-rank mask (all-true without a membership trace)."""
+        if self.elastic is not None:
+            return self.elastic.active
+        return np.ones(self.ctx.size, dtype=bool)
+
+    def _priced(self, config: LoadBalanceConfig, num_fields: int) -> LoadBalanceConfig:
+        """Copy *config* with pricing matched to what a remap really costs.
+
+        ``num_fields`` is set to the actual field count the packed exchange
+        will ship.  Under elastic membership, a zero (default)
+        ``rebuild_cost_estimate`` is additionally filled with the rebuild
+        cost learned from the last remap — the measured synchronized remap
+        span minus its priced transfer — so the frequent repartitions
+        membership churn provokes stop looking free.  (Non-elastic runs
+        keep the paper's protocol untouched: rebuilds are priced only if
+        the caller configures an estimate.)  Both inputs are identical on
+        every rank, keeping decisions collective.
+        """
+        updates: dict = {}
+        if num_fields and config.num_fields != num_fields:
+            updates["num_fields"] = num_fields
+        if (
+            self.elastic is not None
+            and config.rebuild_cost_estimate == 0.0
+            and self._rebuild_cost > 0.0
+        ):
+            updates["rebuild_cost_estimate"] = self._rebuild_cost
+        return replace(config, **updates) if updates else config
+
+    def _note_remap_span(self, transfer_cost_estimate: float) -> None:
+        """Learn the rebuild cost from the remap that just completed.
+
+        *transfer_cost_estimate* must be the decision's remap cost **minus
+        the rebuild estimate that was priced into it** — subtracting the
+        full priced cost would cancel the previously learned rebuild and
+        oscillate the estimate between R and 0 on alternate remaps.
+
+        Only meaningful under elastic membership: ``_last_sync_clock`` is
+        advanced by every :meth:`poll_membership`, which no-ops without a
+        trace — a non-elastic session must not record the garbage span
+        measured from construction time.
+
+        The reference point then moves to the post-remap barrier clock
+        (synchronized), so a periodic-check remap at the same iteration
+        boundary as a membership drain measures its own span, not the
+        drain's too — and the next iteration-span sample starts where the
+        remap actually ended.
+        """
+        if self.elastic is None:
+            return
+        span = self.ctx.clock - self._last_sync_clock
+        self._rebuild_cost = max(span - transfer_cost_estimate, 0.0)
+        self._last_sync_clock = self.ctx.clock
+
+    def _capped_remaining(self, remaining: int, span: float) -> int:
+        """Cap the profitability horizon at the next *announced* change.
+
+        The membership trace is replicated, announced schedule: a remap
+        can only pay until the next membership event rips the arrangement
+        up again.  *span* is the last synchronized iteration duration;
+        both inputs are identical on every rank, so the cap is too.
+        """
+        assert self.elastic is not None
+        nxt = self.elastic.trace.next_change_after(self.ctx.clock)
+        if np.isfinite(nxt) and span > 0:
+            until_change = int((nxt - self.ctx.clock) / span)
+            remaining = min(remaining, max(until_change, 0))
+        return remaining
+
     # ------------------------------------------------------------------ #
     # phase D proper
     # ------------------------------------------------------------------ #
@@ -156,14 +284,26 @@ class AdaptiveSession:
         *iteration* is 0-based; checks fire every ``check_interval``
         completed iterations, never after the final one (there is nothing
         left to rebalance for), and only once the monitor has a window.
+
+        The window clause must evaluate identically on every rank or the
+        collective check deadlocks.  Under elastic membership the local
+        window is *not* a reliable collective signal (a rank that just
+        joined, or owns an empty interval, has none while its peers do),
+        so every due check runs and windowless ranks report ``nan`` for
+        :func:`decide` to impute.  Without a trace the legacy gate stands,
+        extended to empty intervals (which can never fill a window but
+        must still participate).
         """
         if self.lb is None or isinstance(self.strategy, NoBalancing):
             return False
         done = iteration + 1
+        if done % self.lb.check_interval != 0 or done >= self.total_iterations:
+            return False
+        if self.elastic is not None:
+            return True
         return (
-            done % self.lb.check_interval == 0
-            and done < self.total_iterations
-            and self.monitor.has_window
+            self.monitor.has_window
+            or self.partition.size(self.ctx.rank) == 0
         )
 
     def maybe_rebalance(
@@ -171,42 +311,141 @@ class AdaptiveSession:
     ) -> list[np.ndarray]:
         """Run Phase D at the end of *iteration* (0-based); SPMD collective.
 
-        When a check is due, every rank contributes its monitored load to
-        the strategy; if the collective decision says remap, *fields* are
+        Elastic membership events that fired during the iteration are
+        applied first (:meth:`poll_membership`); a departure drains the
+        leaving rank's fields regardless of the load-balance style.  When a
+        check is due, every rank contributes its monitored load to the
+        strategy; if the collective decision says remap, *fields* are
         redistributed to the new partition and the inspector is rebuilt.
         Returns the (possibly moved) fields.
         """
-        fields = list(fields)
+        fields = self.poll_membership(iteration, fields)
         if not self.check_due(iteration):
             return fields
         assert self.lb is not None
         ctx = self.ctx
-        config = self.lb
-        if fields and config.num_fields != len(fields):
-            # Price the remap for what the packed exchange will really
-            # ship: every field plus identity, not just one field.  With
-            # no fields at all the configured pricing stands (the remap
-            # then only moves ownership and rebuilds schedules).
-            config = replace(config, num_fields=len(fields))
+        # Price the remap for what the packed exchange will really ship:
+        # every field plus identity, not just one field.  With no fields
+        # at all the configured pricing stands (the remap then only moves
+        # ownership and rebuilds schedules).
+        config = self._priced(self.lb, len(fields))
         t0 = ctx.clock
-        time_per_item = self.monitor.avg_time_per_item()
-        if self._predictor is not None:
+        time_per_item = (
+            self.monitor.avg_time_per_item()
+            if self.monitor.has_window
+            else float("nan")  # empty interval: decide() imputes
+        )
+        if self._predictor is not None and np.isfinite(time_per_item):
             # Footnote 2: forecast next-phase capability from history.
             self._predictor.observe(1.0 / time_per_item)
             time_per_item = 1.0 / self._predictor.predict()
-        decision = self.strategy.check(
-            ctx,
-            self.partition,
-            time_per_item,
-            remaining_iterations=self.total_iterations - (iteration + 1),
-            config=config,
-        )
+        remaining = self.total_iterations - (iteration + 1)
+        if self.elastic is not None:
+            remaining = self._capped_remaining(remaining, self._last_span)
+            decision = self.strategy.check(
+                ctx,
+                self.partition,
+                time_per_item,
+                remaining_iterations=remaining,
+                config=config,
+                active=self.elastic.active,
+            )
+        else:
+            # Without a membership trace, call through the PR-3 protocol
+            # surface exactly as before, so caller-supplied strategies
+            # written against it keep working unchanged.
+            decision = self.strategy.check(
+                ctx,
+                self.partition,
+                time_per_item,
+                remaining_iterations=remaining,
+                config=config,
+            )
         self.stats.lb_check_time += ctx.clock - t0
         self.stats.num_checks += 1
         self.monitor.reset_window()
         if decision.remap:
             assert decision.new_partition is not None
             fields = self.remap_to(decision.new_partition, fields)
+            self._note_remap_span(
+                decision.remap_cost - config.rebuild_cost_estimate
+            )
+        return fields
+
+    def poll_membership(
+        self, iteration: int, fields: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Apply membership events up to the current clock; SPMD collective.
+
+        Must be called at a *synchronized* virtual time — in practice right
+        after the iteration barrier, which is why membership runs require
+        per-iteration barriers — so every rank consumes the same event
+        window and evaluates :func:`membership_decision` on identical
+        inputs.  Departures (leave/replace) force the remap; a batch of
+        pure joins only remaps if the profitability test accepts the grown
+        pool.  No messages move: the trace is replicated knowledge.
+        """
+        fields = list(fields)
+        if self.elastic is None:
+            return fields
+        ctx = self.ctx
+        t0 = ctx.clock
+        # Barrier-to-barrier span of the iteration that just ended: a
+        # synchronized clock minus a synchronized clock, so identical on
+        # every rank — the replicated absolute time scale for decisions.
+        span = ctx.clock - self._last_sync_clock
+        self._last_sync_clock = ctx.clock
+        self._last_span = span
+        events = self.elastic.poll(ctx.clock)
+        if not events:
+            return fields
+        self.stats.membership_events += len(events)
+        forced = any(ev.kind in ("leave", "replace") for ev in events)
+        static = self.lb is None or isinstance(self.strategy, NoBalancing)
+        if not forced and static:
+            # The static baseline never adapts voluntarily: departures must
+            # drain (the data has nowhere else to go), but a join is an
+            # opportunity only a balancing run exploits.  The joiner stays
+            # active-but-empty.
+            return fields
+        decision_mask = self.elastic.active
+        if forced and static:
+            # The baseline's mandatory drain targets only the active ranks
+            # already holding data — otherwise a later departure would
+            # smuggle data onto a joiner the baseline never adopted.  A
+            # replace's designated successor is the explicit exception
+            # (the operator swapped the machine *in order to* hand over).
+            # If the departing ranks held everything, fall back to the
+            # full active set: the data must land somewhere.
+            holders = decision_mask & (self.partition.sizes() > 0)
+            for ev in events:
+                if ev.kind == "replace" and decision_mask[ev.replacement]:
+                    holders[ev.replacement] = True
+            if holders.any():
+                decision_mask = holders
+        config = self._priced(
+            self.lb if self.lb is not None else LoadBalanceConfig(),
+            len(fields),
+        )
+        remaining = self._capped_remaining(
+            max(self.total_iterations - (iteration + 1), 0), span
+        )
+        decision = membership_decision(
+            ctx,
+            self.partition,
+            decision_mask,
+            remaining,
+            config,
+            force=forced,
+            iteration_span=span if span > 0 else None,
+        )
+        self.stats.lb_check_time += ctx.clock - t0
+        if decision.remap:
+            assert decision.new_partition is not None
+            fields = self.remap_to(decision.new_partition, fields)
+            self._note_remap_span(
+                decision.remap_cost - config.rebuild_cost_estimate
+            )
         return fields
 
     def remap_to(

@@ -140,6 +140,9 @@ def decide(
     times_per_item: np.ndarray,
     remaining_iterations: int,
     config: LoadBalanceConfig,
+    *,
+    active: np.ndarray | None = None,
+    force: bool = False,
 ) -> Decision:
     """The shared deterministic decision function (Sec. 3.5).
 
@@ -149,21 +152,69 @@ def decide(
     schedule rebuild), and applies the profitability rule.  Deterministic
     in its inputs, which is what lets :class:`DistributedStrategy` evaluate
     it redundantly on every rank without a decision broadcast.
+
+    Elastic membership threads through two extra inputs:
+
+    * *active* — boolean mask of the participating ranks.  Inactive ranks
+      get capability 0 (the new partition assigns them nothing); if an
+      inactive rank still *holds* elements, the current split is infeasible
+      (its predicted time is infinite) and remapping is unconditionally
+      profitable — a departure makes rebalancing mandatory by construction.
+    * *force* — remap regardless of the profitability test (a replace event
+      must move data even when the predicted times break even).
+
+    A ``nan`` entry in *times_per_item* marks a rank without a monitor
+    window (a standby machine, or a just-joined rank that owns nothing
+    yet).  Its time is imputed from the cluster's *base* speed ratios — a
+    deterministic, clock-independent input, so redundant evaluation on
+    ranks with different virtual clocks still reaches one conclusion.
     """
-    times_per_item = np.asarray(times_per_item, dtype=np.float64)
-    if np.any(times_per_item <= 0) or not np.all(np.isfinite(times_per_item)):
+    times_per_item = np.asarray(times_per_item, dtype=np.float64).copy()
+    p = times_per_item.size
+    if active is None:
+        active = np.ones(p, dtype=bool)
+    else:
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (p,):
+            raise LoadBalanceError(
+                f"active mask has shape {active.shape}, expected ({p},)"
+            )
+        if not active.any():
+            raise LoadBalanceError("cannot decide with no active ranks")
+    missing = np.isnan(times_per_item)  # the documented no-window sentinel
+    reported = ~missing
+    if np.any(times_per_item[reported] <= 0) or not np.all(
+        np.isfinite(times_per_item[reported])
+    ):
         raise LoadBalanceError(
             f"invalid load reports: {times_per_item.tolist()}"
         )
+    if missing.any():
+        # Impute missing windows from base speeds: time_i * speed_i is the
+        # (machine-independent) unit work per item, estimated from the
+        # ranks that did report.
+        speeds = ctx.cluster.speeds
+        if reported.any():
+            unit_work = float(
+                np.median(times_per_item[reported] * speeds[reported])
+            )
+        else:
+            unit_work = 1.0
+        times_per_item[missing] = unit_work / speeds[missing]
     sizes = partition.sizes().astype(np.float64)
     n = partition.num_elements
     # Predicted next-phase (per-iteration) time under the current split:
-    # the slowest processor bounds the loosely synchronous iteration.
-    predicted_current = float(np.max(sizes * times_per_item))
+    # the slowest processor bounds the loosely synchronous iteration.  An
+    # inactive rank that still holds elements can never finish them.
+    if np.any((sizes > 0) & ~active):
+        predicted_current = float("inf")
+    else:
+        predicted_current = float(np.max(sizes * times_per_item))
     # Estimated capabilities for the next phase (items/second), assuming
     # the environment persists ("the computational resources allocated ...
-    # are the same as for the previous phase").
-    capabilities = 1.0 / times_per_item
+    # are the same as for the previous phase").  Inactive ranks contribute
+    # no capability and receive no elements.
+    capabilities = np.where(active, 1.0 / times_per_item, 0.0)
     predicted_balanced = float(n / capabilities.sum())
 
     if config.use_mcr:
@@ -192,18 +243,22 @@ def decide(
         )
         + config.rebuild_cost_estimate
     )
-    savings = (predicted_current - predicted_balanced) * remaining_iterations
-    relative_gain = (
-        (predicted_current - predicted_balanced) / predicted_current
-        if predicted_current > 0
-        else 0.0
-    )
-    profitable = (
-        savings > config.profitability_margin * remap_cost
-        and relative_gain >= config.min_improvement
-    )
+    if np.isinf(predicted_current):
+        profitable = True
+    else:
+        savings = (predicted_current - predicted_balanced) * remaining_iterations
+        relative_gain = (
+            (predicted_current - predicted_balanced) / predicted_current
+            if predicted_current > 0
+            else 0.0
+        )
+        profitable = (
+            savings > config.profitability_margin * remap_cost
+            and relative_gain >= config.min_improvement
+        )
+    profitable = bool(profitable) or force
     return Decision(
-        remap=bool(profitable),
+        remap=profitable,
         new_partition=new_partition if profitable else None,
         predicted_current=predicted_current,
         predicted_balanced=predicted_balanced,
@@ -220,6 +275,11 @@ class RebalanceStrategy(Protocol):
     session redistributes unconditionally on ``decision.remap``, so a
     strategy that desynchronizes ranks deadlocks the exchange (and trips
     the :attr:`ProgramReport.num_remaps` cross-rank consistency check).
+
+    Under elastic membership, *time_per_item* may be ``nan`` (a rank with
+    no monitor window), *active* masks the participating ranks, and
+    *force* marks a mandatory remap — all three are forwarded to
+    :func:`decide`.
     """
 
     name: str
@@ -231,6 +291,9 @@ class RebalanceStrategy(Protocol):
         time_per_item: float,
         remaining_iterations: int,
         config: LoadBalanceConfig,
+        *,
+        active: np.ndarray | None = None,
+        force: bool = False,
     ) -> Decision:
         """Run one collective check; all ranks call it in the same phase."""
         ...
@@ -260,6 +323,9 @@ class CentralizedStrategy:
         time_per_item: float,
         remaining_iterations: int,
         config: LoadBalanceConfig,
+        *,
+        active: np.ndarray | None = None,
+        force: bool = False,
     ) -> Decision:
         _check_remaining(remaining_iterations)
         root = self.root
@@ -273,7 +339,8 @@ class CentralizedStrategy:
             ).items():
                 times[source] = msg.payload
             decision = decide(
-                ctx, partition, times, remaining_iterations, config
+                ctx, partition, times, remaining_iterations, config,
+                active=active, force=force,
             )
         else:
             ctx.send(root, float(time_per_item), Tags.LOAD_REPORT)
@@ -302,6 +369,9 @@ class DistributedStrategy:
         time_per_item: float,
         remaining_iterations: int,
         config: LoadBalanceConfig,
+        *,
+        active: np.ndarray | None = None,
+        force: bool = False,
     ) -> Decision:
         _check_remaining(remaining_iterations)
         peers = [r for r in range(ctx.size) if r != ctx.rank]
@@ -314,7 +384,10 @@ class DistributedStrategy:
         ).items():
             times[source] = msg.payload
         # Every rank redundantly runs the same deterministic decision.
-        return decide(ctx, partition, times, remaining_iterations, config)
+        return decide(
+            ctx, partition, times, remaining_iterations, config,
+            active=active, force=force,
+        )
 
 
 @dataclass(frozen=True)
@@ -330,6 +403,9 @@ class NoBalancing:
         time_per_item: float,
         remaining_iterations: int,
         config: LoadBalanceConfig,
+        *,
+        active: np.ndarray | None = None,
+        force: bool = False,
     ) -> Decision:
         _check_remaining(remaining_iterations)
         return Decision(

@@ -220,7 +220,11 @@ def build_kernel_plan(
                         "buffer"
                     ) from None
             slots[~local_mask] = n_local + pos
-    starts = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.intp)
+    # An empty interval (a drained or standby rank under elastic
+    # membership) has no vertices and therefore no segment starts.
+    starts = np.zeros(counts.size, dtype=np.intp)
+    if counts.size:
+        starts[1:] = np.cumsum(counts[:-1])
     return KernelPlan(
         rank=rank, n_local=n_local, slots=slots, starts=starts, counts=counts
     )

@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import ConfigurationError, LoadBalanceError
 from repro.graph.csr import CSRGraph
 from repro.net.cluster import ClusterSpec
+from repro.net.loadmodel import MembershipTrace
 from repro.net.spmd import SPMDResult, run_spmd
 from repro.net.trace import TraceLog
 from repro.partition.intervals import IntervalPartition, partition_list
@@ -58,6 +59,13 @@ class ProgramConfig:
     #: ("off" | "centralized" | "distributed", default knobs), or None
     #: (same as "off").  Normalized to LoadBalanceConfig | None on init.
     load_balance: LoadBalanceConfig | str | None = None
+    #: Elastic membership: a :class:`~repro.net.loadmodel.MembershipTrace`,
+    #: a DSL string ("leave:0@9.5, join:2@20"), or None.  A trace given
+    #: here overrides the cluster's own ``ClusterSpec.membership``; the DSL
+    #: string is resolved against the cluster size at run time.  Membership
+    #: runs require ``barrier_each_iteration`` (events are applied at
+    #: synchronized iteration boundaries).
+    membership: MembershipTrace | str | None = None
     kernel_cost: KernelCostModel = KernelCostModel()
     inspector_cost: InspectorCostModel = InspectorCostModel()
     executor_cost: ExecutorCostModel = ExecutorCostModel()
@@ -102,6 +110,7 @@ class RankStats:
     remap_time: float = 0.0
     num_checks: int = 0
     num_remaps: int = 0
+    membership_events: int = 0
     final_clock: float = 0.0
     redistribute_host_s: float = 0.0  # host s inside packed remap exchanges
 
@@ -135,6 +144,24 @@ class ProgramReport:
             raise LoadBalanceError(
                 f"ranks disagree on the number of remaps: {per_rank} — "
                 f"Phase D desynchronized"
+            )
+        return counts.pop()
+
+    @property
+    def membership_events(self) -> int:
+        """Elastic membership events applied, aggregated across ranks.
+
+        Event application is collective (the trace is replicated and polls
+        happen at synchronized clocks), so every rank must report the same
+        count; a disagreement means a rank consumed a different event
+        window — surfaced here exactly like a :attr:`num_remaps` desync.
+        """
+        counts = {s.membership_events for s in self.rank_stats}
+        if len(counts) != 1:
+            per_rank = {s.rank: s.membership_events for s in self.rank_stats}
+            raise LoadBalanceError(
+                f"ranks disagree on applied membership events: {per_rank} — "
+                f"the elastic poll desynchronized"
             )
         return counts.pop()
 
@@ -233,6 +260,7 @@ def _rank_main(
     stats.remap_time = session.stats.remap_time
     stats.num_checks = session.stats.num_checks
     stats.num_remaps = session.stats.num_remaps
+    stats.membership_events = session.stats.membership_events
     stats.redistribute_host_s = session.stats.redistribute_host_s
 
     # Final assembly at rank 0.
@@ -269,6 +297,25 @@ def run_program(
     if y0.shape != (n,):
         raise ConfigurationError(f"y0 has shape {y0.shape}, expected ({n},)")
 
+    # Elastic membership: a config-level trace (or DSL string) overrides
+    # the cluster's own; either way the resolved trace rides on the cluster
+    # so every rank's session sees it as replicated knowledge.
+    from repro.runtime.adaptive import resolve_membership
+
+    trace = resolve_membership(
+        config.membership
+        if config.membership is not None
+        else cluster.membership,
+        cluster.size,
+    )
+    if trace is not None:
+        cluster = cluster.with_membership(trace)
+        if not config.barrier_each_iteration:
+            raise ConfigurationError(
+                "elastic membership requires barrier_each_iteration: events "
+                "are applied at synchronized iteration boundaries"
+            )
+
     # Phase A: 1-D transformation (done once, offline).
     ordering = _pick_ordering(config, graph)
     perm = ordering(graph)
@@ -277,6 +324,10 @@ def run_program(
     y_init[perm] = y0
 
     caps = _initial_capabilities(config, cluster)
+    if trace is not None:
+        # Standby machines (inactive at t=0) start with nothing; they get
+        # elements only if and when a join's profitability test accepts.
+        caps = np.where(trace.active_mask(0.0), caps, 0.0)
     result: SPMDResult = run_spmd(
         cluster,
         _rank_main,

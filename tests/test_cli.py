@@ -80,6 +80,37 @@ class TestCommands:
         assert "strategy: distributed" in out
         assert "remaps:" in out
 
+    def test_run_with_membership(self, capsys):
+        rc = main([
+            "run", "--vertices", "400", "--iterations", "12",
+            "--workstations", "3", "--load-balance",
+            "--membership", "leave:1@0.02", "--verify",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "membership: 1 event(s) applied" in out
+        assert "final data on ranks [0, 2]" in out
+        assert "verified against sequential oracle" in out
+
+    def test_run_with_standby_join_membership(self, capsys):
+        rc = main([
+            "run", "--vertices", "400", "--iterations", "12",
+            "--workstations", "3", "--load-balance",
+            "--membership", "standby:2, join:2@0.001", "--verify",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "membership: 1 event(s) applied" in out
+        assert "final data on ranks [0, 1, 2]" in out
+
+    def test_run_rejects_bad_membership_spec(self, capsys):
+        rc = main([
+            "run", "--vertices", "200", "--iterations", "4",
+            "--workstations", "2", "--membership", "explode:0@1",
+        ])
+        assert rc == 2
+        assert "bad membership spec" in capsys.readouterr().err
+
     def test_orderings(self, capsys):
         rc = main(["orderings", "--vertices", "300", "--parts", "2", "4"])
         assert rc == 0

@@ -1,0 +1,154 @@
+"""The PR-3 deprecation shims: exactly one warning, faithful aliases,
+and zero internal callers (ISSUE 4 satellite).
+
+``pytest.ini`` additionally runs the whole suite with
+``error::DeprecationWarning:repro`` so a shim call sneaking back into the
+library fails loudly; the source scan below catches imports that would
+only warn at call time.
+"""
+
+from __future__ import annotations
+
+import re
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.net.cluster import uniform_cluster
+from repro.net.network import PointToPointNetwork
+from repro.net.spmd import run_spmd
+from repro.partition.intervals import partition_list
+from repro.runtime import adaptive
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+SHIM_IMPORT = re.compile(
+    r"from\s+repro\.runtime\.(controller|distributed_lb|redistribution)\s+import"
+    r"|import\s+repro\.runtime\.(controller|distributed_lb|redistribution)\b"
+)
+
+SHIM_MODULES = ("controller", "distributed_lb", "redistribution")
+
+
+def _collect(callable_, *args, **kwargs):
+    """Run *callable_* capturing every warning; return (result, warnings)."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = callable_(*args, **kwargs)
+    return result, [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestExactlyOneWarning:
+    def test_controller_check_warns_once_per_call(self):
+        from repro.runtime.controller import controller_check
+
+        part = partition_list(60, np.ones(2))
+        cfg = adaptive.LoadBalanceConfig()
+
+        def fn(ctx):
+            _, warned = _collect(controller_check, ctx, part, 1e-4, 10, cfg)
+            return len(warned)
+
+        counts = run_spmd(uniform_cluster(2), fn).values
+        assert counts == [1, 1]
+
+    def test_distributed_check_warns_once_per_call(self):
+        from repro.runtime.distributed_lb import distributed_check
+
+        part = partition_list(60, np.ones(2))
+        cfg = adaptive.LoadBalanceConfig(style="distributed")
+
+        def fn(ctx):
+            _, warned = _collect(distributed_check, ctx, part, 1e-4, 10, cfg)
+            return len(warned)
+
+        assert run_spmd(uniform_cluster(2), fn).values == [1, 1]
+
+    def test_redistribute_warns_once_per_call(self):
+        from repro.runtime.redistribution import redistribute
+
+        old = partition_list(20, [1, 1])
+        new = partition_list(20, [3, 1])
+        base = np.arange(20, dtype=np.float64)
+
+        def fn(ctx):
+            lo, hi = old.interval(ctx.rank)
+            out, warned = _collect(
+                redistribute, ctx, old, new, base[lo:hi].copy()
+            )
+            nlo, nhi = new.interval(ctx.rank)
+            np.testing.assert_array_equal(out, base[nlo:nhi])
+            return len(warned)
+
+        assert run_spmd(uniform_cluster(2), fn).values == [1, 1]
+
+    def test_estimate_remap_cost_warns_exactly_once_and_twice(self):
+        from repro.runtime.redistribution import estimate_remap_cost
+
+        old = partition_list(100, [1, 1])
+        new = partition_list(100, [3, 1])
+        net = PointToPointNetwork()
+        value, warned = _collect(estimate_remap_cost, net, old, new, 8)
+        assert len(warned) == 1
+        assert "moved to" in str(warned[0].message)
+        assert value == adaptive.estimate_remap_cost(net, old, new, 8)
+        # Per call, not once per process: a second call warns again.
+        _, warned2 = _collect(estimate_remap_cost, net, old, new, 8)
+        assert len(warned2) == 1
+
+    def test_importing_shim_modules_is_silent(self):
+        import importlib
+
+        for name in SHIM_MODULES:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                importlib.import_module(f"repro.runtime.{name}")
+
+
+class TestAliasing:
+    def test_dataclasses_are_the_new_objects(self):
+        from repro.runtime import controller
+
+        assert controller.LoadBalanceConfig is adaptive.LoadBalanceConfig
+        assert controller.Decision is adaptive.Decision
+        assert controller.decide is adaptive.decide
+        assert controller._decide is adaptive.decide
+
+    def test_shim_entry_points_delegate(self):
+        # The shims must be thin warn-and-delegate wrappers, not stale
+        # copies of the moved logic.
+        import inspect
+
+        from repro.runtime import controller, distributed_lb, redistribution
+
+        for mod, name in (
+            (controller, "controller_check"),
+            (distributed_lb, "distributed_check"),
+            (redistribution, "redistribute"),
+            (redistribution, "estimate_remap_cost"),
+        ):
+            src = inspect.getsource(getattr(mod, name))
+            assert "warnings.warn" in src and "DeprecationWarning" in src
+
+
+class TestNoInternalCallers:
+    def test_library_never_imports_the_shims(self):
+        """Internal code must import from repro.runtime.adaptive; the shims
+        exist only for external call sites."""
+        offenders = []
+        for path in SRC.rglob("*.py"):
+            if path.name in (
+                "controller.py", "distributed_lb.py", "redistribution.py"
+            ) and path.parent.name == "runtime":
+                continue  # the shims themselves
+            if SHIM_IMPORT.search(path.read_text(encoding="utf-8")):
+                offenders.append(str(path.relative_to(SRC)))
+        assert offenders == []
+
+    def test_suite_escalates_repro_deprecation_warnings(self):
+        """pytest.ini carries the error::DeprecationWarning:repro filter, so
+        a shim call from library code fails the whole suite."""
+        ini = (SRC.parent.parent / "pytest.ini").read_text(encoding="utf-8")
+        assert "error::DeprecationWarning:repro" in ini

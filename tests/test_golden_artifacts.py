@@ -55,6 +55,26 @@ def test_transfer_plan_matches(current, golden):
     assert current["transfer_plan"] == golden["transfer_plan"]
 
 
+def test_elastic_transfer_plan_matches(current, golden):
+    """The elastic drain plan — repartitioning the SUN4 pool onto a
+    shrunk active set, the departing rank's block draining out — is
+    pinned the same way (ISSUE 4 satellite)."""
+    assert current["elastic_transfer_plan"] == golden["elastic_transfer_plan"]
+    # Sanity: the departed rank (ws 1) sends everything and receives
+    # nothing in the pinned plan.
+    transfers = golden["elastic_transfer_plan"]["transfers"]
+    assert any(src == 1 for src, _, _, _ in transfers)
+    assert all(dest != 1 for _, dest, _, _ in transfers)
+
+
+def test_elastic_run_decisions_match(current, golden):
+    """End-to-end elastic run (join adopted + departure drained): remap
+    count, event count, and the final interval sizes are pinned."""
+    assert current["elastic_run"] == golden["elastic_run"]
+    assert golden["elastic_run"]["membership_events"] == 2
+    assert golden["elastic_run"]["final_sizes"][0] == 0
+
+
 def test_artifact_schema_still_validates():
     """The bench artifact produced by the scale family passes the normative
     schema check (schema-versioned results are a public contract)."""

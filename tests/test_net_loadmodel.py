@@ -182,3 +182,86 @@ class TestAdvanceClock:
         t_light = advance_clock(0.0, 5.0, 1.0, ConstantLoad(0.5))
         t_heavy = advance_clock(0.0, 5.0, 1.0, ConstantLoad(2.0))
         assert t_heavy > t_light
+
+
+class TestCompositeAlgebraProperties:
+    """ISSUE 4 satellite: the piecewise-constant algebra under composition,
+    coincident breakpoints, zero-length segments, and inf sentinels —
+    the regimes the smooth-trace tests above never reach."""
+
+    @staticmethod
+    def _jagged_step(rng: np.random.Generator) -> StepLoad:
+        """A StepLoad with deliberately coincident and zero-length steps."""
+        times = np.round(np.sort(rng.uniform(0.0, 20.0, size=6)), 1)
+        k = int(rng.integers(0, 5))
+        times[k + 1] = times[k]  # a zero-length segment
+        loads = rng.uniform(0.0, 4.0, size=6)
+        return StepLoad(list(zip(times.tolist(), loads.tolist())))
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=80, deadline=None)
+    def test_composite_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        parts = [self._jagged_step(rng) for _ in range(int(rng.integers(1, 4)))]
+        if rng.random() < 0.5:
+            parts.append(ConstantLoad(float(rng.uniform(0, 2))))
+        tr = CompositeLoad(parts)
+        t0 = float(rng.uniform(0.0, 25.0))
+        work = float(rng.uniform(0.01, 30.0))
+        speed = float(rng.uniform(0.2, 5.0))
+        t1 = advance_clock(t0, work, speed, tr)
+        assert t1 >= t0
+        assert work_done_in(t0, t1, speed, tr) == pytest.approx(
+            work, rel=1e-9, abs=1e-12
+        )
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=80, deadline=None)
+    def test_next_change_strictly_advances_to_inf(self, seed):
+        """next_change_after always moves strictly forward and ends at the
+        math.inf sentinel, even across coincident breakpoints — the
+        property that guarantees advance_clock terminates."""
+        rng = np.random.default_rng(seed)
+        tr = CompositeLoad([self._jagged_step(rng), self._jagged_step(rng)])
+        t, hops = 0.0, 0
+        while True:
+            nxt = tr.next_change_after(t)
+            assert nxt > t
+            if nxt == math.inf:
+                break
+            t = nxt
+            hops += 1
+        assert hops <= 12  # duplicates collapse: at most one hop per time
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_work_is_additive_over_coincident_splits(self, seed):
+        """Splitting [t0, t2] at any point — including exactly at a
+        breakpoint shared by several component traces — conserves work."""
+        rng = np.random.default_rng(seed)
+        step = self._jagged_step(rng)
+        tr = CompositeLoad([step, step])  # every breakpoint coincides
+        t0 = float(rng.uniform(0.0, 10.0))
+        t2 = t0 + float(rng.uniform(0.1, 15.0))
+        mid = step.next_change_after(t0)
+        if not (t0 < mid < t2):
+            mid = (t0 + t2) / 2.0
+        whole = work_done_in(t0, t2, 1.0, tr)
+        parts = work_done_in(t0, mid, 1.0, tr) + work_done_in(mid, t2, 1.0, tr)
+        assert parts == pytest.approx(whole, rel=1e-9, abs=1e-12)
+
+    def test_zero_length_segment_is_invisible(self):
+        plain = StepLoad([(0.0, 1.0), (5.0, 2.0)])
+        jagged = StepLoad([(0.0, 1.0), (5.0, 9.9), (5.0, 2.0)])
+        for t in (0.0, 4.999, 5.0, 7.3):
+            assert jagged.load_at(t) == plain.load_at(t)
+        t1p = advance_clock(0.0, 12.0, 1.0, plain)
+        t1j = advance_clock(0.0, 12.0, 1.0, jagged)
+        assert t1j == pytest.approx(t1p, rel=1e-12)
+
+    def test_mean_load_handles_coincident_breakpoints(self):
+        tr = CompositeLoad([
+            StepLoad([(0.0, 1.0), (2.0, 0.0)]),
+            StepLoad([(0.0, 0.0), (2.0, 1.0)]),
+        ])
+        assert tr.mean_load(0.0, 4.0) == pytest.approx(1.0)

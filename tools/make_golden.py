@@ -27,11 +27,16 @@ STRUCTURAL = (
 
 def build_golden() -> dict:
     """Compute the pinned facts (shared with the regression test)."""
+    import numpy as np
+
     from repro.experiments.catalog import _workload, adaptive_run
     from repro.experiments.runner import run_experiment
+    from repro.net.cluster import SUN4_SPEEDS, uniform_cluster
+    from repro.net.loadmodel import MembershipEvent, MembershipTrace
     from repro.partition.arrangement import minimize_cost_redistribution
     from repro.partition.intervals import partition_list
     from repro.runtime.adaptive import transfer_plan_summary
+    from repro.runtime.program import ProgramConfig, run_program
 
     artifact, _ = run_experiment(
         "scale-epoch", quick=True, overrides={"tier": "10k"}, results_dir=None
@@ -67,6 +72,56 @@ def build_golden() -> dict:
         num_fields=2,
     )
 
+    # Elastic drain plan: the SUN4 5-pool loses workstation 1, survivors
+    # resplit by base speed under the MCR arrangement — the repartition-
+    # onto-a-different-sized-active-set transfer pattern of ISSUE 4, with
+    # the departing rank's whole block draining out.
+    speeds = np.asarray(SUN4_SPEEDS, dtype=np.float64)
+    survivors = np.where(
+        np.arange(5) == 1, 0.0, speeds
+    )
+    elastic_arrangement = minimize_cost_redistribution(
+        list(range(5)),
+        speeds / speeds.sum(),
+        survivors / survivors.sum(),
+        200,
+    )
+    elastic_plan = transfer_plan_summary(
+        partition_list(200, speeds),
+        partition_list(200, survivors, elastic_arrangement),
+        num_fields=2,
+    )
+
+    # An end-to-end elastic run's decisions (virtual metrics only): one
+    # join adopted, one departure drained, on the reduced paper mesh.
+    graph, y0 = _workload(800, 1995)
+    trace = MembershipTrace(
+        4,
+        [
+            MembershipEvent(0.01, "join", 3),
+            MembershipEvent(0.05, "leave", 0),
+        ],
+        initially_inactive=[3],
+    )
+    elastic_report = run_program(
+        graph,
+        uniform_cluster(4),
+        ProgramConfig(
+            iterations=20,
+            membership=trace,
+            load_balance="centralized",
+            initial_capabilities="equal",
+        ),
+        y0=y0,
+    )
+    elastic_run = {
+        "num_remaps": int(elastic_report.num_remaps),
+        "membership_events": int(elastic_report.membership_events),
+        "final_sizes": [
+            int(s) for s in elastic_report.partition_final.sizes()
+        ],
+    }
+
     return {
         "comment": "Structural schedule facts, remap decisions, and the "
         "packed-exchange transfer plan pinned by "
@@ -75,6 +130,8 @@ def build_golden() -> dict:
         "scale_epoch_structural": epoch,
         "remap_decisions": remap,
         "transfer_plan": plan,
+        "elastic_transfer_plan": elastic_plan,
+        "elastic_run": elastic_run,
     }
 
 
