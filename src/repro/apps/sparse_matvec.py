@@ -25,7 +25,6 @@ from repro.net.spmd import run_spmd
 from repro.partition.intervals import partition_list
 from repro.partition.ordering import OrderingMethod
 from repro.partition.rcb import RCBOrdering
-from repro.partition.sfc import HilbertOrdering
 from repro.runtime.executor import gather
 from repro.runtime.inspector import run_inspector
 from repro.runtime.kernels import KernelCostModel

@@ -14,12 +14,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import paper_mesh
-from repro.net.cluster import (
-    ClusterSpec,
-    adaptive_cluster,
-    sun4_cluster,
-    uniform_cluster,
-)
+from repro.net.cluster import ClusterSpec, adaptive_cluster, uniform_cluster
 from repro.net.loadmodel import (
     MembershipEvent,
     MembershipTrace,
@@ -38,6 +33,8 @@ __all__ = [
     "dynamic_load_cluster",
     "ELASTIC_SCENARIOS",
     "elastic_cluster",
+    "RESILIENCE_SCENARIOS",
+    "resilient_cluster",
 ]
 
 
@@ -249,5 +246,69 @@ def elastic_cluster(
     else:
         raise ValueError(
             f"unknown elastic scenario {scenario!r}; known: {ELASTIC_SCENARIOS}"
+        )
+    return cluster.with_membership(trace)
+
+
+#: The unannounced-failure scenario names of the ``scale-resilience``
+#: experiments.
+RESILIENCE_SCENARIOS = ("fail-at-peak", "repeated-failures")
+
+
+def resilient_cluster(
+    p: int,
+    scenario: str,
+    horizon: float,
+    *,
+    competing_load: float = 2.0,
+) -> ClusterSpec:
+    """A uniform pool where machines die *unannounced* during the run.
+
+    The unannounced half of the paper's adaptive-availability axis: a
+    workstation crashes (or its owner powers it off) with no drain
+    window, taking its memory — and its block of the distributed list —
+    with it.  *horizon* is the expected compute-only virtual duration on
+    the full pool; event times scale to it so the failures land mid-run
+    at any mesh size (the real run is longer — see
+    :func:`elastic_cluster` — so fractions here sit early):
+
+    * ``"fail-at-peak"`` — a competing load appears on workstation 0 at
+      15% of the horizon and the loaded machine then dies outright at
+      45%: the worst moment, when the runtime has just paid remaps to
+      shed work *toward* the survivors and the failed rank's block is at
+      its most stale since the last checkpoint;
+    * ``"repeated-failures"`` — workstation 1 dies at 30% and
+      workstation 2 at 60%: no single recovery is final, and the second
+      rollback tests the freshly re-replicated epoch, not the original
+      one.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    if p < 2:
+        raise ValueError(f"resilience scenarios need p >= 2, got {p}")
+    cluster = uniform_cluster(p, name=f"resilient-{scenario}")
+    if scenario == "fail-at-peak":
+        cluster = cluster.with_load(
+            0, StepLoad([(0.0, 0.0), (0.15 * horizon, competing_load)])
+        )
+        trace = MembershipTrace(
+            p, [MembershipEvent(0.45 * horizon, "fail", 0)]
+        )
+    elif scenario == "repeated-failures":
+        if p < 3:
+            raise ValueError(
+                f"repeated-failures needs p >= 3 (two machines die), got {p}"
+            )
+        trace = MembershipTrace(
+            p,
+            [
+                MembershipEvent(0.30 * horizon, "fail", 1),
+                MembershipEvent(0.60 * horizon, "fail", 2),
+            ],
+        )
+    else:
+        raise ValueError(
+            f"unknown resilience scenario {scenario!r}; "
+            f"known: {RESILIENCE_SCENARIOS}"
         )
     return cluster.with_membership(trace)

@@ -53,8 +53,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--membership", default=None, metavar="TRACE",
                      help="elastic membership events, e.g. "
                           "'standby:3, join:3@5.0, leave:0@9.5, "
-                          "replace:1->2@12' (kind:rank@virtual-time; "
-                          "standby:R starts rank R inactive)")
+                          "replace:1->2@12, fail:2@15' "
+                          "(kind:rank@virtual-time; standby:R starts rank "
+                          "R inactive; fail is unannounced and needs "
+                          "--checkpoint)")
+    run.add_argument("--checkpoint", default=None, metavar="POLICY",
+                     help="checkpoint policy for failure recovery: "
+                          "'interval:K' (every K iterations) or "
+                          "'cost:MTBF' (Young's interval for an MTBF "
+                          "estimate in virtual seconds)")
     run.add_argument("--check-interval", type=int, default=10)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--verify", action="store_true",
@@ -122,7 +129,7 @@ def _cmd_info() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.errors import LoadBalanceError
+    from repro.errors import LoadBalanceError, ResilienceError
     from repro.graph import paper_mesh
     from repro.net import adaptive_cluster, sun4_cluster
     from repro.runtime import (
@@ -142,46 +149,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cluster = sun4_cluster(args.workstations)
     y0 = np.random.default_rng(args.seed).uniform(0, 100, graph.num_vertices)
     balancing = args.load_balance != "off"
-    config = ProgramConfig(
-        iterations=args.iterations,
-        strategy=args.strategy,
-        backend=args.backend,
-        initial_capabilities=(
-            "equal"
-            if args.competing_load > 0 or args.membership
-            else "speeds"
-        ),
-        load_balance=(
-            LoadBalanceConfig(
-                check_interval=args.check_interval, style=args.load_balance
-            )
-            if balancing
-            else None
-        ),
-        membership=args.membership,
-    )
     try:
+        config = ProgramConfig(
+            iterations=args.iterations,
+            strategy=args.strategy,
+            backend=args.backend,
+            initial_capabilities=(
+                "equal"
+                if args.competing_load > 0 or args.membership
+                else "speeds"
+            ),
+            load_balance=(
+                LoadBalanceConfig(
+                    check_interval=args.check_interval, style=args.load_balance
+                )
+                if balancing
+                else None
+            ),
+            membership=args.membership,
+            checkpoint=args.checkpoint,
+        )
         report = run_program(graph, cluster, config, y0=y0)
-    except LoadBalanceError as exc:
+        print(f"workload: {graph}")
+        print(f"cluster:  {args.workstations} workstations "
+              f"(speeds {cluster.speeds.tolist()})")
+        print(f"virtual time: {report.makespan:.4f} s")
+        eff = cluster_efficiency(
+            cluster, report.makespan, report.total_work_seconds
+        )
+        print(f"efficiency (Sec. 4): {eff:.3f}")
+        if balancing:
+            print(f"strategy: {args.load_balance}, "
+                  f"remaps: {report.num_remaps}, "
+                  f"check cost {report.lb_check_time:.4f} s, "
+                  f"remap cost {report.remap_time:.4f} s")
+        if args.membership:
+            events = report.membership_events
+            final = report.partition_final
+            survivors = np.flatnonzero(final.sizes() > 0).tolist()
+            print(f"membership: {events} event(s) applied, "
+                  f"{report.num_remaps} remap(s), final data on ranks "
+                  f"{survivors} (sizes {final.sizes().tolist()})")
+        if args.checkpoint:
+            print(f"resilience: {report.num_checkpoints} checkpoint(s) "
+                  f"(cost {report.checkpoint_time:.4f} s), "
+                  f"{report.num_rollbacks} rollback(s) "
+                  f"(cost {report.rollback_time:.4f} s, "
+                  f"lost work {report.lost_time:.4f} s)")
+    except (LoadBalanceError, ResilienceError) as exc:
+        # Cross-rank aggregation (num_remaps / membership_events /
+        # num_checkpoints / num_rollbacks) raises on a desync too, so
+        # the summary prints live inside the guard.
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(f"workload: {graph}")
-    print(f"cluster:  {args.workstations} workstations "
-          f"(speeds {cluster.speeds.tolist()})")
-    print(f"virtual time: {report.makespan:.4f} s")
-    eff = cluster_efficiency(cluster, report.makespan, report.total_work_seconds)
-    print(f"efficiency (Sec. 4): {eff:.3f}")
-    if balancing:
-        print(f"strategy: {args.load_balance}, remaps: {report.num_remaps}, "
-              f"check cost {report.lb_check_time:.4f} s, "
-              f"remap cost {report.remap_time:.4f} s")
-    if args.membership:
-        events = report.membership_events
-        final = report.partition_final
-        survivors = np.flatnonzero(final.sizes() > 0).tolist()
-        print(f"membership: {events} event(s) applied, "
-              f"{report.num_remaps} remap(s), final data on ranks "
-              f"{survivors} (sizes {final.sizes().tolist()})")
     if args.verify:
         oracle = run_sequential(graph, y0, args.iterations)
         err = float(np.abs(report.values - oracle).max())

@@ -19,6 +19,7 @@ __all__ = [
     "ScheduleError",
     "RedistributionError",
     "LoadBalanceError",
+    "ResilienceError",
     "GraphError",
 ]
 
@@ -80,6 +81,12 @@ class RedistributionError(ReproError):
 
 class LoadBalanceError(ReproError):
     """The adaptive load-balancing protocol failed."""
+
+
+class ResilienceError(ReproError):
+    """Checkpointing or failure recovery failed (or is impossible —
+    e.g. a rank failed with no checkpoint policy configured, or both a
+    data owner and its replica partner died within one epoch)."""
 
 
 class GraphError(ReproError):

@@ -37,6 +37,7 @@ __all__ = [
     "scale_epoch_measurements",
     "scale_adaptive_measurements",
     "scale_elastic_measurements",
+    "scale_resilience_measurements",
     "ORDERING_NAMES",
 ]
 
@@ -739,6 +740,131 @@ def _exp_scale_elastic(
         str(params["scenario"]),
         str(params["backend"]),
         bool(params["lb"]),
+        int(params["p"]),
+        int(params["iterations"]),
+        int(params["check_interval"]),
+        workload_seed=int(params["workload_seed"]),
+    )
+
+
+# --------------------------------------------------------------------------
+# Scale tier — unannounced-failure scenarios (a machine dies mid-run with
+# its data; the resilience subsystem checkpoints to ring partners and
+# rolls the world back on detection).
+
+
+def scale_resilience_measurements(
+    tier: str,
+    scenario: str,
+    backend: str,
+    policy: str,
+    p: int,
+    iterations: int,
+    check_interval: int,
+    *,
+    family: str = "grid",
+    workload_seed: int = 1995,
+) -> dict[str, float]:
+    """One unannounced-failure run at a scale tier, through the session.
+
+    *policy* is the ``--checkpoint`` DSL (``"interval:K"``), or the
+    special value ``"cost"``, which instantiates
+    :class:`~repro.runtime.resilience.CostModelCheckpoint` with the
+    operator's honest failure-rate estimate for the scenario (the
+    compute horizon divided by the number of failures in its trace) —
+    the arm the checkpoint-interval sweep compares the fixed intervals
+    against.  Virtual metrics are backend-independent by the
+    differential contract; ``lost_time`` is the virtual progress each
+    rollback discarded and re-executed, ``checkpoint_time`` the total
+    replication overhead — the two sides of the trade the cost model
+    navigates.
+    """
+    from repro.apps.workloads import resilient_cluster
+    from repro.runtime.adaptive import LoadBalanceConfig
+    from repro.runtime.kernels import KernelCostModel
+    from repro.runtime.program import ProgramConfig, run_program
+    from repro.runtime.resilience import CostModelCheckpoint
+
+    graph, y0 = _scale_workload(tier, family, workload_seed)
+    n = graph.num_vertices
+    work_per_iter = KernelCostModel().sweep_seconds(int(graph.indices.size), n)
+    horizon = iterations * work_per_iter / p
+    cluster = resilient_cluster(p, scenario, horizon)
+    assert cluster.membership is not None
+    n_failures = sum(
+        1 for ev in cluster.membership.events if ev.kind == "fail"
+    )
+    checkpoint = (
+        CostModelCheckpoint(mtbf=horizon / max(n_failures, 1))
+        if policy == "cost"
+        else policy
+    )
+    config = ProgramConfig(
+        iterations=iterations,
+        backend=backend,
+        initial_capabilities="equal",
+        load_balance=LoadBalanceConfig(check_interval=check_interval),
+        checkpoint=checkpoint,
+    )
+    t0 = time.perf_counter()
+    report = run_program(graph, cluster, config, y0=y0)
+    run_host_s = time.perf_counter() - t0
+    final = report.partition_final
+    return {
+        "makespan": report.makespan,
+        "num_checkpoints": float(report.num_checkpoints),
+        "num_rollbacks": float(report.num_rollbacks),
+        "checkpoint_time": report.checkpoint_time,
+        "rollback_time": report.rollback_time,
+        "lost_time": report.lost_time,
+        "num_remaps": float(report.num_remaps),
+        "membership_events": float(report.membership_events),
+        "redistribute_host_s": max(
+            s.redistribute_host_s for s in report.rank_stats
+        ),
+        "run_host_s": run_host_s,
+        "final_active": float((final.sizes() > 0).sum()),
+        "n_vertices": float(n),
+    }
+
+
+@experiment(
+    "scale-resilience",
+    title="Scale tier: unannounced failures under checkpoint/recovery",
+    paper_anchor="ROADMAP (beyond Sec. 1's adaptive taxonomy)",
+    grid={
+        "tier": ("10k", "100k", "250k", "500k"),
+        "scenario": ("fail-at-peak", "repeated-failures"),
+        "backend": ("vectorized",),
+        "policy": ("interval:1", "interval:4", "interval:16", "cost"),
+        "p": (4,),
+        "iterations": (30,),
+        "check_interval": (5,),
+        "workload_seed": (1995,),
+    },
+    quick_grid={
+        "tier": ("10k",),
+        "scenario": ("fail-at-peak", "repeated-failures"),
+        "backend": ("vectorized", "reference"),
+        "policy": ("interval:4", "cost"),
+        "p": (4,),
+        "iterations": (20,),
+        "check_interval": (5,),
+        "workload_seed": (1995,),
+    },
+    description="Machines die unannounced mid-run; partner-replication "
+    "checkpoints vs rollback re-execution, fixed intervals vs the "
+    "Young-style cost model.",
+    tags=("scale", "perf", "adaptive", "resilience"),
+)
+def _exp_scale_resilience(
+    params: Mapping[str, Any], *, seed: int
+) -> dict[str, float]:
+    return scale_resilience_measurements(
+        str(params["tier"]),
+        str(params["scenario"]),
+        str(params["backend"]),
+        str(params["policy"]),
         int(params["p"]),
         int(params["iterations"]),
         int(params["check_interval"]),

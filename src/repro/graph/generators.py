@@ -324,7 +324,6 @@ def streamed_grid_graph(
         raise GraphError(f"grid dimensions must be >= 1, got {nx}x{ny}")
     if block_rows < 1:
         raise GraphError(f"block_rows must be >= 1, got {block_rows}")
-    n = nx * ny
     cols = np.arange(nx, dtype=np.intp)
     # Closed-form degrees: 4 minus one per domain boundary the vertex sits on.
     row_deg = np.full(nx, 4, dtype=np.intp)

@@ -87,6 +87,17 @@ class ClusterSpec:
             return np.ones(self.size, dtype=bool)
         return self.membership.active_mask(t)
 
+    def failed_mask(self, t: float = 0.0) -> np.ndarray:
+        """Ranks that have *failed* by *t* (all-false without a trace).
+
+        Failure destroys a machine's memory; a graceful leave does not.
+        The distinction is what :mod:`repro.runtime.resilience` builds on:
+        checkpoint replicas survive leaves but not failures.
+        """
+        if self.membership is None:
+            return np.zeros(self.size, dtype=bool)
+        return self.membership.failed_mask(t)
+
     def capability_ratios(
         self, t: float = 0.0, active: Sequence[bool] | np.ndarray | None = None
     ) -> np.ndarray:

@@ -42,6 +42,7 @@ __all__ = [
     "RampLoad",
     "RandomWalkLoad",
     "CompositeLoad",
+    "EVENT_KINDS",
     "MembershipEvent",
     "MembershipTrace",
     "advance_clock",
@@ -115,10 +116,10 @@ class StepLoad(LoadTrace):
         if not steps:
             raise ValueError("StepLoad needs at least one (time, load) step")
         times = [float(t) for t, _ in steps]
-        loads = [float(l) for _, l in steps]
+        loads = [float(load) for _, load in steps]
         if times != sorted(times):
             raise ValueError("StepLoad step times must be non-decreasing")
-        if any(l < 0 for l in loads):
+        if any(load < 0 for load in loads):
             raise ValueError("StepLoad loads must be non-negative")
         if times[0] > 0:
             times.insert(0, 0.0)
@@ -215,14 +216,22 @@ class CompositeLoad(LoadTrace):
         return min(tr.next_change_after(t) for tr in self._traces)
 
 
+#: Recognized membership event kinds (the DSL vocabulary of
+#: :meth:`MembershipTrace.parse`, minus the pseudo-kind ``standby``).
+EVENT_KINDS = ("leave", "join", "replace", "fail")
+
+
 @dataclass(frozen=True)
 class MembershipEvent:
     """One change of the active processor set at a virtual time.
 
-    ``kind`` is ``"leave"`` (the machine is reclaimed), ``"join"`` (a
-    standby machine becomes available), or ``"replace"`` (*rank* leaves and
-    *replacement* joins atomically — the "a workstation is swapped for a
-    faster one" scenario).
+    ``kind`` is ``"leave"`` (the machine is reclaimed, announced — the
+    runtime gets to drain its data), ``"join"`` (a standby machine becomes
+    available), ``"replace"`` (*rank* leaves and *replacement* joins
+    atomically — the "a workstation is swapped for a faster one"
+    scenario), or ``"fail"`` (the machine dies *unannounced*, taking its
+    memory — and any application data it held — with it; recovery is the
+    business of :mod:`repro.runtime.resilience`).
     """
 
     time: float
@@ -231,10 +240,10 @@ class MembershipEvent:
     replacement: int | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("leave", "join", "replace"):
+        if self.kind not in EVENT_KINDS:
             raise ValueError(
-                f"membership event kind must be leave/join/replace, "
-                f"got {self.kind!r}"
+                f"membership event kind must be one of "
+                f"{'/'.join(EVENT_KINDS)}, got {self.kind!r}"
             )
         if not (math.isfinite(self.time) and self.time >= 0):
             raise ValueError(f"event time must be finite and >= 0, got {self.time}")
@@ -296,16 +305,20 @@ class MembershipTrace:
         self._times = [ev.time for ev in self.events]
         # Replay once to validate and precompute the mask after each event.
         active = set(range(world_size)) - inactive
+        failed: set[int] = set()
         masks = []
+        failed_masks = []
         for ev in self.events:
             for leaving, joining in self._as_moves(ev):
                 if leaving is not None:
                     if leaving not in active:
                         raise ValueError(
-                            f"rank {leaving} cannot leave at t={ev.time}: "
-                            f"not active"
+                            f"rank {leaving} cannot {ev.kind} at "
+                            f"t={ev.time}: not active"
                         )
                     active.discard(leaving)
+                    if ev.kind == "fail":
+                        failed.add(leaving)
                 if joining is not None:
                     if joining >= world_size:
                         raise ValueError(
@@ -318,6 +331,10 @@ class MembershipTrace:
                             f"already active"
                         )
                     active.add(joining)
+                    # A repaired machine rejoining starts with blank
+                    # memory, like any standby joiner; it is no longer
+                    # counted as failed.
+                    failed.discard(joining)
             if not active:
                 raise ValueError(
                     f"active set empties at t={ev.time}; a run needs at "
@@ -326,7 +343,12 @@ class MembershipTrace:
             mask = np.zeros(world_size, dtype=bool)
             mask[sorted(active)] = True
             masks.append(mask)
+            fmask = np.zeros(world_size, dtype=bool)
+            if failed:
+                fmask[sorted(failed)] = True
+            failed_masks.append(fmask)
         self._masks = masks
+        self._failed_masks = failed_masks
 
     def _as_moves(
         self, ev: MembershipEvent
@@ -337,7 +359,7 @@ class MembershipTrace:
                 f"event rank {ev.rank} out of range for world of "
                 f"{self.world_size}"
             )
-        if ev.kind == "leave":
+        if ev.kind in ("leave", "fail"):
             return [(ev.rank, None)]
         if ev.kind == "join":
             return [(None, ev.rank)]
@@ -360,6 +382,25 @@ class MembershipTrace:
     def active_at(self, t: float) -> frozenset[int]:
         """The active rank set at time *t* (set form of the mask)."""
         return frozenset(int(r) for r in np.flatnonzero(self.active_mask(t)))
+
+    def failed_mask(self, t: float) -> np.ndarray:
+        """Boolean mask of the ranks that have *failed* by time *t*.
+
+        A failed rank's memory is gone (its replicas and application data
+        with it); a graceful leave keeps the machine's resource-manager
+        daemon — and whatever checkpoint replicas it holds — reachable.  A
+        failed rank that later rejoins is repaired hardware with blank
+        memory and is no longer counted here.
+        """
+        idx = bisect_right(self._times, t) - 1
+        if idx < 0:
+            return np.zeros(self.world_size, dtype=bool)
+        return self._failed_masks[idx].copy()
+
+    @property
+    def has_failures(self) -> bool:
+        """Whether any event is an unannounced ``fail`` (needs recovery)."""
+        return any(ev.kind == "fail" for ev in self.events)
 
     def events_between(self, t0: float, t1: float) -> list[MembershipEvent]:
         """Events with ``t0 < time <= t1`` (the poll window of a session)."""
@@ -445,13 +486,28 @@ class MembershipTrace:
 
         *spec* is a comma- or semicolon-separated event list::
 
-            standby:3, join:3@5.0, leave:0@9.5, replace:1->2@12
+            standby:3, join:3@5.0, leave:0@9.5, replace:1->2@12, fail:2@15
 
         ``standby:R`` marks rank R initially inactive; the other tokens are
-        ``kind:rank@time`` with ``replace`` naming ``old->new``.
+        ``kind:rank@time`` with ``replace`` naming ``old->new``.  Events
+        must be listed in non-decreasing time order (the DSL is a schedule;
+        an out-of-order token is almost always a typo in a timestamp) and
+        every rank must lie in ``0..world_size-1``.
         """
+
+        def _rank(text: str) -> int:
+            r = int(text)
+            if not (0 <= r < world_size):
+                raise ValueError(
+                    f"rank {r} out of range for a world of {world_size} "
+                    f"processors (valid ranks: 0..{world_size - 1})"
+                )
+            return r
+
         inactive: list[int] = []
         events: list[MembershipEvent] = []
+        last_time = -math.inf
+        last_token = ""
         for raw in spec.replace(";", ",").split(","):
             token = raw.strip()
             if not token:
@@ -459,29 +515,42 @@ class MembershipTrace:
             kind, sep, rest = token.partition(":")
             kind = kind.strip()
             if not sep:
-                raise ValueError(f"malformed membership token {token!r}")
+                raise ValueError(
+                    f"malformed membership token {token!r}: expected "
+                    f"'kind:rank@time' (or 'standby:rank')"
+                )
             try:
                 if kind == "standby":
-                    inactive.append(int(rest))
+                    inactive.append(_rank(rest))
                     continue
                 body, at, time_text = rest.partition("@")
                 if not at:
                     raise ValueError("missing @time")
                 t = float(time_text)
+                if t < last_time:
+                    raise ValueError(
+                        f"time {t:g} goes backwards (previous event "
+                        f"{last_token!r} is at t={last_time:g}); list "
+                        f"events in non-decreasing time order"
+                    )
                 if kind == "replace":
                     old_text, arrow, new_text = body.partition("->")
                     if not arrow:
                         raise ValueError("replace needs old->new")
                     events.append(
                         MembershipEvent(
-                            t, "replace", int(old_text),
-                            replacement=int(new_text),
+                            t, "replace", _rank(old_text),
+                            replacement=_rank(new_text),
                         )
                     )
-                elif kind in ("leave", "join"):
-                    events.append(MembershipEvent(t, kind, int(body)))
+                elif kind in ("leave", "join", "fail"):
+                    events.append(MembershipEvent(t, kind, _rank(body)))
                 else:
-                    raise ValueError(f"unknown event kind {kind!r}")
+                    raise ValueError(
+                        f"unknown event kind {kind!r}; known kinds: "
+                        f"{', '.join(EVENT_KINDS)} (plus 'standby:rank')"
+                    )
+                last_time, last_token = t, token
             except ValueError as exc:
                 raise ValueError(
                     f"malformed membership token {token!r}: {exc}"

@@ -51,6 +51,11 @@ class Tags:
     REDISTRIBUTE = 10
     LOAD_REPORT = 11
     LB_DECISION = 12
+    CHECKPOINT = 13
+    #: Recovery redistribution uses ``RECOVERY_BASE + dead_rank`` so one
+    #: partner covering several dead owners keeps their slab streams
+    #: apart; world sizes up to ``USER_BASE - RECOVERY_BASE`` are safe.
+    RECOVERY_BASE = 20
     USER_BASE = 100
 
 

@@ -13,7 +13,7 @@ exceptions (secondary mailbox-closed errors are filtered out).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np

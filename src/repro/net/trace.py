@@ -10,7 +10,7 @@ redistribute the data"); tests use it to assert communication patterns
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 __all__ = ["TraceEvent", "TraceLog"]

@@ -15,7 +15,7 @@ T); ``inverse(perm)[i]`` is the vertex at position ``i``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import Protocol
 
 import numpy as np
 

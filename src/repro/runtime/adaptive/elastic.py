@@ -97,18 +97,23 @@ class ElasticState:
 
     trace: MembershipTrace
     active: np.ndarray = field(init=False)
+    #: Cumulative unannounced-failure mask: memory on these machines is
+    #: gone (checkpoint replicas included).  Cleared for a rank that
+    #: rejoins — repaired hardware arrives blank, like any standby joiner.
+    failed: np.ndarray = field(init=False)
     last_poll: float = field(init=False, default=0.0)
     events_seen: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         self.active = self.trace.active_mask(0.0)
+        self.failed = self.trace.failed_mask(0.0)
 
     @property
     def num_active(self) -> int:
         return int(self.active.sum())
 
     def poll(self, t: float) -> list[MembershipEvent]:
-        """Consume events in ``(last_poll, t]`` and update the active mask."""
+        """Consume events in ``(last_poll, t]`` and update the masks."""
         if t < self.last_poll:
             raise LoadBalanceError(
                 f"membership poll moved backwards: {self.last_poll} -> {t}"
@@ -117,6 +122,7 @@ class ElasticState:
         self.last_poll = t
         if events:
             self.active = self.trace.active_mask(t)
+            self.failed = self.trace.failed_mask(t)
             self.events_seen += len(events)
         return events
 

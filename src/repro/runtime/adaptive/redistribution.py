@@ -45,6 +45,7 @@ __all__ = [
     "redistribute",
     "redistribute_fields",
     "estimate_remap_cost",
+    "network_pricing_params",
     "transfer_plan_summary",
     "IDENTITY_NBYTES",
 ]
@@ -70,6 +71,121 @@ def _transfers_by_peer(
         if tr.dest == rank:
             incoming.setdefault(tr.source, []).append(tr)
     return outgoing, incoming
+
+
+# The packed wire format of one slab group — THE single implementation.
+# Both the Phase D remap (here) and the resilience recovery
+# (:mod:`repro.runtime.resilience.recovery`) ship slabs through these
+# three helpers, so the backend-paired pack/verify/place semantics (and
+# the bit-identical reference/vectorized contract) cannot diverge between
+# the two exchanges.
+
+
+def _extract_slabs(
+    source_fields: Sequence[np.ndarray],
+    slabs: Sequence[Transfer],
+    src_lo: int,
+    backend: str,
+) -> list[np.ndarray]:
+    """Per-field concatenated slab payloads (no identity, not packed).
+
+    *src_lo* is the global start of the block *source_fields* covers.
+    """
+    if backend == "reference":
+        return [
+            np.concatenate(
+                [
+                    ref.slab_pack_loop(f, tr.lo - src_lo, tr.hi - src_lo)
+                    for tr in slabs
+                ]
+            )
+            for f in source_fields
+        ]
+    return [
+        np.concatenate([f[tr.lo - src_lo : tr.hi - src_lo] for tr in slabs])
+        for f in source_fields
+    ]
+
+
+def _pack_slabs(
+    source_fields: Sequence[np.ndarray],
+    slabs: Sequence[Transfer],
+    src_lo: int,
+    backend: str,
+):
+    """One packed [identity, field0, ...] payload for a slab group.
+
+    *src_lo* is the global start of the block *source_fields* covers
+    (the sender's interval — or, on the recovery path, the dead owner's).
+    """
+    if backend == "reference":
+        identity = np.concatenate(
+            [ref.iota_loop(tr.lo, tr.hi) for tr in slabs]
+        )
+    else:
+        identity = np.concatenate(
+            [np.arange(tr.lo, tr.hi, dtype=np.intp) for tr in slabs]
+        )
+    return pack_arrays(
+        [identity] + _extract_slabs(source_fields, slabs, src_lo, backend)
+    )
+
+
+def _verify_slabs(
+    rank: int,
+    origin: str,
+    parts: Sequence[np.ndarray],
+    slabs: Sequence[Transfer],
+    num_fields: int,
+    outs: Sequence[np.ndarray],
+    error_cls: type[Exception] = RedistributionError,
+) -> None:
+    """Check one received payload against the shared plan's prediction."""
+    if len(parts) != 1 + num_fields:
+        raise error_cls(
+            f"rank {rank}: packed message from {origin} has "
+            f"{len(parts)} segments, plan expects {1 + num_fields}"
+        )
+    expected = np.concatenate(
+        [np.arange(tr.lo, tr.hi, dtype=np.intp) for tr in slabs]
+    )
+    identity = parts[0]
+    if identity.shape != expected.shape or not np.array_equal(
+        identity, expected
+    ):
+        raise error_cls(
+            f"rank {rank}: slab from {origin} carries vertex "
+            f"identities that do not match the shared transfer plan "
+            f"(desynchronized exchange?)"
+        )
+    for f_idx, out in enumerate(outs):
+        part = parts[1 + f_idx]
+        if part.shape[0] != expected.size or part.dtype != out.dtype:
+            raise error_cls(
+                f"rank {rank}: field {f_idx} slab from {origin} does "
+                f"not match the plan ({part.shape[0]} elements of "
+                f"{part.dtype}, expected {expected.size} of {out.dtype})"
+            )
+
+
+def _place_slabs(
+    outs: Sequence[np.ndarray],
+    slabs: Sequence[Transfer],
+    parts: Sequence[np.ndarray],
+    new_lo: int,
+    backend: str,
+) -> None:
+    """Place verified per-field slab payloads into the new-block arrays."""
+    for f_idx, out in enumerate(outs):
+        part = parts[f_idx]
+        offset = 0
+        for tr in slabs:
+            segment = part[offset : offset + tr.count]
+            if backend == "reference":
+                ref.slab_unpack_loop(out, tr.lo - new_lo, segment)
+            else:
+                out[tr.lo - new_lo : tr.hi - new_lo] = segment
+            offset += tr.count
 
 
 def redistribute_fields(
@@ -128,69 +244,17 @@ def redistribute_fields(
     # order inside it.  Peers are walked in ascending order so the virtual
     # clock is deterministic regardless of plan enumeration details.
     for dest in sorted(outgoing):
-        slabs = outgoing[dest]
-        if backend == "reference":
-            identity = [ref.iota_loop(tr.lo, tr.hi) for tr in slabs]
-            payload = [np.concatenate(identity)] + [
-                np.concatenate(
-                    [
-                        ref.slab_pack_loop(f, tr.lo - old_lo, tr.hi - old_lo)
-                        for tr in slabs
-                    ]
-                )
-                for f in fields
-            ]
-        else:
-            payload = [
-                np.concatenate(
-                    [np.arange(tr.lo, tr.hi, dtype=np.intp) for tr in slabs]
-                )
-            ] + [
-                np.concatenate(
-                    [f[tr.lo - old_lo : tr.hi - old_lo] for tr in slabs]
-                )
-                for f in fields
-            ]
-        ctx.send(dest, pack_arrays(payload), tag)
+        ctx.send(dest, _pack_slabs(fields, outgoing[dest], old_lo, backend), tag)
 
     # Incoming: one packed message per source peer, verified against the
     # plan's identity prediction, then placed slab by slab.
     for source in sorted(incoming):
         slabs = incoming[source]
         parts = unpack_arrays(ctx.recv(source, tag))
-        if len(parts) != 1 + len(fields):
-            raise RedistributionError(
-                f"rank {ctx.rank}: packed remap message from {source} has "
-                f"{len(parts)} segments, plan expects {1 + len(fields)}"
-            )
-        identity = parts[0]
-        expected = np.concatenate(
-            [np.arange(tr.lo, tr.hi, dtype=np.intp) for tr in slabs]
+        _verify_slabs(
+            ctx.rank, f"rank {source}", parts, slabs, len(fields), outs
         )
-        if identity.shape != expected.shape or not np.array_equal(
-            identity, expected
-        ):
-            raise RedistributionError(
-                f"rank {ctx.rank}: remap slab from {source} carries vertex "
-                f"identities that do not match the shared transfer plan "
-                f"(desynchronized partitions?)"
-            )
-        for f_idx, out in enumerate(outs):
-            part = parts[1 + f_idx]
-            if part.shape[0] != expected.size or part.dtype != out.dtype:
-                raise RedistributionError(
-                    f"rank {ctx.rank}: field {f_idx} slab from {source} does "
-                    f"not match the plan ({part.shape[0]} elements of "
-                    f"{part.dtype}, expected {expected.size} of {out.dtype})"
-                )
-            offset = 0
-            for tr in slabs:
-                segment = part[offset : offset + tr.count]
-                if backend == "reference":
-                    ref.slab_unpack_loop(out, tr.lo - new_lo, segment)
-                else:
-                    out[tr.lo - new_lo : tr.hi - new_lo] = segment
-                offset += tr.count
+        _place_slabs(outs, slabs, parts[1:], new_lo, backend)
     return outs
 
 
@@ -212,6 +276,27 @@ def redistribute(
     return redistribute_fields(
         ctx, old, new, [np.asarray(local_data)], tag=tag, backend=backend
     )[0]
+
+
+def network_pricing_params(
+    network: "NetworkModel", shared_medium: bool | None = None
+) -> tuple[float, float, float, bool]:
+    """``(latency, bandwidth, per_message_overhead, shared?)`` of *network*.
+
+    The one extraction every analytic exchange price shares —
+    :func:`estimate_remap_cost` here and
+    :func:`~repro.runtime.resilience.estimate_checkpoint_cost` — so the
+    two estimates stay comparable by construction and a changed default
+    can never make them silently diverge.
+    """
+    latency = float(getattr(network, "latency", 1e-3))
+    bandwidth = float(getattr(network, "bandwidth", 1.25e6))
+    overhead = float(getattr(network, "per_message_overhead", 5e-4))
+    if shared_medium is None:
+        from repro.net.network import SharedEthernet
+
+        shared_medium = isinstance(network, SharedEthernet)
+    return latency, bandwidth, overhead, bool(shared_medium)
 
 
 def estimate_remap_cost(
@@ -248,13 +333,9 @@ def estimate_remap_cost(
     per_element = num_fields * element_nbytes + (
         IDENTITY_NBYTES if include_identity else 0
     )
-    latency = float(getattr(network, "latency", 1e-3))
-    bandwidth = float(getattr(network, "bandwidth", 1.25e6))
-    overhead = float(getattr(network, "per_message_overhead", 5e-4))
-    if shared_medium is None:
-        from repro.net.network import SharedEthernet
-
-        shared_medium = isinstance(network, SharedEthernet)
+    latency, bandwidth, overhead, shared_medium = network_pricing_params(
+        network, shared_medium
+    )
     n_messages = len({(tr.source, tr.dest) for tr in transfers})
     fixed = n_messages * (overhead + latency)
     if shared_medium:

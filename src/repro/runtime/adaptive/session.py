@@ -18,12 +18,19 @@ of them drive now:
 * :meth:`poll_membership` applies elastic membership events
   (:mod:`repro.runtime.adaptive.elastic`): a departing rank's fields are
   drained through the same packed redistribution and the schedules are
-  rebuilt for the shrunk (or grown) active set.
+  rebuilt for the shrunk (or grown) active set;
+* with a checkpoint policy configured
+  (:mod:`repro.runtime.resilience`), the session periodically replicates
+  every rank's block to a ring partner, and an unannounced ``fail``
+  event triggers the recovery path: roll every rank back to the last
+  checkpoint epoch, reassemble the lost block from its partner's
+  replica, repartition onto the survivors, and tell the driver (via
+  :meth:`next_iteration`) to re-execute from the epoch's iteration.
 
 The session also does the bookkeeping Tables 4-5 are made of: virtual time
-spent in checks and remaps, check/remap counts, and the host seconds of
-the redistribution exchange (what the ``scale-adaptive`` benchmarks
-compare across backends).
+spent in checks, remaps, checkpoints, and rollbacks; check/remap/epoch
+counts; and the host seconds of the redistribution exchange (what the
+``scale-adaptive`` benchmarks compare across backends).
 """
 
 from __future__ import annotations
@@ -34,7 +41,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.errors import LoadBalanceError
+from repro.errors import LoadBalanceError, ResilienceError
 from repro.graph.csr import CSRGraph
 from repro.partition.intervals import IntervalPartition
 from repro.runtime.adaptive.elastic import (
@@ -52,6 +59,12 @@ from repro.runtime.adaptive.strategy import (
 )
 from repro.runtime.inspector import InspectorResult, run_inspector
 from repro.runtime.monitor import LoadMonitor
+from repro.runtime.resilience.checkpoint import ResilienceState, take_checkpoint
+from repro.runtime.resilience.policy import (
+    CheckpointPolicy,
+    resolve_checkpoint_policy,
+)
+from repro.runtime.resilience.recovery import recover_redistribute_fields
 from repro.runtime.schedule_builders import InspectorCostModel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -69,8 +82,13 @@ class SessionStats:
     remap_time: float = 0.0  # virtual s: redistribute + rebuild + barrier
     num_checks: int = 0
     num_remaps: int = 0
-    membership_events: int = 0  # elastic join/leave/replace events applied
+    membership_events: int = 0  # elastic join/leave/replace/fail events
     redistribute_host_s: float = 0.0  # host s inside the packed exchange
+    checkpoint_time: float = 0.0  # virtual s: replication + barrier
+    num_checkpoints: int = 0  # epochs taken (bootstrap included)
+    rollback_time: float = 0.0  # virtual s: restore + recovery remap + rebuild
+    num_rollbacks: int = 0  # failure recoveries performed
+    lost_time: float = 0.0  # virtual s of discarded (re-executed) progress
 
 
 @dataclass
@@ -96,6 +114,12 @@ class AdaptiveSession:
     #: the cluster's own trace (ClusterSpec.membership); clusters without
     #: one run with a fixed rank set, exactly as before.
     membership: "MembershipTrace | str | None" = None
+    #: Checkpoint policy (:mod:`repro.runtime.resilience`): a policy
+    #: object, a DSL string ("interval:4" / "cost:50"), or None for no
+    #: checkpointing.  Mandatory when the membership trace contains
+    #: unannounced ``fail`` events — a failure without an epoch to roll
+    #: back to is unrecoverable.
+    checkpoint: "CheckpointPolicy | str | None" = None
 
     def __post_init__(self) -> None:
         if self.total_iterations < 1:
@@ -154,6 +178,22 @@ class AdaptiveSession:
                     f"membership; update it to the current "
                     f"RebalanceStrategy protocol"
                 )
+        self.resilience: ResilienceState | None = None
+        policy = resolve_checkpoint_policy(self.checkpoint)
+        if policy is not None:
+            self.resilience = ResilienceState(policy)
+        if (
+            self.elastic is not None
+            and self.elastic.trace.has_failures
+            and self.resilience is None
+        ):
+            raise ResilienceError(
+                "the membership trace contains unannounced 'fail' events; "
+                "recovery needs a checkpoint policy — set "
+                "ProgramConfig.checkpoint (e.g. \"interval:4\") or pass "
+                "--checkpoint on the CLI"
+            )
+        self._resume_at: int | None = None
         self._last_sync_clock = self.ctx.clock
         self._last_span = 0.0
         self._rebuild_cost = 0.0  # learned from the last remap's true span
@@ -317,11 +357,34 @@ class AdaptiveSession:
         check is due, every rank contributes its monitored load to the
         strategy; if the collective decision says remap, *fields* are
         redistributed to the new partition and the inspector is rebuilt.
-        Returns the (possibly moved) fields.
+        With a checkpoint policy configured, a due boundary additionally
+        replicates the (possibly remapped) state as a fresh epoch; a
+        ``fail`` event detected by the poll instead triggers the rollback
+        recovery and skips the periodic check (the world was just
+        repartitioned from the checkpoint).  Returns the (possibly moved)
+        fields.
         """
+        if self._resume_at is not None:
+            # A rollback armed the rewind at a previous boundary and the
+            # driver marched on anyway: its loop counter no longer means
+            # what the session thinks it means, and silently continuing
+            # would skip the re-execution of the discarded iterations.
+            raise ResilienceError(
+                "next_iteration() was not consulted after a rollback; a "
+                "driver of a resilient session must advance its loop with "
+                "session.next_iteration(iteration), as run_program does"
+            )
+        # Synchronized boundary clock (the caller barriers first): the
+        # replicated time reference every rank's checkpoint policy sees,
+        # unpolluted by the per-rank skew a no-remap check leaves behind.
+        boundary_clock = self.ctx.clock
         fields = self.poll_membership(iteration, fields)
-        if not self.check_due(iteration):
+        if self._resume_at is not None:
+            # A rollback just restored and re-checkpointed the world;
+            # the driver must now consult next_iteration().
             return fields
+        if not self.check_due(iteration):
+            return self._maybe_checkpoint(iteration, boundary_clock, fields)
         assert self.lb is not None
         ctx = self.ctx
         # Price the remap for what the packed exchange will really ship:
@@ -370,7 +433,7 @@ class AdaptiveSession:
             self._note_remap_span(
                 decision.remap_cost - config.rebuild_cost_estimate
             )
-        return fields
+        return self._maybe_checkpoint(iteration, boundary_clock, fields)
 
     def poll_membership(
         self, iteration: int, fields: Sequence[np.ndarray]
@@ -400,6 +463,29 @@ class AdaptiveSession:
         if not events:
             return fields
         self.stats.membership_events += len(events)
+        sizes = self.partition.sizes()
+        if any(ev.kind == "fail" and sizes[ev.rank] > 0 for ev in events):
+            # An unannounced failure of a data holder: its block is gone,
+            # so the batch cannot be handled by a forward drain — roll
+            # the world back to the checkpoint epoch instead.  Any leaves
+            # or joins in the same batch fold into the recovery's target
+            # active set.
+            return self._recover(fields, span)
+        # A failed rank that owned nothing lost nothing (a standby or
+        # drained machine's host died): the live state is intact, so the
+        # failure degrades to an ordinary membership shrink — no
+        # rollback, no re-execution.  `sizes` is replicated, so every
+        # rank takes the same branch.  The dead machine may still have
+        # held *replicas* of the current epoch (or its own snapshot), so
+        # redundancy is degraded: re-replicate over the survivors before
+        # a later single failure can look like an unrecoverable double
+        # failure.
+        refresh = (
+            any(ev.kind == "fail" for ev in events)
+            and self.resilience is not None
+            and self.resilience.checkpoint is not None
+            and iteration + 1 < self.total_iterations
+        )
         forced = any(ev.kind in ("leave", "replace") for ev in events)
         static = self.lb is None or isinstance(self.strategy, NoBalancing)
         if not forced and static:
@@ -407,6 +493,10 @@ class AdaptiveSession:
             # drain (the data has nowhere else to go), but a join is an
             # opportunity only a balancing run exploits.  The joiner stays
             # active-but-empty.
+            if refresh:
+                fields = self._take_checkpoint(
+                    fields, next_iteration=iteration + 1
+                )
             return fields
         decision_mask = self.elastic.active
         if forced and static:
@@ -446,7 +536,198 @@ class AdaptiveSession:
             self._note_remap_span(
                 decision.remap_cost - config.rebuild_cost_estimate
             )
+        if refresh:
+            fields = self._take_checkpoint(fields, next_iteration=iteration + 1)
         return fields
+
+    # ------------------------------------------------------------------ #
+    # resilience: checkpoint epochs and failure recovery
+    # ------------------------------------------------------------------ #
+
+    def bootstrap_resilience(
+        self, fields: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Establish epoch 0 (the initial state) before the first iteration.
+
+        SPMD collective; a no-op without a checkpoint policy.  Epoch 0 is
+        what a failure before the first periodic checkpoint rolls back
+        to — without it the run would be unrecoverable in its opening
+        iterations.
+        """
+        fields = list(fields)
+        if self.resilience is None:
+            return fields
+        return self._take_checkpoint(fields, next_iteration=0)
+
+    def next_iteration(self, iteration: int) -> int:
+        """The driver loop's successor of *iteration* (0-based).
+
+        Normally ``iteration + 1``; after a rollback, the recovered
+        epoch's first uncaptured iteration, so the driver re-executes the
+        discarded suffix.  Drivers that feed ``fail`` events through
+        :meth:`poll_membership` must advance their loop with this method
+        (``run_program`` does).
+        """
+        if self._resume_at is not None:
+            resume = self._resume_at
+            self._resume_at = None
+            return resume
+        return iteration + 1
+
+    def _take_checkpoint(
+        self, fields: list[np.ndarray], *, next_iteration: int
+    ) -> list[np.ndarray]:
+        """Replicate the current state as a fresh epoch; SPMD collective.
+
+        Entered through a barrier so the measured cost is a synchronized
+        span — identical on every rank, which is what lets the cost-model
+        policy schedule the next epoch without a message.
+        """
+        res = self.resilience
+        assert res is not None
+        ctx = self.ctx
+        ctx.barrier()
+        t0 = ctx.clock
+        res.checkpoint = take_checkpoint(
+            ctx,
+            self.partition,
+            fields,
+            self.active,
+            next_iteration=next_iteration,
+            epoch=res.epochs_taken,
+            backend=self.backend,
+        )
+        res.measured_cost = ctx.clock - t0
+        res.epochs_taken += 1
+        self.stats.checkpoint_time += ctx.clock - t0
+        self.stats.num_checkpoints += 1
+        # The next iteration-span sample starts where the checkpoint
+        # ended, not where the iteration did.
+        self._last_sync_clock = ctx.clock
+        return fields
+
+    def _maybe_checkpoint(
+        self,
+        iteration: int,
+        boundary_clock: float,
+        fields: list[np.ndarray],
+    ) -> list[np.ndarray]:
+        """Consult the policy at a boundary; replicate when due.
+
+        Never fires after the final iteration (there is nothing left to
+        protect).  All policy inputs are replicated — the iteration, the
+        synchronized boundary clock, the last epoch's synchronized clock
+        and measured cost — so every rank reaches the same conclusion.
+        """
+        res = self.resilience
+        if res is None or iteration + 1 >= self.total_iterations:
+            return fields
+        cp = res.checkpoint
+        if cp is not None and cp.clock >= boundary_clock:
+            # An epoch was already taken at this very boundary (a
+            # redundancy refresh after a data-less failure): don't
+            # replicate the identical state twice.  Both clocks are
+            # synchronized, so every rank skips together.
+            return fields
+        due = res.policy.due(
+            iteration,
+            boundary_clock,
+            last_checkpoint_clock=cp.clock if cp is not None else 0.0,
+            checkpoint_cost=res.measured_cost,
+        )
+        if due:
+            fields = self._take_checkpoint(
+                fields, next_iteration=iteration + 1
+            )
+        return fields
+
+    def _recover(
+        self, fields: Sequence[np.ndarray], span: float
+    ) -> list[np.ndarray]:
+        """Roll back to the last epoch and repartition onto the survivors.
+
+        SPMD collective, entered from :meth:`poll_membership` when the
+        event window contains a ``fail``.  Every rank discards its
+        current fields, restores its snapshot of the checkpoint epoch,
+        and the epoch is redistributed from the checkpoint partition to a
+        fresh MCR split over the surviving active set — with the dead
+        ranks' slabs shipped by their checkpoint partners.  Virtual
+        clocks never roll back: the discarded progress is the failure's
+        price, accounted in ``stats.lost_time``.  Finishes by taking a
+        fresh epoch of the recovered state (bounding the next rollback)
+        and arming :meth:`next_iteration` with the epoch's iteration.
+        """
+        res = self.resilience
+        assert self.elastic is not None
+        if res is None:  # pragma: no cover - construction forbids this
+            raise ResilienceError(
+                "a rank failed but no checkpoint policy is configured"
+            )
+        cp = res.checkpoint
+        if cp is None:
+            raise ResilienceError(
+                "a rank failed before any checkpoint epoch was "
+                "established; call bootstrap_resilience() before the "
+                "first iteration"
+            )
+        ctx = self.ctx
+        t0 = ctx.clock
+        self.stats.num_rollbacks += 1
+        self.stats.lost_time += max(ctx.clock - cp.clock, 0.0)
+        # Restore the epoch: replicated partition, snapshot data.  The
+        # incoming fields (post-checkpoint progress) are discarded.
+        self.partition = cp.partition
+        fields = [s.copy() for s in cp.snapshot]
+        self.monitor.reset_window()
+        # Survivor split: mandatory (the dead rank holds epoch data while
+        # inactive).  The static baseline keeps its drain-only semantics:
+        # data lands only on active ranks that already hold some.
+        active = self.elastic.active
+        decision_mask = active
+        if self.lb is None or isinstance(self.strategy, NoBalancing):
+            holders = active & (cp.partition.sizes() > 0)
+            if holders.any():
+                decision_mask = holders
+        config = self._priced(
+            self.lb if self.lb is not None else LoadBalanceConfig(),
+            len(fields),
+        )
+        remaining = self._capped_remaining(
+            max(self.total_iterations - cp.next_iteration, 0), span
+        )
+        decision = membership_decision(
+            ctx,
+            self.partition,
+            decision_mask,
+            remaining,
+            config,
+            force=True,
+            iteration_span=span if span > 0 else None,
+        )
+        assert decision.remap and decision.new_partition is not None
+        host0 = time.perf_counter()
+        fields = recover_redistribute_fields(
+            ctx,
+            cp.partition,
+            decision.new_partition,
+            fields,
+            failed=self.elastic.failed,
+            partners=cp.partners,
+            replicas=cp.replicas,
+            backend=self.backend,
+        )
+        self.stats.redistribute_host_s += time.perf_counter() - host0
+        self.partition = decision.new_partition
+        self.inspector = self._build_inspector()
+        ctx.barrier()
+        self.stats.rollback_time += ctx.clock - t0
+        self._note_remap_span(
+            decision.remap_cost - config.rebuild_cost_estimate
+        )
+        self._resume_at = cp.next_iteration
+        return self._take_checkpoint(
+            fields, next_iteration=cp.next_iteration
+        )
 
     def remap_to(
         self, new_partition: IntervalPartition, fields: Sequence[np.ndarray]

@@ -18,12 +18,12 @@ made of.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError, LoadBalanceError
+from repro.errors import ConfigurationError, LoadBalanceError, ResilienceError
 from repro.graph.csr import CSRGraph
 from repro.net.cluster import ClusterSpec
 from repro.net.loadmodel import MembershipTrace
@@ -36,6 +36,9 @@ from repro.runtime.adaptive import AdaptiveSession, LoadBalanceConfig
 from repro.runtime.executor import ExecutorCostModel, gather
 from repro.runtime.kernels import KernelCostModel
 from repro.runtime.schedule_builders import InspectorCostModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.resilience import CheckpointPolicy
 
 __all__ = ["ProgramConfig", "RankStats", "ProgramReport", "run_program"]
 
@@ -66,6 +69,14 @@ class ProgramConfig:
     #: runs require ``barrier_each_iteration`` (events are applied at
     #: synchronized iteration boundaries).
     membership: MembershipTrace | str | None = None
+    #: Checkpoint policy (:mod:`repro.runtime.resilience`): a
+    #: :class:`~repro.runtime.resilience.CheckpointPolicy`, a DSL string
+    #: ("interval:4" = every 4 iterations, "cost:50" = Young's interval
+    #: for an MTBF estimate of 50 virtual seconds), or None.  Required
+    #: when the membership trace contains unannounced ``fail`` events;
+    #: allowed without one (the overhead-only baseline the
+    #: ``scale-resilience`` experiments measure).
+    checkpoint: "CheckpointPolicy | str | None" = None
     kernel_cost: KernelCostModel = KernelCostModel()
     inspector_cost: InspectorCostModel = InspectorCostModel()
     executor_cost: ExecutorCostModel = ExecutorCostModel()
@@ -96,6 +107,14 @@ class ProgramConfig:
             from repro.runtime.backend import resolve_backend
 
             resolve_backend(self.backend)  # raises on unknown names
+        if self.checkpoint is not None:
+            from repro.runtime.resilience import resolve_checkpoint_policy
+
+            # Normalize eagerly so a malformed --checkpoint DSL fails at
+            # configuration time, not inside the rank threads.
+            object.__setattr__(
+                self, "checkpoint", resolve_checkpoint_policy(self.checkpoint)
+            )
 
 
 @dataclass
@@ -111,6 +130,11 @@ class RankStats:
     num_checks: int = 0
     num_remaps: int = 0
     membership_events: int = 0
+    checkpoint_time: float = 0.0
+    num_checkpoints: int = 0
+    rollback_time: float = 0.0
+    num_rollbacks: int = 0
+    lost_time: float = 0.0
     final_clock: float = 0.0
     redistribute_host_s: float = 0.0  # host s inside packed remap exchanges
 
@@ -164,6 +188,48 @@ class ProgramReport:
                 f"the elastic poll desynchronized"
             )
         return counts.pop()
+
+    @property
+    def num_checkpoints(self) -> int:
+        """Checkpoint epochs taken, aggregated across ranks.
+
+        Checkpoints are collective (the policy evaluates on replicated
+        inputs), so every rank must report the same count; a disagreement
+        means the policy desynchronized — surfaced exactly like a
+        :attr:`num_remaps` desync.
+        """
+        counts = {s.num_checkpoints for s in self.rank_stats}
+        if len(counts) != 1:
+            per_rank = {s.rank: s.num_checkpoints for s in self.rank_stats}
+            raise ResilienceError(
+                f"ranks disagree on the number of checkpoints: {per_rank} "
+                f"— the checkpoint policy desynchronized"
+            )
+        return counts.pop()
+
+    @property
+    def num_rollbacks(self) -> int:
+        """Failure recoveries performed, aggregated across ranks."""
+        counts = {s.num_rollbacks for s in self.rank_stats}
+        if len(counts) != 1:
+            per_rank = {s.rank: s.num_rollbacks for s in self.rank_stats}
+            raise ResilienceError(
+                f"ranks disagree on the number of rollbacks: {per_rank} — "
+                f"failure recovery desynchronized"
+            )
+        return counts.pop()
+
+    @property
+    def checkpoint_time(self) -> float:
+        return max(s.checkpoint_time for s in self.rank_stats)
+
+    @property
+    def rollback_time(self) -> float:
+        return max(s.rollback_time for s in self.rank_stats)
+
+    @property
+    def lost_time(self) -> float:
+        return max(s.lost_time for s in self.rank_stats)
 
     @property
     def total_work_seconds(self) -> float:
@@ -232,11 +298,17 @@ def _rank_main(
         schedule_strategy=config.strategy,
         inspector_cost=config.inspector_cost,
         backend=config.backend,
+        checkpoint=config.checkpoint,
     )
     lo, hi = session.interval()
     local = y_init[lo:hi].copy()
+    (local,) = session.bootstrap_resilience((local,))
 
-    for it in range(config.iterations):
+    # A while-loop, not `for`: after a failure rollback the session's
+    # next_iteration() rewinds to the recovered epoch's iteration and the
+    # discarded suffix is re-executed.
+    it = 0
+    while it < config.iterations:
         ghost = gather(
             ctx, session.schedule, local, cost_model=config.executor_cost,
             backend=config.backend,
@@ -254,6 +326,7 @@ def _rank_main(
         if config.barrier_each_iteration:
             ctx.barrier()
         (local,) = session.maybe_rebalance(it, (local,))
+        it = session.next_iteration(it)
 
     stats.inspector_time = session.stats.inspector_time
     stats.lb_check_time = session.stats.lb_check_time
@@ -261,6 +334,11 @@ def _rank_main(
     stats.num_checks = session.stats.num_checks
     stats.num_remaps = session.stats.num_remaps
     stats.membership_events = session.stats.membership_events
+    stats.checkpoint_time = session.stats.checkpoint_time
+    stats.num_checkpoints = session.stats.num_checkpoints
+    stats.rollback_time = session.stats.rollback_time
+    stats.num_rollbacks = session.stats.num_rollbacks
+    stats.lost_time = session.stats.lost_time
     stats.redistribute_host_s = session.stats.redistribute_host_s
 
     # Final assembly at rank 0.
@@ -315,6 +393,22 @@ def run_program(
                 "elastic membership requires barrier_each_iteration: events "
                 "are applied at synchronized iteration boundaries"
             )
+    if config.checkpoint is not None and not config.barrier_each_iteration:
+        raise ConfigurationError(
+            "checkpointing requires barrier_each_iteration: epochs are "
+            "taken at synchronized iteration boundaries"
+        )
+    if (
+        trace is not None
+        and trace.has_failures
+        and config.checkpoint is None
+    ):
+        raise ResilienceError(
+            "the membership trace contains unannounced 'fail' events; "
+            "recovery needs a checkpoint policy — set "
+            "ProgramConfig.checkpoint (e.g. \"interval:4\") or pass "
+            "--checkpoint on the CLI"
+        )
 
     # Phase A: 1-D transformation (done once, offline).
     ordering = _pick_ordering(config, graph)

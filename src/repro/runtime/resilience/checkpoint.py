@@ -1,0 +1,229 @@
+"""Partner-replication checkpoints: one packed message per rank.
+
+A checkpoint makes the run survivable: every data-holding rank ships its
+interval's fields **plus vertex identity** to a *partner* (the next active
+rank on a ring over the active set) through the same
+:class:`~repro.net.message.PackedArrays` wire format the Phase D
+redistribution uses — one message, one per-message setup charge — and
+keeps an in-memory snapshot of its own block.  If rank R later dies
+unannounced, R's snapshot dies with it, but R's partner still holds the
+replica; every survivor still holds its own snapshot.  Rolling the world
+back to the checkpoint epoch therefore needs **no stable storage**: the
+paper's testbed (workstations on a LAN) gets diskless checkpointing for
+the price of one extra message per rank.
+
+Like every other Phase D decision, the checkpoint is collective and built
+from replicated knowledge only: the partition is replicated (Fig. 3), so
+the ring assignment, the message sizes, and the identity segments are all
+known to every rank without negotiation, and
+:func:`estimate_checkpoint_cost` can price the whole exchange analytically
+the same way :func:`~repro.runtime.adaptive.redistribution.estimate_remap_cost`
+prices a remap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import ResilienceError
+from repro.net.message import Tags, unpack_arrays
+from repro.partition.arrangement import Transfer
+from repro.partition.intervals import IntervalPartition
+from repro.runtime.adaptive.redistribution import (
+    IDENTITY_NBYTES,
+    _pack_slabs,
+    _verify_slabs,
+    network_pricing_params,
+)
+from repro.runtime.backend import resolve_backend
+from repro.runtime.resilience.policy import CheckpointPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.comm import RankContext
+    from repro.net.network import NetworkModel
+
+__all__ = [
+    "Checkpoint",
+    "ResilienceState",
+    "ring_partners",
+    "take_checkpoint",
+    "estimate_checkpoint_cost",
+]
+
+
+def ring_partners(
+    partition: IntervalPartition, active: np.ndarray
+) -> dict[int, int]:
+    """The replica assignment: each data-holding active rank → its partner.
+
+    Partners are the ring successors over the *sorted active set*, so the
+    assignment is a pure function of replicated knowledge (every rank
+    computes the identical map without a message).  A pool with a single
+    active rank has nobody to replicate to and gets an empty map — a
+    failure there empties the active set, which the membership trace
+    already forbids.
+    """
+    actives = [int(r) for r in np.flatnonzero(np.asarray(active, dtype=bool))]
+    if len(actives) < 2:
+        return {}
+    succ = {r: actives[(i + 1) % len(actives)] for i, r in enumerate(actives)}
+    return {r: succ[r] for r in actives if partition.size(r) > 0}
+
+
+@dataclass
+class Checkpoint:
+    """One consistent epoch: everything needed to roll the world back.
+
+    The metadata (epoch, iteration, partition, ring) is replicated on
+    every rank; ``snapshot`` and ``replicas`` are the per-rank data
+    halves — a rank holds its *own* block at the checkpoint partition
+    plus the blocks of the owners whose partner it is.
+    """
+
+    epoch: int
+    next_iteration: int  # first iteration NOT yet captured by this epoch
+    clock: float  # synchronized post-checkpoint clock
+    partition: IntervalPartition
+    active: np.ndarray  # active mask when taken
+    partners: dict[int, int]  # data owner -> replica holder
+    snapshot: list[np.ndarray] = field(default_factory=list)
+    replicas: dict[int, list[np.ndarray]] = field(default_factory=dict)
+
+
+@dataclass
+class ResilienceState:
+    """One rank's checkpoint/recovery bookkeeping (session-owned)."""
+
+    policy: CheckpointPolicy
+    checkpoint: Checkpoint | None = None
+    #: Measured synchronized cost of the last checkpoint (virtual s);
+    #: identical on every rank, which is what lets
+    #: :class:`~repro.runtime.resilience.policy.CostModelCheckpoint`
+    #: decide without a message.
+    measured_cost: float = 0.0
+    epochs_taken: int = 0
+
+
+def take_checkpoint(
+    ctx: "RankContext",
+    partition: IntervalPartition,
+    fields: Sequence[np.ndarray],
+    active: np.ndarray,
+    *,
+    next_iteration: int,
+    epoch: int,
+    tag: int = Tags.CHECKPOINT,
+    backend: str | None = None,
+) -> Checkpoint:
+    """Replicate this epoch to the ring partners; SPMD collective.
+
+    Every rank calls it at a synchronized boundary with its current block
+    of *fields*.  Data-holding active ranks send one packed message
+    (identity + every field) to their ring partner; every rank snapshots
+    its own block locally; a trailing barrier makes the epoch's cost a
+    synchronized span every rank measures identically.
+    """
+    backend = resolve_backend(backend)
+    fields = [np.asarray(f) for f in fields]
+    if not fields:
+        raise ResilienceError("take_checkpoint needs at least one field")
+    active = np.asarray(active, dtype=bool)
+    rank = ctx.rank
+    lo, hi = partition.interval(rank)
+    for k, f in enumerate(fields):
+        if f.shape[0] != hi - lo:
+            raise ResilienceError(
+                f"rank {rank}: field {k} has {f.shape[0]} elements, the "
+                f"interval holds {hi - lo}"
+            )
+    partners = ring_partners(partition, active)
+
+    # Outgoing: one packed message to the ring partner (if this rank
+    # holds data and has one) — the interval as a single slab through
+    # the shared wire-format implementation.
+    partner = partners.get(rank)
+    if partner is not None:
+        ctx.send(
+            partner,
+            _pack_slabs(fields, [Transfer(rank, partner, lo, hi)], lo, backend),
+            tag,
+        )
+
+    # Local snapshot: the rank's own half of the epoch (free of network
+    # cost, like the retained-overlap copy of a redistribution).
+    snapshot = [f.copy() for f in fields]
+
+    # Incoming: the ring predecessor's replica, if it holds data.  The
+    # ring is injective, so there is at most one.  The shared verify
+    # checks identity against the replicated partition plus every field
+    # segment's length and dtype (own fields are the dtype reference —
+    # SPMD ranks run one program), so a malformed replica fails at
+    # replication time, not mid-rollback.
+    replicas: dict[int, list[np.ndarray]] = {}
+    predecessors = [o for o, holder in partners.items() if holder == rank]
+    for owner in sorted(predecessors):
+        parts = unpack_arrays(ctx.recv(owner, tag))
+        olo, ohi = partition.interval(owner)
+        _verify_slabs(
+            rank,
+            f"checkpoint owner {owner}",
+            parts,
+            [Transfer(owner, rank, olo, ohi)],
+            len(fields),
+            fields,
+            ResilienceError,
+        )
+        replicas[owner] = parts[1:]
+
+    ctx.barrier()
+    return Checkpoint(
+        epoch=epoch,
+        next_iteration=next_iteration,
+        clock=ctx.clock,
+        partition=partition,
+        active=active.copy(),
+        partners=partners,
+        snapshot=snapshot,
+        replicas=replicas,
+    )
+
+
+def estimate_checkpoint_cost(
+    network: "NetworkModel",
+    partition: IntervalPartition,
+    active: np.ndarray,
+    element_nbytes: int,
+    *,
+    num_fields: int = 1,
+    shared_medium: bool | None = None,
+) -> float:
+    """Predicted virtual seconds for one checkpoint, without taking it.
+
+    Prices exactly what :func:`take_checkpoint` ships: per data-holding
+    active rank, one packed message of its interval's ``num_fields``
+    payload copies plus one vertex-identity entry per element.  Shared
+    media serialize all frames; switched fabrics overlap distinct
+    destinations, approximated by the slowest single message — the same
+    model as :func:`~repro.runtime.adaptive.redistribution.estimate_remap_cost`.
+    """
+    if element_nbytes <= 0:
+        raise ResilienceError(
+            f"element_nbytes must be > 0, got {element_nbytes}"
+        )
+    if num_fields < 1:
+        raise ResilienceError(f"num_fields must be >= 1, got {num_fields}")
+    partners = ring_partners(partition, active)
+    if not partners:
+        return 0.0
+    per_element = num_fields * element_nbytes + IDENTITY_NBYTES
+    latency, bandwidth, overhead, shared_medium = network_pricing_params(
+        network, shared_medium
+    )
+    sizes = {owner: partition.size(owner) * per_element for owner in partners}
+    fixed = len(sizes) * (overhead + latency)
+    if shared_medium:
+        return fixed + sum(sizes.values()) / bandwidth
+    return fixed + max(sizes.values()) / bandwidth

@@ -1,0 +1,205 @@
+"""Checkpoint policies: *when* to pay the replication cost.
+
+The paper's Phase D decides whether a remap pays with an explicit
+profitability test (predicted savings vs priced cost, Sec. 3.5).  The
+resilience subsystem applies the same cost-reasoning style to the other
+side of the adaptivity axis: how often to checkpoint when a machine may
+die *unannounced*.  Two policies are provided:
+
+* :class:`IntervalCheckpoint` — the fixed rule: checkpoint every *k*
+  synchronized iterations, the analogue of the paper's fixed
+  ``check_interval`` ("the frequency of load balancing is an important
+  parameter, its selection is out of the scope of this paper");
+* :class:`CostModelCheckpoint` — the profitability-style rule: pick the
+  checkpoint interval from the *measured* checkpoint cost ``C`` and an
+  operator-supplied mean-time-between-failures estimate ``M`` using
+  Young's first-order optimum ``T* = sqrt(2 C M)`` [Young, CACM 1974],
+  so an expensive checkpoint (big intervals, slow network) is taken
+  rarely and a cheap one often — exactly the trade the
+  ``scale-resilience`` experiments sweep.
+
+Both policies are deterministic in replicated inputs only (iteration
+number, the synchronized boundary clock, the synchronized measured cost),
+so every rank reaches the identical conclusion without a message — the
+same argument that makes the distributed rebalance strategy correct.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ResilienceError
+
+__all__ = [
+    "CheckpointPolicy",
+    "IntervalCheckpoint",
+    "CostModelCheckpoint",
+    "POLICY_NAMES",
+    "parse_checkpoint_policy",
+    "resolve_checkpoint_policy",
+]
+
+#: Recognized policy names (the CLI DSL vocabulary of
+#: :func:`parse_checkpoint_policy`).
+POLICY_NAMES = ("interval", "cost")
+
+
+@runtime_checkable
+class CheckpointPolicy(Protocol):
+    """One checkpoint-scheduling rule (evaluated redundantly per rank).
+
+    ``due`` is consulted once per synchronized iteration boundary.  Its
+    inputs are replicated — the 0-based iteration that just completed,
+    the synchronized boundary clock, the clock of the last checkpoint,
+    and its measured synchronized cost — and implementations must be
+    deterministic in them: ranks that disagree on whether a checkpoint
+    is due deadlock the replication ring.
+    """
+
+    name: str
+
+    def due(
+        self,
+        iteration: int,
+        boundary_clock: float,
+        *,
+        last_checkpoint_clock: float,
+        checkpoint_cost: float,
+    ) -> bool:
+        """Whether to checkpoint at the end of *iteration* (0-based)."""
+        ...
+
+
+@dataclass(frozen=True)
+class IntervalCheckpoint:
+    """Checkpoint every *k* synchronized iterations (the fixed rule)."""
+
+    k: int
+    name: str = "interval"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ResilienceError(
+                f"checkpoint interval must be >= 1 iteration, got {self.k}"
+            )
+
+    def due(
+        self,
+        iteration: int,
+        boundary_clock: float,
+        *,
+        last_checkpoint_clock: float,
+        checkpoint_cost: float,
+    ) -> bool:
+        return (iteration + 1) % self.k == 0
+
+
+@dataclass(frozen=True)
+class CostModelCheckpoint:
+    """Young's interval from the measured cost and a failure-rate estimate.
+
+    ``mtbf`` is the operator's mean-time-between-failures estimate in
+    *virtual* seconds (the replicated knowledge a real deployment gets
+    from its fleet history).  With ``C`` the last checkpoint's measured
+    synchronized cost, a checkpoint is due once
+    ``boundary_clock - last_checkpoint_clock >= sqrt(2 * C * mtbf)`` —
+    the first-order optimum balancing checkpoint overhead against the
+    expected re-execution loss.  ``min_interval_s`` floors the interval
+    so a near-zero measured cost (tiny runs) cannot trigger a
+    checkpoint storm.
+    """
+
+    mtbf: float
+    min_interval_s: float = 0.0
+    name: str = "cost"
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.mtbf) and self.mtbf > 0):
+            raise ResilienceError(
+                f"mtbf must be a finite positive virtual-second estimate, "
+                f"got {self.mtbf}"
+            )
+        if self.min_interval_s < 0:
+            raise ResilienceError(
+                f"min_interval_s must be >= 0, got {self.min_interval_s}"
+            )
+
+    def interval(self, checkpoint_cost: float) -> float:
+        """The target interval ``max(sqrt(2 C M), min_interval_s)``."""
+        return max(
+            math.sqrt(2.0 * max(checkpoint_cost, 0.0) * self.mtbf),
+            self.min_interval_s,
+        )
+
+    def due(
+        self,
+        iteration: int,
+        boundary_clock: float,
+        *,
+        last_checkpoint_clock: float,
+        checkpoint_cost: float,
+    ) -> bool:
+        elapsed = boundary_clock - last_checkpoint_clock
+        return elapsed >= self.interval(checkpoint_cost)
+
+
+def parse_checkpoint_policy(spec: str) -> CheckpointPolicy:
+    """Parse the ``--checkpoint`` CLI mini-language.
+
+    Two forms::
+
+        interval:K     checkpoint every K synchronized iterations
+        cost:MTBF      Young's interval for an MTBF estimate (virtual s)
+
+    Malformed specs raise :class:`~repro.errors.ResilienceError` with the
+    offending token and the accepted vocabulary spelled out.
+    """
+    token = spec.strip()
+    name, sep, arg = token.partition(":")
+    name = name.strip()
+    if name not in POLICY_NAMES:
+        raise ResilienceError(
+            f"unknown checkpoint policy {name or token!r}; known policies: "
+            f"'interval:K' (every K iterations) and 'cost:MTBF' "
+            f"(Young's interval for an MTBF estimate in virtual seconds)"
+        )
+    if not sep or not arg.strip():
+        raise ResilienceError(
+            f"checkpoint policy {token!r} is missing its parameter: use "
+            f"'interval:K' or 'cost:MTBF'"
+        )
+    arg = arg.strip()
+    if name == "interval":
+        try:
+            k = int(arg)
+        except ValueError:
+            raise ResilienceError(
+                f"checkpoint policy {token!r}: interval takes a whole "
+                f"number of iterations, got {arg!r}"
+            ) from None
+        return IntervalCheckpoint(k)
+    try:
+        mtbf = float(arg)
+    except ValueError:
+        raise ResilienceError(
+            f"checkpoint policy {token!r}: cost takes an MTBF estimate in "
+            f"virtual seconds, got {arg!r}"
+        ) from None
+    return CostModelCheckpoint(mtbf)
+
+
+def resolve_checkpoint_policy(
+    spec: "CheckpointPolicy | str | None",
+) -> CheckpointPolicy | None:
+    """Normalize a policy spec: an instance, a DSL string, or ``None``."""
+    if spec is None or isinstance(spec, (IntervalCheckpoint, CostModelCheckpoint)):
+        return spec
+    if isinstance(spec, str):
+        return parse_checkpoint_policy(spec)
+    if isinstance(spec, CheckpointPolicy):
+        return spec
+    raise ResilienceError(
+        f"cannot resolve a checkpoint policy from {type(spec).__name__}"
+    )

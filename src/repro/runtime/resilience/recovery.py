@@ -1,0 +1,224 @@
+"""Recovery: redistribute a checkpoint epoch around its dead owners.
+
+After a ``fail`` event, the world rolls back to the last checkpoint: every
+survivor restores its own snapshot, and the epoch's data must then move
+from the *checkpoint* partition to a fresh partition over the shrunken
+active set (chosen by the ordinary MCR profitability machinery, where the
+dead rank holding elements makes the remap mandatory).
+
+The exchange is the packed Phase D redistribution with one twist: slabs
+whose *source* is a dead rank are shipped by that rank's checkpoint
+partner from the replica instead — the plan is still fully replicated
+(partition, ring, and failure set are shared knowledge), so no discovery
+round is needed and the receiver can still verify every slab's vertex
+identity against the plan.  Replica slabs travel under a per-owner tag
+(``Tags.RECOVERY_BASE + owner``) so a partner covering several dead
+owners keeps their streams apart from each other and from its own slabs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ResilienceError
+from repro.net.message import Tags, unpack_arrays
+from repro.partition.arrangement import Transfer, transfer_matrix
+from repro.partition.intervals import IntervalPartition
+from repro.runtime import reference as ref
+from repro.runtime.adaptive.redistribution import (
+    _extract_slabs,
+    _pack_slabs,
+    _place_slabs,
+    _verify_slabs,
+)
+from repro.runtime.backend import resolve_backend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.comm import RankContext
+
+__all__ = ["check_recoverable", "recover_redistribute_fields"]
+
+
+def check_recoverable(
+    partition: IntervalPartition,
+    partners: Mapping[int, int],
+    failed: np.ndarray,
+) -> None:
+    """Fail loudly when the epoch cannot be reassembled.
+
+    Every dead rank that owned data at the checkpoint must have a live
+    replica holder.  Two ways to lose: the owner never had a partner (a
+    single-active-rank pool), or the owner *and* its partner both died
+    within one epoch — the classic double-failure limit of single-copy
+    partner replication.
+    """
+    failed = np.asarray(failed, dtype=bool)
+    for owner in sorted(int(r) for r in np.flatnonzero(failed)):
+        if partition.size(owner) == 0:
+            continue
+        holder = partners.get(owner)
+        if holder is None:
+            raise ResilienceError(
+                f"rank {owner} failed holding {partition.size(owner)} "
+                f"elements but the checkpoint epoch has no replica partner "
+                f"for it; its data is unrecoverable"
+            )
+        if failed[holder]:
+            raise ResilienceError(
+                f"rank {owner} and its replica partner {holder} both "
+                f"failed within one checkpoint epoch; the interval "
+                f"[{partition.interval(owner)[0]}, "
+                f"{partition.interval(owner)[1]}) is unrecoverable "
+                f"(single-copy partner replication survives one failure "
+                f"per epoch per ring edge — checkpoint more often or "
+                f"widen the replication)"
+            )
+
+
+def _recovery_tag(owner: int) -> int:
+    tag = Tags.RECOVERY_BASE + owner
+    if tag >= Tags.USER_BASE:
+        raise ResilienceError(
+            f"rank {owner} exceeds the recovery tag space "
+            f"(world must stay below {Tags.USER_BASE - Tags.RECOVERY_BASE} "
+            f"ranks)"
+        )
+    return tag
+
+
+def recover_redistribute_fields(
+    ctx: "RankContext",
+    old: IntervalPartition,
+    new: IntervalPartition,
+    fields: Sequence[np.ndarray],
+    *,
+    failed: np.ndarray,
+    partners: Mapping[int, int],
+    replicas: Mapping[int, Sequence[np.ndarray]],
+    backend: str | None = None,
+) -> list[np.ndarray]:
+    """Move the restored epoch from *old* to *new* homes; SPMD collective.
+
+    Survivors call it with their restored snapshot (*old*-block fields);
+    dead ranks participate with nothing (their snapshot died with them)
+    and must own nothing under *new*.  *partners*/*replicas* come from the
+    checkpoint being recovered; *failed* is the cumulative failure mask at
+    detection time.  Each rank returns its *new*-block fields.
+    """
+    backend = resolve_backend(backend)
+    fields = [np.asarray(f) for f in fields]
+    if not fields:
+        raise ResilienceError(
+            "recover_redistribute_fields needs at least one field"
+        )
+    failed = np.asarray(failed, dtype=bool)
+    rank = ctx.rank
+    alive = not failed[rank]
+    check_recoverable(old, partners, failed)
+    if np.any(failed & (new.sizes() > 0)):
+        bad = np.flatnonzero(failed & (new.sizes() > 0)).tolist()
+        raise ResilienceError(
+            f"recovery partition assigns elements to failed ranks {bad}"
+        )
+    old_lo, old_hi = old.interval(rank)
+    if alive:
+        for k, f in enumerate(fields):
+            if f.shape[0] != old_hi - old_lo:
+                raise ResilienceError(
+                    f"rank {rank}: restored field {k} has {f.shape[0]} "
+                    f"elements, the checkpoint interval holds "
+                    f"{old_hi - old_lo}"
+                )
+    transfers = transfer_matrix(old, new)
+    new_lo, new_hi = new.interval(rank)
+    outs = [
+        np.empty((new_hi - new_lo,) + f.shape[1:], dtype=f.dtype)
+        for f in fields
+    ]
+
+    # Retained overlap (alive ranks only; a dead rank owns nothing new).
+    keep_lo = max(old_lo, new_lo)
+    keep_hi = min(old_hi, new_hi)
+    if alive and keep_lo < keep_hi:
+        for f, out in zip(fields, outs):
+            if backend == "reference":
+                ref.slab_unpack_loop(
+                    out,
+                    keep_lo - new_lo,
+                    ref.slab_pack_loop(f, keep_lo - old_lo, keep_hi - old_lo),
+                )
+            else:
+                out[keep_lo - new_lo : keep_hi - new_lo] = f[
+                    keep_lo - old_lo : keep_hi - old_lo
+                ]
+
+    # Group the plan's slabs by who really ships them.
+    own_out: dict[int, list[Transfer]] = {}  # dest -> slabs (this rank's data)
+    replica_out: dict[tuple[int, int], list[Transfer]] = {}  # (owner, dest)
+    incoming_live: dict[int, list[Transfer]] = {}  # live source -> slabs
+    incoming_dead: dict[int, list[Transfer]] = {}  # dead owner -> slabs
+    for tr in transfers:
+        if failed[tr.source]:
+            holder = partners[tr.source]
+            if holder == rank:
+                replica_out.setdefault((tr.source, tr.dest), []).append(tr)
+            if tr.dest == rank:
+                incoming_dead.setdefault(tr.source, []).append(tr)
+        else:
+            if tr.source == rank and tr.dest != rank:
+                own_out.setdefault(tr.dest, []).append(tr)
+            if tr.dest == rank and tr.source != rank:
+                incoming_live.setdefault(tr.source, []).append(tr)
+
+    # Sends first (buffered), destinations in ascending order so the
+    # virtual clock is deterministic: own slabs, then replica slabs.
+    for dest in sorted(own_out):
+        ctx.send(
+            dest,
+            _pack_slabs(fields, own_out[dest], old_lo, backend),
+            Tags.REDISTRIBUTE,
+        )
+    for owner, dest in sorted(replica_out):
+        if dest == rank:
+            continue  # placed locally below, no message
+        olo, _ = old.interval(owner)
+        ctx.send(
+            dest,
+            _pack_slabs(
+                list(replicas[owner]), replica_out[(owner, dest)], olo, backend
+            ),
+            _recovery_tag(owner),
+        )
+
+    # Live incoming, ascending source order.
+    for source in sorted(incoming_live):
+        slabs = incoming_live[source]
+        parts = unpack_arrays(ctx.recv(source, Tags.REDISTRIBUTE))
+        _verify_slabs(rank, f"rank {source}", parts, slabs, len(fields),
+                      outs, ResilienceError)
+        _place_slabs(outs, slabs, parts[1:], new_lo, backend)
+
+    # Dead owners' slabs, ascending owner order: from the local replica
+    # when this rank is the holder, else from the holder's message.
+    for owner in sorted(incoming_dead):
+        slabs = incoming_dead[owner]
+        holder = partners[owner]
+        if holder == rank:
+            olo, _ = old.interval(owner)
+            parts = _extract_slabs(list(replicas[owner]), slabs, olo, backend)
+            _place_slabs(outs, slabs, parts, new_lo, backend)
+        else:
+            parts = unpack_arrays(ctx.recv(holder, _recovery_tag(owner)))
+            _verify_slabs(
+                rank,
+                f"partner {holder} (owner {owner})",
+                parts,
+                slabs,
+                len(fields),
+                outs,
+                ResilienceError,
+            )
+            _place_slabs(outs, slabs, parts[1:], new_lo, backend)
+    return outs

@@ -234,13 +234,13 @@ class DistributedTranslationTable:
             if offsets[home + 1] == offsets[home]:
                 continue
             if home == ctx.rank:
-                o, l = self.lookup_local(sorted_gi[seg], backend=backend)
+                own, loc = self.lookup_local(sorted_gi[seg], backend=backend)
                 ctx.compute_items(offsets[home + 1] - offsets[home], 2.0e-6,
                                   label="table-lookup")
             else:
-                o, l = replies[home][0], replies[home][1]
-            owner_sorted[seg] = o
-            local_sorted[seg] = l
+                own, loc = replies[home][0], replies[home][1]
+            owner_sorted[seg] = own
+            local_sorted[seg] = loc
         owner = np.empty(gi.size, dtype=np.intp)
         local = np.empty(gi.size, dtype=np.intp)
         if backend == "reference":

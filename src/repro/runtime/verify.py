@@ -24,7 +24,6 @@ import numpy as np
 
 from repro.errors import ScheduleError
 from repro.graph.csr import CSRGraph
-from repro.partition.intervals import IntervalPartition
 from repro.runtime.schedule import CommSchedule
 from repro.runtime.schedule_builders import local_references
 

@@ -8,7 +8,7 @@ experiment seeded once is reproducible end to end.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Union
 
 import numpy as np
 

@@ -15,14 +15,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph.csr import CSRGraph
 from repro.graph.generators import perturbed_grid_mesh, random_geometric_graph
 from repro.net.cluster import heterogeneous_cluster, uniform_cluster
 from repro.net.spmd import run_spmd
 from repro.partition.intervals import partition_list
 from repro.runtime.backend import BACKENDS, resolve_backend, use_backend
 from repro.runtime.executor import gather, gather_fields, scatter
-from repro.runtime.inspector import run_inspector
 from repro.runtime.kernels import build_kernel_plan
 from repro.runtime.program import ProgramConfig, run_program
 from repro.runtime.schedule import CommSchedule

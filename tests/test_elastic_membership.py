@@ -25,7 +25,6 @@ from repro.net.loadmodel import (
     ConstantLoad,
     MembershipEvent,
     MembershipTrace,
-    StepLoad,
     advance_clock,
     work_done_in,
 )

@@ -26,7 +26,6 @@ from repro.experiments import (
     load_artifact,
     names,
     run_experiment,
-    run_sweep,
     save_artifact,
     validate_artifact,
 )

@@ -75,6 +75,16 @@ def test_elastic_run_decisions_match(current, golden):
     assert golden["elastic_run"]["final_sizes"][0] == 0
 
 
+def test_resilience_run_decisions_match(current, golden):
+    """End-to-end failure recovery (unannounced fail + rollback to the
+    interval:4 epoch): checkpoint/rollback counts and the surviving
+    interval sizes are pinned (ISSUE 5)."""
+    assert current["resilience_run"] == golden["resilience_run"]
+    assert golden["resilience_run"]["num_rollbacks"] == 1
+    # The dead rank (ws 1) ends with nothing.
+    assert golden["resilience_run"]["final_sizes"][1] == 0
+
+
 def test_artifact_schema_still_validates():
     """The bench artifact produced by the scale family passes the normative
     schema check (schema-versioned results are a public contract)."""

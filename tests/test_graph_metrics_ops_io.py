@@ -18,7 +18,6 @@ from repro.graph.io import (
     save_mesh_npz,
     write_chaco,
 )
-from repro.graph.mesh import Mesh
 from repro.graph.metrics import (
     boundary_vertices,
     cut_curve,

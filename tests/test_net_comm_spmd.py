@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import CommunicationError, RankFailedError
+from repro.errors import RankFailedError
 from repro.net.cluster import heterogeneous_cluster, uniform_cluster
 from repro.net.comm import Communicator
 from repro.net.loadmodel import ConstantLoad

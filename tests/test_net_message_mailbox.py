@@ -6,6 +6,8 @@ import threading
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import CommunicationError, MailboxClosedError
 from repro.net.mailbox import Mailbox
@@ -185,6 +187,40 @@ class TestPackedArrays:
 
         with pytest.raises(TypeError):
             unpack_arrays(np.zeros(3))
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        seed=st.integers(0, 2**31),
+        sizes=st.lists(st.integers(0, 9), min_size=1, max_size=6),
+    )
+    def test_roundtrip_with_zero_length_segments_property(self, seed, sizes):
+        """Round-trip any mix of segment lengths — including zero.
+
+        Zero-length fields are what an empty-interval rank (standby,
+        drained, or failed under elastic membership / resilience) packs;
+        the offset arithmetic must survive them at any position.
+        """
+        from repro.net.message import pack_arrays, unpack_arrays
+
+        rng = np.random.default_rng(seed)
+        dtypes = [np.float64, np.float32, np.intp, np.uint8]
+        arrays = [
+            rng.uniform(-1e6, 1e6, size=n).astype(dtypes[i % len(dtypes)])
+            for i, n in enumerate(sizes)
+        ]
+        out = unpack_arrays(pack_arrays(arrays))
+        assert len(out) == len(arrays)
+        for a, b in zip(arrays, out):
+            assert a.dtype == b.dtype and a.shape == b.shape
+            np.testing.assert_array_equal(a, b)
+
+    def test_all_segments_zero_length(self):
+        from repro.net.message import pack_arrays, unpack_arrays
+
+        arrays = [np.empty(0, dtype=np.float64), np.empty(0, dtype=np.intp)]
+        out = unpack_arrays(pack_arrays(arrays))
+        assert [o.size for o in out] == [0, 0]
+        assert [o.dtype for o in out] == [np.float64, np.intp]
 
     def test_send_packed_recv_packed(self):
         from repro.net.cluster import uniform_cluster

@@ -9,7 +9,6 @@ exactly what the sequential Fig. 8 loop computes.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

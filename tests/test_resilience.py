@@ -1,0 +1,662 @@
+"""Tests for repro.runtime.resilience: checkpoint, recovery, policies,
+and the --membership/--checkpoint DSL validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    ConfigurationError,
+    RankFailedError,
+    ResilienceError,
+)
+from repro.graph.generators import paper_mesh
+from repro.net.cluster import uniform_cluster
+from repro.net.loadmodel import MembershipEvent, MembershipTrace
+from repro.net.network import ETHERNET_10MBIT, PointToPointNetwork
+from repro.net.spmd import run_spmd
+from repro.partition.intervals import partition_list
+from repro.runtime.backend import BACKENDS
+from repro.runtime.program import ProgramConfig, run_program
+from repro.runtime.resilience import (
+    CostModelCheckpoint,
+    IntervalCheckpoint,
+    check_recoverable,
+    estimate_checkpoint_cost,
+    parse_checkpoint_policy,
+    recover_redistribute_fields,
+    ring_partners,
+    take_checkpoint,
+)
+
+
+# ----------------------------------------------------------------------
+# DSL validation: every malformed spec gets an actionable message
+
+
+class TestMembershipDSLValidation:
+    def test_fail_event_parses(self):
+        trace = MembershipTrace.parse("fail:2@7.5", 4)
+        assert trace.events[0].kind == "fail"
+        assert trace.has_failures
+        assert trace.failed_mask(8.0).tolist() == [False, False, True, False]
+
+    def test_unknown_event_kind_lists_vocabulary(self):
+        with pytest.raises(ValueError, match="unknown event kind 'oops'"):
+            MembershipTrace.parse("oops:1@3", 4)
+        with pytest.raises(ValueError, match="leave, join, replace, fail"):
+            MembershipTrace.parse("oops:1@3", 4)
+
+    def test_non_monotonic_times_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing time order"):
+            MembershipTrace.parse("leave:0@9, join:0@5", 4)
+
+    def test_non_monotonic_message_names_offender(self):
+        with pytest.raises(ValueError, match="goes backwards"):
+            MembershipTrace.parse("fail:1@10, leave:2@3", 4)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError, match=r"valid ranks: 0\.\.3"):
+            MembershipTrace.parse("leave:7@2", 4)
+
+    def test_standby_rank_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            MembershipTrace.parse("standby:4", 4)
+
+    def test_replace_ranks_validated(self):
+        with pytest.raises(ValueError, match="out of range"):
+            MembershipTrace.parse("replace:0->9@2", 4)
+
+    def test_malformed_token_shape(self):
+        with pytest.raises(ValueError, match="kind:rank@time"):
+            MembershipTrace.parse("leave", 4)
+
+    def test_coincident_times_allowed(self):
+        trace = MembershipTrace.parse("standby:3, leave:0@5, join:3@5", 4)
+        assert len(trace.events) == 2
+
+    def test_fail_requires_active_rank(self):
+        with pytest.raises(ValueError, match="cannot fail"):
+            MembershipTrace(4, [MembershipEvent(2.0, "fail", 1)],
+                            initially_inactive=[1])
+
+    def test_failed_rank_rejoins_blank(self):
+        trace = MembershipTrace(
+            3,
+            [MembershipEvent(1.0, "fail", 1), MembershipEvent(2.0, "join", 1)],
+        )
+        assert trace.failed_mask(1.5)[1]
+        assert not trace.failed_mask(2.5)[1]
+        assert trace.active_mask(2.5)[1]
+
+
+class TestCheckpointDSLValidation:
+    def test_interval_parses(self):
+        policy = parse_checkpoint_policy("interval:4")
+        assert isinstance(policy, IntervalCheckpoint) and policy.k == 4
+
+    def test_cost_parses(self):
+        policy = parse_checkpoint_policy("cost:50")
+        assert isinstance(policy, CostModelCheckpoint) and policy.mtbf == 50.0
+
+    def test_unknown_policy_lists_vocabulary(self):
+        with pytest.raises(ResilienceError, match="known policies"):
+            parse_checkpoint_policy("hourly:3")
+
+    def test_missing_parameter(self):
+        with pytest.raises(ResilienceError, match="missing its parameter"):
+            parse_checkpoint_policy("interval")
+        with pytest.raises(ResilienceError, match="missing its parameter"):
+            parse_checkpoint_policy("cost:")
+
+    def test_non_integer_interval(self):
+        with pytest.raises(ResilienceError, match="whole number"):
+            parse_checkpoint_policy("interval:2.5")
+
+    def test_interval_below_one(self):
+        with pytest.raises(ResilienceError, match=">= 1"):
+            parse_checkpoint_policy("interval:0")
+
+    def test_non_numeric_mtbf(self):
+        with pytest.raises(ResilienceError, match="MTBF estimate"):
+            parse_checkpoint_policy("cost:soon")
+
+    def test_non_positive_mtbf(self):
+        with pytest.raises(ResilienceError, match="finite positive"):
+            parse_checkpoint_policy("cost:-3")
+
+    def test_program_config_normalizes_and_validates(self):
+        cfg = ProgramConfig(iterations=2, checkpoint="interval:4")
+        assert isinstance(cfg.checkpoint, IntervalCheckpoint)
+        with pytest.raises(ResilienceError):
+            ProgramConfig(iterations=2, checkpoint="bogus:1")
+
+
+# ----------------------------------------------------------------------
+# policies
+
+
+class TestPolicies:
+    def test_interval_fires_every_k(self):
+        policy = IntervalCheckpoint(3)
+        due = [
+            policy.due(it, 0.0, last_checkpoint_clock=0.0, checkpoint_cost=0.1)
+            for it in range(9)
+        ]
+        assert due == [False, False, True] * 3
+
+    def test_cost_model_uses_youngs_interval(self):
+        policy = CostModelCheckpoint(mtbf=50.0)
+        # T* = sqrt(2 * 1.0 * 50) = 10
+        assert policy.interval(1.0) == pytest.approx(10.0)
+        assert not policy.due(
+            0, 9.9, last_checkpoint_clock=0.0, checkpoint_cost=1.0
+        )
+        assert policy.due(
+            0, 10.0, last_checkpoint_clock=0.0, checkpoint_cost=1.0
+        )
+
+    def test_cost_model_floor_prevents_storm(self):
+        policy = CostModelCheckpoint(mtbf=50.0, min_interval_s=5.0)
+        assert policy.interval(0.0) == 5.0
+
+
+# ----------------------------------------------------------------------
+# ring assignment and analytic pricing
+
+
+class TestRingPartners:
+    def test_ring_over_active_set(self):
+        part = partition_list(100, [0.25, 0.25, 0.25, 0.25])
+        partners = ring_partners(part, np.array([True, True, True, True]))
+        assert partners == {0: 1, 1: 2, 2: 3, 3: 0}
+
+    def test_inactive_ranks_skipped(self):
+        part = partition_list(90, [1 / 3, 0.0, 1 / 3, 1 / 3])
+        partners = ring_partners(part, np.array([True, False, True, True]))
+        assert partners == {0: 2, 2: 3, 3: 0}
+
+    def test_empty_interval_holder_but_not_owner(self):
+        # Rank 1 is active but owns nothing: it holds a replica (it is
+        # rank 0's successor) yet appears as no one's owner.
+        part = partition_list(90, [0.5, 0.0, 0.5])
+        partners = ring_partners(part, np.ones(3, dtype=bool))
+        assert partners == {0: 1, 2: 0}
+
+    def test_single_active_rank_has_no_partner(self):
+        part = partition_list(50, [1.0])
+        assert ring_partners(part, np.array([True])) == {}
+
+
+class TestEstimateCheckpointCost:
+    def test_prices_fields_and_identity(self):
+        part = partition_list(1000, [0.5, 0.5])
+        net = PointToPointNetwork()
+        one = estimate_checkpoint_cost(net, part, np.ones(2, bool), 8)
+        three = estimate_checkpoint_cost(
+            net, part, np.ones(2, bool), 8, num_fields=3
+        )
+        assert three > one > 0.0
+
+    def test_shared_medium_serializes(self):
+        part = partition_list(4000, [0.25, 0.25, 0.25, 0.25])
+        shared = estimate_checkpoint_cost(
+            ETHERNET_10MBIT(), part, np.ones(4, bool), 8
+        )
+        switched = estimate_checkpoint_cost(
+            ETHERNET_10MBIT(), part, np.ones(4, bool), 8,
+            shared_medium=False,
+        )
+        assert shared > switched
+
+    def test_zero_without_partners(self):
+        part = partition_list(50, [1.0])
+        net = PointToPointNetwork()
+        assert estimate_checkpoint_cost(net, part, np.ones(1, bool), 8) == 0.0
+
+    def test_rejects_bad_sizes(self):
+        part = partition_list(50, [0.5, 0.5])
+        net = PointToPointNetwork()
+        with pytest.raises(ResilienceError):
+            estimate_checkpoint_cost(net, part, np.ones(2, bool), 0)
+        with pytest.raises(ResilienceError):
+            estimate_checkpoint_cost(
+                net, part, np.ones(2, bool), 8, num_fields=0
+            )
+
+
+# ----------------------------------------------------------------------
+# checkpoint + recovery mechanics (unit level, via run_spmd)
+
+
+def _checkpoint_and_recover(n, p, dead, backend, *, k_fields=2):
+    """Take an epoch, kill *dead*, reassemble on survivors; returns the
+    per-rank recovered blocks plus the expected full arrays."""
+    part = partition_list(n, np.ones(p))
+    base = [
+        np.arange(n, dtype=np.float64) * (f + 1) + 0.25 for f in range(k_fields)
+    ]
+    active = np.ones(p, dtype=bool)
+    survivors = active.copy()
+    survivors[dead] = False
+    failed = ~survivors
+    new_part = partition_list(n, survivors.astype(np.float64))
+
+    def fn(ctx):
+        lo, hi = part.interval(ctx.rank)
+        fields = [b[lo:hi].copy() for b in base]
+        cp = take_checkpoint(
+            ctx, part, fields, active,
+            next_iteration=0, epoch=0, backend=backend,
+        )
+        # Restored-from-epoch data must match the checkpoint exactly.
+        for snap, b in zip(cp.snapshot, (b[lo:hi] for b in base)):
+            np.testing.assert_array_equal(snap, b)
+        # Survivors mutate their working copy post-checkpoint; the dead
+        # rank's working copy is irrelevant (its memory is gone).
+        restored = [s.copy() for s in cp.snapshot]
+        outs = recover_redistribute_fields(
+            ctx, part, new_part, restored,
+            failed=failed, partners=cp.partners, replicas=cp.replicas,
+            backend=backend,
+        )
+        ctx.barrier()
+        return [o.copy() for o in outs], ctx.clock
+
+    res = run_spmd(uniform_cluster(p), fn)
+    return res, new_part, base
+
+
+class TestCheckpointRecovery:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_epoch_reassembles_after_failure(self, backend):
+        res, new_part, base = _checkpoint_and_recover(120, 4, 1, backend)
+        for rank, (outs, _) in enumerate(res.values):
+            lo, hi = new_part.interval(rank)
+            for f, b in zip(outs, base):
+                np.testing.assert_array_equal(f, b[lo:hi])
+
+    def test_backends_bit_identical(self):
+        blocks = {}
+        clocks = {}
+        for backend in BACKENDS:
+            res, _, _ = _checkpoint_and_recover(97, 4, 2, backend, k_fields=3)
+            blocks[backend] = [v[0] for v in res.values]
+            clocks[backend] = [v[1] for v in res.values]
+        assert clocks["reference"] == clocks["vectorized"]
+        for a, b in zip(blocks["reference"], blocks["vectorized"]):
+            for fa, fb in zip(a, b):
+                np.testing.assert_array_equal(fa, fb)
+
+    def test_partner_failure_is_unrecoverable(self):
+        part = partition_list(80, np.ones(4))
+        partners = ring_partners(part, np.ones(4, dtype=bool))
+        failed = np.array([False, True, True, False])
+        with pytest.raises(ResilienceError, match="both failed"):
+            check_recoverable(part, partners, failed)
+
+    def test_missing_partner_is_unrecoverable(self):
+        part = partition_list(80, np.ones(4))
+        failed = np.array([False, True, False, False])
+        with pytest.raises(ResilienceError, match="no replica partner"):
+            check_recoverable(part, {}, failed)
+
+    def test_dead_rank_owning_nothing_needs_no_replica(self):
+        part = partition_list(80, [0.5, 0.0, 0.5])
+        failed = np.array([False, True, False])
+        check_recoverable(part, {}, failed)  # does not raise
+
+    def test_recovery_partition_must_exclude_dead(self):
+        part = partition_list(60, np.ones(3))
+
+        def fn(ctx):
+            lo, hi = part.interval(ctx.rank)
+            fields = [np.zeros(hi - lo)]
+            cp = take_checkpoint(
+                ctx, part, fields, np.ones(3, bool),
+                next_iteration=0, epoch=0,
+            )
+            recover_redistribute_fields(
+                ctx, part, part, fields,
+                failed=np.array([False, True, False]),
+                partners=cp.partners, replicas=cp.replicas,
+            )
+
+        with pytest.raises(RankFailedError) as exc:
+            run_spmd(uniform_cluster(3), fn)
+        assert any(
+            isinstance(e, ResilienceError)
+            for e in exc.value.failures.values()
+        )
+
+
+# ----------------------------------------------------------------------
+# end to end through run_program
+
+
+def _fail_run(
+    p=4,
+    *,
+    backend=None,
+    lb="centralized",
+    checkpoint="interval:4",
+    events=((0.04, "fail", 1),),
+    iterations=20,
+    n=800,
+    inactive=(),
+):
+    graph = paper_mesh(n, seed=0)
+    y0 = np.random.default_rng(0).uniform(0, 100, graph.num_vertices)
+    trace = MembershipTrace(
+        p,
+        [MembershipEvent(t, kind, r) for t, kind, r in events],
+        initially_inactive=inactive,
+    )
+    cluster = uniform_cluster(p).with_membership(trace)
+    config = ProgramConfig(
+        iterations=iterations,
+        backend=backend,
+        initial_capabilities="equal",
+        load_balance=lb,
+        checkpoint=checkpoint,
+    )
+    return run_program(graph, cluster, config, y0=y0)
+
+
+def _baseline_run(p=4, *, backend=None, lb="centralized", iterations=20, n=800):
+    graph = paper_mesh(n, seed=0)
+    y0 = np.random.default_rng(0).uniform(0, 100, graph.num_vertices)
+    config = ProgramConfig(
+        iterations=iterations,
+        backend=backend,
+        initial_capabilities="equal",
+        load_balance=lb,
+    )
+    return run_program(graph, uniform_cluster(p), config, y0=y0)
+
+
+class TestFailureRuns:
+    def test_values_bit_identical_to_no_failure_run(self):
+        rep = _fail_run()
+        rep0 = _baseline_run()
+        assert np.array_equal(rep.values, rep0.values)
+        assert rep.num_rollbacks == 1
+        assert rep.membership_events == 1
+        # The failure costs time: rollback + re-execution + checkpoints.
+        assert rep.makespan > rep0.makespan
+
+    def test_failed_rank_ends_empty(self):
+        rep = _fail_run()
+        assert rep.partition_final is not None
+        assert rep.partition_final.size(1) == 0
+
+    @pytest.mark.parametrize("lb", ["off", "centralized"])
+    def test_virtual_metrics_bit_identical_across_backends(self, lb):
+        reports = {
+            backend: _fail_run(backend=backend, lb=lb)
+            for backend in BACKENDS
+        }
+        a, b = reports["vectorized"], reports["reference"]
+        assert a.makespan == b.makespan
+        assert a.clocks == b.clocks
+        assert np.array_equal(a.values, b.values)
+        assert a.num_checkpoints == b.num_checkpoints
+        assert a.checkpoint_time == b.checkpoint_time
+        assert a.rollback_time == b.rollback_time
+        assert a.lost_time == b.lost_time
+
+    def test_static_baseline_recovers_too(self):
+        rep = _fail_run(lb="off")
+        rep0 = _baseline_run(lb="off")
+        assert np.array_equal(rep.values, rep0.values)
+        assert rep.num_rollbacks == 1
+        assert rep.partition_final.size(1) == 0
+
+    def test_repeated_failures_roll_back_twice(self):
+        rep = _fail_run(
+            events=((0.03, "fail", 1), (0.07, "fail", 2)), iterations=20
+        )
+        rep0 = _baseline_run()
+        assert rep.num_rollbacks == 2
+        assert np.array_equal(rep.values, rep0.values)
+        sizes = rep.partition_final.sizes()
+        assert sizes[1] == 0 and sizes[2] == 0
+
+    def test_failure_before_first_periodic_checkpoint(self):
+        # interval:100 never fires mid-run; recovery rolls back to the
+        # bootstrap epoch (the initial state) and re-executes everything.
+        rep = _fail_run(checkpoint="interval:100", events=((1e-4, "fail", 0),))
+        rep0 = _baseline_run()
+        assert np.array_equal(rep.values, rep0.values)
+        assert rep.num_rollbacks == 1
+        # bootstrap + post-recovery epochs only
+        assert rep.num_checkpoints == 2
+
+    def test_cost_model_policy_end_to_end(self):
+        rep = _fail_run(checkpoint="cost:0.05")
+        rep0 = _baseline_run()
+        assert np.array_equal(rep.values, rep0.values)
+        assert rep.num_checkpoints >= 2
+
+    def test_mixed_batch_fail_and_leave(self):
+        rep = _fail_run(
+            events=((0.04, "fail", 1), (0.04, "leave", 2)), iterations=20
+        )
+        rep0 = _baseline_run()
+        assert np.array_equal(rep.values, rep0.values)
+        sizes = rep.partition_final.sizes()
+        assert sizes[1] == 0 and sizes[2] == 0
+
+    def test_checkpoint_overhead_only_run(self):
+        # A checkpoint policy without any membership trace: pure overhead,
+        # same final values, nonzero checkpoint time.
+        graph = paper_mesh(600, seed=0)
+        y0 = np.random.default_rng(0).uniform(0, 100, graph.num_vertices)
+        cfg = ProgramConfig(iterations=10, initial_capabilities="equal",
+                            checkpoint="interval:2")
+        rep = run_program(graph, uniform_cluster(3), cfg, y0=y0)
+        base = run_program(
+            graph, uniform_cluster(3),
+            ProgramConfig(iterations=10, initial_capabilities="equal"),
+            y0=y0,
+        )
+        assert np.array_equal(rep.values, base.values)
+        assert rep.num_checkpoints == 5  # bootstrap + iterations 1,3,5,7
+        assert rep.checkpoint_time > 0
+        assert rep.makespan > base.makespan
+
+    def test_empty_rank_failure_needs_no_rollback(self):
+        # Rank 3 joins standby->active but is never adopted (static
+        # baseline: joins are ignored), so it owns nothing when its host
+        # dies: the live state is intact and no rollback must happen.
+        rep = _fail_run(
+            lb="off",
+            events=((0.01, "join", 3), (0.05, "fail", 3)),
+            inactive=(3,),
+        )
+        # Standby rank 3 never holds data under the static baseline, so
+        # the run matches a plain 3-active-rank static run's values.
+        rep0 = _baseline_run(lb="off", p=4)
+        assert rep.num_rollbacks == 0
+        assert rep.membership_events == 2
+        assert np.array_equal(rep.values, rep0.values)
+
+    def test_refresh_does_not_double_checkpoint(self):
+        # interval:1 fires at every non-final boundary (19 of them for 20
+        # iterations) plus the bootstrap epoch = 20.  The redundancy
+        # refresh after the data-less failure must substitute for — not
+        # stack on — the interval-due epoch at that same boundary.
+        rep = _fail_run(
+            lb="off",
+            checkpoint="interval:1",
+            events=((0.01, "join", 3), (0.05, "fail", 3)),
+            inactive=(3,),
+        )
+        assert rep.num_rollbacks == 0
+        assert rep.num_checkpoints == 20
+
+    def test_dataless_failure_refreshes_epoch(self):
+        # Epoch 0's ring over {0,1,2} makes empty rank 2 the replica
+        # holder for data-owner rank 1.  When rank 2's host dies (losing
+        # nothing), the session must re-replicate over the survivors —
+        # otherwise rank 1's later failure would read as an unrecoverable
+        # double failure of a ring edge even though the live state was
+        # intact the whole time.
+        graph = paper_mesh(800, seed=0)
+        y0 = np.random.default_rng(0).uniform(0, 100, graph.num_vertices)
+        trace = MembershipTrace(
+            3,
+            [
+                MembershipEvent(0.01, "fail", 2),
+                MembershipEvent(0.05, "fail", 1),
+            ],
+        )
+        cluster = uniform_cluster(3).with_membership(trace)
+        cfg = ProgramConfig(
+            iterations=20,
+            initial_capabilities=[0.5, 0.5, 0.0],
+            checkpoint="interval:100",  # only bootstrap + refresh epochs
+        )
+        rep = run_program(graph, cluster, cfg, y0=y0)
+        base = run_program(
+            graph,
+            uniform_cluster(3),
+            ProgramConfig(
+                iterations=20, initial_capabilities=[0.5, 0.5, 0.0]
+            ),
+            y0=y0,
+        )
+        assert rep.num_rollbacks == 1  # only the data-holder's failure
+        assert np.array_equal(rep.values, base.values)
+        assert rep.partition_final.sizes().tolist()[1:] == [0, 0]
+
+    def test_driver_ignoring_next_iteration_raises(self):
+        # The pre-PR-5 driving pattern (plain for-loop, no
+        # next_iteration) must fail loudly after a rollback, not
+        # silently skip the re-execution.
+        from repro.partition.intervals import partition_list
+        from repro.runtime.adaptive import AdaptiveSession
+
+        graph = paper_mesh(300, seed=0)
+        n = graph.num_vertices
+        trace = MembershipTrace(3, [MembershipEvent(0.005, "fail", 1)])
+        cluster = uniform_cluster(3).with_membership(trace)
+
+        def fn(ctx):
+            session = AdaptiveSession(
+                ctx,
+                graph,
+                partition_list(n, np.ones(3)),
+                total_iterations=10,
+                lb="centralized",
+                checkpoint="interval:2",
+            )
+            lo, hi = session.interval()
+            local = np.arange(lo, hi, dtype=np.float64)
+            (local,) = session.bootstrap_resilience((local,))
+            for it in range(10):  # wrong: never calls next_iteration()
+                ctx.compute(0.01)
+                ctx.barrier()
+                (local,) = session.maybe_rebalance(it, (local,))
+
+        from repro.net.spmd import run_spmd as _run
+
+        with pytest.raises(RankFailedError) as exc:
+            _run(cluster, fn)
+        assert any(
+            isinstance(e, ResilienceError)
+            and "next_iteration" in str(e)
+            for e in exc.value.failures.values()
+        )
+
+    def test_fail_without_policy_is_actionable(self):
+        with pytest.raises(ResilienceError, match="checkpoint policy"):
+            _fail_run(checkpoint=None)
+
+    def test_checkpoint_requires_barriers(self):
+        graph = paper_mesh(400, seed=0)
+        cfg = ProgramConfig(iterations=4, checkpoint="interval:2",
+                            barrier_each_iteration=False)
+        with pytest.raises(ConfigurationError, match="barrier_each_iteration"):
+            run_program(graph, uniform_cluster(2), cfg)
+
+    def test_report_aggregates_are_consistent(self):
+        rep = _fail_run()
+        assert rep.num_checkpoints == rep.rank_stats[0].num_checkpoints
+        assert rep.num_rollbacks == 1
+        assert rep.lost_time > 0
+        assert rep.checkpoint_time > 0
+        assert rep.rollback_time > 0
+
+
+# ----------------------------------------------------------------------
+# hypothesis: random failure times/ranks never corrupt the result
+
+
+@settings(deadline=None, max_examples=12)
+@given(
+    seed=st.integers(0, 2**20),
+    p=st.integers(2, 5),
+    frac=st.floats(0.05, 0.9),
+)
+def test_random_failure_preserves_result(seed, p, frac):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(200, 600))
+    iterations = int(rng.integers(6, 16))
+    dead = int(rng.integers(0, p))
+    graph = paper_mesh(n, seed=seed)
+    y0 = rng.uniform(0, 100, graph.num_vertices)
+    base_cfg = ProgramConfig(
+        iterations=iterations, initial_capabilities="equal",
+        load_balance="centralized",
+    )
+    rep0 = run_program(graph, uniform_cluster(p), base_cfg, y0=y0)
+    t_fail = max(rep0.makespan * frac, 1e-9)
+    trace = MembershipTrace(p, [MembershipEvent(t_fail, "fail", dead)])
+    cfg = ProgramConfig(
+        iterations=iterations, initial_capabilities="equal",
+        load_balance="centralized", checkpoint="interval:3",
+    )
+    rep = run_program(
+        graph, uniform_cluster(p).with_membership(trace), cfg, y0=y0
+    )
+    np.testing.assert_array_equal(rep.values, rep0.values)
+    if t_fail <= rep.makespan:
+        assert rep.membership_events == 1
+
+
+# ----------------------------------------------------------------------
+# scenario builders and the experiment hook
+
+
+class TestResilienceScenarios:
+    def test_scenarios_build(self):
+        from repro.apps.workloads import RESILIENCE_SCENARIOS, resilient_cluster
+
+        for scenario in RESILIENCE_SCENARIOS:
+            cluster = resilient_cluster(4, scenario, 10.0)
+            assert cluster.membership is not None
+            assert cluster.membership.has_failures
+
+    def test_unknown_scenario(self):
+        from repro.apps.workloads import resilient_cluster
+
+        with pytest.raises(ValueError, match="unknown resilience scenario"):
+            resilient_cluster(4, "meteor-strike", 10.0)
+
+    def test_repeated_failures_needs_three(self):
+        from repro.apps.workloads import resilient_cluster
+
+        with pytest.raises(ValueError, match="p >= 3"):
+            resilient_cluster(2, "repeated-failures", 10.0)
+
+    def test_experiment_registered(self):
+        from repro.experiments.registry import discover, get
+
+        discover()
+        exp = get("scale-resilience")
+        assert "policy" in exp.grid
+        assert "cost" in exp.grid["policy"]

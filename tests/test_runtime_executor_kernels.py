@@ -265,3 +265,70 @@ class TestKernelPlan:
         kc = KernelCostModel()
         per_iter = kc.sweep_seconds(2 * 44_929, 30_269)
         assert 500 * per_iter == pytest.approx(97.61, rel=0.2)
+
+
+class TestKernelPlanEmptyIntervals:
+    """Direct hypothesis coverage of the PR-4 empty-interval fix: ranks
+    that own nothing (standby, drained, or failed) must get a well-formed
+    empty plan, and the surviving ranks' sweeps must still reassemble the
+    sequential result."""
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        seed=st.integers(0, 2**31),
+        p=st.integers(2, 6),
+        empties=st.integers(1, 3),
+    )
+    def test_empty_interval_ranks_property(self, seed, p, empties):
+        rng = np.random.default_rng(seed)
+        g = perturbed_grid_mesh(
+            int(rng.integers(5, 11)), int(rng.integers(5, 11)), seed=seed
+        ).graph
+        graph = g.permute(RCBOrdering()(g))
+        n = graph.num_vertices
+        caps = rng.uniform(0.2, 1.0, size=p)
+        empty_ranks = rng.choice(p, size=min(empties, p - 1), replace=False)
+        caps[empty_ranks] = 0.0
+        part = partition_list(n, caps / caps.sum())
+        y = rng.uniform(0.0, 100.0, size=n)
+        expected = sequential_kernel(graph, y)
+
+        def fn(ctx):
+            insp = run_inspector(graph, part, ctx.rank, strategy="sort2",
+                                 ctx=ctx)
+            plan = insp.kernel_plan
+            lo, hi = part.interval(ctx.rank)
+            assert plan.n_local == hi - lo
+            if hi == lo:
+                # The empty plan must be structurally sound, not a crash:
+                # no slots, no starts, and a sweep over nothing.
+                assert plan.slots.size == 0
+                assert plan.counts.size == 0 and plan.starts.size == 0
+            ghost = gather(ctx, insp.schedule, y[lo:hi].copy())
+            out = plan.sweep(y[lo:hi].copy(), ghost)
+            ctx.barrier()
+            np.testing.assert_allclose(out, expected[lo:hi], rtol=1e-12)
+            return out.size
+
+        res = run_spmd(uniform_cluster(p), fn)
+        assert sum(res.values) == n
+
+    def test_all_data_on_one_rank(self):
+        g = perturbed_grid_mesh(6, 6, seed=0).graph
+        graph = g.permute(RCBOrdering()(g))
+        n = graph.num_vertices
+        part = partition_list(n, [1.0, 0.0, 0.0])
+        y = np.arange(n, dtype=np.float64)
+        expected = sequential_kernel(graph, y)
+
+        def fn(ctx):
+            insp = run_inspector(graph, part, ctx.rank, strategy="sort2",
+                                 ctx=ctx)
+            lo, hi = part.interval(ctx.rank)
+            ghost = gather(ctx, insp.schedule, y[lo:hi].copy())
+            out = insp.kernel_plan.sweep(y[lo:hi].copy(), ghost)
+            ctx.barrier()
+            np.testing.assert_allclose(out, expected[lo:hi], rtol=1e-12)
+            return True
+
+        assert all(run_spmd(uniform_cluster(3), fn).values)

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.graph.generators import paper_mesh, perturbed_grid_mesh
+from repro.graph.generators import paper_mesh
 from repro.net.cluster import (
     adaptive_cluster,
     sun4_cluster,

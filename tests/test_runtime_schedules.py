@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ScheduleError
-from repro.graph.csr import CSRGraph
 from repro.graph.generators import grid_graph, perturbed_grid_mesh
 from repro.net.cluster import uniform_cluster
 from repro.net.spmd import run_spmd

@@ -122,6 +122,33 @@ def build_golden() -> dict:
         ],
     }
 
+    # A resilience run: workstation 1 dies *unannounced* at a fixed
+    # virtual time; the session rolls back to the last interval:4 epoch,
+    # the partner restores the lost block, and the run finishes on the
+    # survivors.  Virtual-decision facts only (ISSUE 5).
+    fail_trace = MembershipTrace(4, [MembershipEvent(0.04, "fail", 1)])
+    resilience_report = run_program(
+        graph,
+        uniform_cluster(4),
+        ProgramConfig(
+            iterations=20,
+            membership=fail_trace,
+            load_balance="centralized",
+            initial_capabilities="equal",
+            checkpoint="interval:4",
+        ),
+        y0=y0,
+    )
+    resilience_run = {
+        "num_checkpoints": int(resilience_report.num_checkpoints),
+        "num_rollbacks": int(resilience_report.num_rollbacks),
+        "membership_events": int(resilience_report.membership_events),
+        "num_remaps": int(resilience_report.num_remaps),
+        "final_sizes": [
+            int(s) for s in resilience_report.partition_final.sizes()
+        ],
+    }
+
     return {
         "comment": "Structural schedule facts, remap decisions, and the "
         "packed-exchange transfer plan pinned by "
@@ -132,6 +159,7 @@ def build_golden() -> dict:
         "transfer_plan": plan,
         "elastic_transfer_plan": elastic_plan,
         "elastic_run": elastic_run,
+        "resilience_run": resilience_run,
     }
 
 
