@@ -10,7 +10,11 @@ Commands mirror what a downstream user evaluating the runtime wants first:
 * ``mcr`` — run MinimizeCostRedistribution on given capability vectors;
 * ``bench`` — the unified experiment harness (:mod:`repro.experiments`):
   ``list`` registered experiments, ``run`` one over its grid, ``sweep``
-  a scenario grid, and ``report`` a markdown diff of two JSON artifacts.
+  a scenario grid, and ``report`` a markdown diff of two JSON artifacts;
+* ``fuzz`` — the seeded adversarial scenario fuzzer (:mod:`repro.fuzz`):
+  ``run`` a generated batch or replay one scenario, ``shrink`` a failing
+  scenario to a minimal reproducer, ``corpus`` to replay the committed
+  corpus in ``tests/fuzz_corpus/``.
 """
 
 from __future__ import annotations
@@ -61,7 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="checkpoint policy for failure recovery: "
                           "'interval:K' (every K iterations) or "
                           "'cost:MTBF' (Young's interval for an MTBF "
-                          "estimate in virtual seconds)")
+                          "estimate in virtual seconds); append ':rF' "
+                          "to replicate each epoch to F ring successors")
+    run.add_argument("--replication", type=int, default=None, metavar="K",
+                     help="replicate each checkpoint epoch to K distinct "
+                          "ring successors (survives K correlated "
+                          "failures per ring neighborhood; requires "
+                          "--checkpoint, overrides its ':rF' suffix)")
     run.add_argument("--check-interval", type=int, default=10)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--verify", action="store_true",
@@ -78,6 +88,62 @@ def build_parser() -> argparse.ArgumentParser:
     mcr.add_argument("--new", type=float, nargs="+", required=True,
                      help="new capability ratios")
     mcr.add_argument("--elements", type=int, default=100)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded adversarial scenario fuzzing (churn x load x failure)",
+    )
+    fsub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    frun = fsub.add_parser(
+        "run", help="generate and run scenarios against the oracle"
+    )
+    frun.add_argument("--seed", type=int, default=0,
+                      help="master seed: scenario i is a pure function of "
+                           "(seed, i), so the same seed/budget pair "
+                           "replays the identical sequence")
+    frun.add_argument("--budget", type=int, default=10,
+                      help="number of scenarios to generate and run")
+    frun.add_argument("--scenario", default=None, metavar="FILE|JSON",
+                      help="replay exactly one scenario instead of "
+                           "generating: a path to a scenario JSON file, "
+                           "or the JSON object inline")
+    frun.add_argument("--invariant", action="append", default=[],
+                      metavar="NAME",
+                      help="check only the named invariant(s); repeatable "
+                           "(default: all — see `repro fuzz run --seed 0 "
+                           "--budget 1` output for the list)")
+    frun.add_argument("--shrink-failures", action="store_true",
+                      help="greedily shrink each failing scenario and "
+                           "print its minimal reproducer command")
+    frun.add_argument("--shrink-dir", default=None, metavar="DIR",
+                      help="also write each shrunk failing scenario as "
+                           "JSON into DIR (implies --shrink-failures)")
+
+    fshrink = fsub.add_parser(
+        "shrink", help="reduce a failing scenario to a minimal reproducer"
+    )
+    fshrink.add_argument("--scenario", default=None, metavar="FILE|JSON",
+                         help="the failing scenario (file or inline JSON)")
+    fshrink.add_argument("--seed", type=int, default=None,
+                         help="with --index: shrink the index-th scenario "
+                              "of this master seed")
+    fshrink.add_argument("--index", type=int, default=0,
+                         help="scenario index under --seed (default 0)")
+    fshrink.add_argument("--invariant", action="append", default=[],
+                         metavar="NAME")
+    fshrink.add_argument("--max-attempts", type=int, default=200,
+                         help="oracle-run budget for the shrink loop")
+    fshrink.add_argument("-o", "--output", default=None,
+                         help="write the shrunk scenario JSON to this file")
+
+    fcorpus = fsub.add_parser(
+        "corpus", help="replay every scenario JSON in a corpus directory"
+    )
+    fcorpus.add_argument("--dir", default="tests/fuzz_corpus",
+                         help="corpus directory (default: tests/fuzz_corpus)")
+    fcorpus.add_argument("--invariant", action="append", default=[],
+                         metavar="NAME")
 
     bench = sub.add_parser(
         "bench", help="experiment harness: list, run, sweep, report"
@@ -129,7 +195,12 @@ def _cmd_info() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.errors import LoadBalanceError, ResilienceError
+    from repro.errors import (
+        ConfigurationError,
+        LoadBalanceError,
+        RankFailedError,
+        ResilienceError,
+    )
     from repro.graph import paper_mesh
     from repro.net import adaptive_cluster, sun4_cluster
     from repro.runtime import (
@@ -168,6 +239,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ),
             membership=args.membership,
             checkpoint=args.checkpoint,
+            replication_factor=args.replication,
         )
         report = run_program(graph, cluster, config, y0=y0)
         print(f"workload: {graph}")
@@ -191,12 +263,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"{report.num_remaps} remap(s), final data on ranks "
                   f"{survivors} (sizes {final.sizes().tolist()})")
         if args.checkpoint:
+            from repro.runtime import format_checkpoint_policy
+
+            print(f"checkpoint: {format_checkpoint_policy(config.checkpoint)}")
             print(f"resilience: {report.num_checkpoints} checkpoint(s) "
                   f"(cost {report.checkpoint_time:.4f} s), "
                   f"{report.num_rollbacks} rollback(s) "
                   f"(cost {report.rollback_time:.4f} s, "
                   f"lost work {report.lost_time:.4f} s)")
-    except (LoadBalanceError, ResilienceError) as exc:
+    except (
+        ConfigurationError,
+        LoadBalanceError,
+        RankFailedError,
+        ResilienceError,
+    ) as exc:
         # Cross-rank aggregation (num_remaps / membership_events /
         # num_checkpoints / num_rollbacks) raises on a desync too, so
         # the summary prints live inside the guard.
@@ -275,6 +355,154 @@ def _cmd_mcr(args: argparse.Namespace) -> int:
         f"{message_count(old, chosen)} messages"
     )
     return 0
+
+
+def _load_scenario(spec: str):
+    """Resolve ``--scenario FILE|JSON`` into a Scenario."""
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.fuzz import Scenario
+
+    text = spec.strip()
+    if text.startswith("{"):
+        return Scenario.from_json(text)
+    path = Path(spec)
+    if not path.is_file():
+        raise ConfigurationError(
+            f"scenario {spec!r} is neither an inline JSON object nor an "
+            f"existing file; pass a path to a scenario JSON (e.g. one "
+            f"from tests/fuzz_corpus/) or the JSON itself in quotes"
+        )
+    return Scenario.from_json(path.read_text(encoding="utf-8"))
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError, ReproError
+    from repro.fuzz import (
+        check_invariant_names,
+        generate_scenarios,
+        run_scenario,
+        shrink_scenario,
+    )
+
+    try:
+        invariants = check_invariant_names(args.invariant)
+
+        if args.fuzz_command == "run":
+            if args.scenario is not None:
+                scenarios = [_load_scenario(args.scenario)]
+            else:
+                scenarios = generate_scenarios(args.seed, args.budget)
+            failures = []
+            for scenario in scenarios:
+                report = run_scenario(scenario, invariants=invariants)
+                print(report.summary())
+                if not report.ok:
+                    failures.append(report)
+            print(f"\n{len(scenarios)} scenario(s), "
+                  f"{len(failures)} failure(s); invariants: "
+                  f"{', '.join(invariants)}")
+            if not failures:
+                return 0
+            shrink = args.shrink_failures or args.shrink_dir
+            for report in failures:
+                for violation in report.violations:
+                    print(f"  - {violation}")
+                if shrink:
+                    result = shrink_scenario(
+                        report.scenario, invariants=invariants
+                    )
+                    print(f"reproducer ({result.reductions} reduction(s), "
+                          f"{result.attempts} oracle run(s)):")
+                    print(f"  {result.command}")
+                    if args.shrink_dir:
+                        from pathlib import Path
+
+                        out_dir = Path(args.shrink_dir)
+                        out_dir.mkdir(parents=True, exist_ok=True)
+                        label = report.scenario.name or "scenario"
+                        out = out_dir / f"shrunk-{label}.json"
+                        out.write_text(
+                            result.scenario.to_json(indent=2) + "\n",
+                            encoding="utf-8",
+                        )
+                        print(f"  written to {out}")
+                else:
+                    print("reproducer:")
+                    print(f"  {report.scenario.reproducer_command()}")
+            return 1
+
+        if args.fuzz_command == "shrink":
+            if args.scenario is not None:
+                scenario = _load_scenario(args.scenario)
+            elif args.seed is not None:
+                if args.index < 0:
+                    raise ConfigurationError(
+                        f"--index must be >= 0, got {args.index}"
+                    )
+                scenario = generate_scenarios(
+                    args.seed, args.index + 1
+                )[args.index]
+            else:
+                raise ConfigurationError(
+                    "fuzz shrink needs a target: pass --scenario "
+                    "FILE|JSON, or --seed S [--index I] to name a "
+                    "generated scenario"
+                )
+            result = shrink_scenario(
+                scenario,
+                invariants=invariants,
+                max_attempts=args.max_attempts,
+            )
+            for violation in result.report.violations:
+                print(f"  - {violation}")
+            print(f"shrunk after {result.reductions} reduction(s) "
+                  f"({result.attempts} oracle run(s)); minimal reproducer:")
+            print(f"  {result.command}")
+            if args.output:
+                from pathlib import Path
+
+                out = Path(args.output)
+                out.parent.mkdir(parents=True, exist_ok=True)
+                out.write_text(
+                    result.scenario.to_json(indent=2) + "\n",
+                    encoding="utf-8",
+                )
+                print(f"  written to {out}")
+            return 1  # a successful shrink means the scenario still fails
+
+        if args.fuzz_command == "corpus":
+            from pathlib import Path
+
+            corpus_dir = Path(args.dir)
+            paths = sorted(corpus_dir.glob("*.json"))
+            if not paths:
+                raise ConfigurationError(
+                    f"no scenario JSON files found in {corpus_dir}/ — "
+                    f"pass --dir pointing at a corpus directory (the "
+                    f"repository ships one at tests/fuzz_corpus/)"
+                )
+            failures = 0
+            for path in paths:
+                from repro.fuzz import Scenario
+
+                scenario = Scenario.from_json(
+                    path.read_text(encoding="utf-8")
+                )
+                report = run_scenario(scenario, invariants=invariants)
+                print(f"{path.name}: {report.summary()}")
+                if not report.ok:
+                    failures += 1
+                    for violation in report.violations:
+                        print(f"  - {violation}")
+                    print(f"  {report.scenario.reproducer_command()}")
+            print(f"\n{len(paths)} corpus scenario(s), {failures} failure(s)")
+            return 1 if failures else 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled fuzz command {args.fuzz_command!r}")
 
 
 def _parse_override(text: str) -> tuple[str, object]:
@@ -428,6 +656,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_orderings(args)
     if args.command == "mcr":
         return _cmd_mcr(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")

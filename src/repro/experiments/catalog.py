@@ -764,6 +764,7 @@ def scale_resilience_measurements(
     *,
     family: str = "grid",
     workload_seed: int = 1995,
+    replication: int = 1,
 ) -> dict[str, float]:
     """One unannounced-failure run at a scale tier, through the session.
 
@@ -777,7 +778,10 @@ def scale_resilience_measurements(
     differential contract; ``lost_time`` is the virtual progress each
     rollback discarded and re-executed, ``checkpoint_time`` the total
     replication overhead — the two sides of the trade the cost model
-    navigates.
+    navigates.  *replication* is the number of distinct ring successors
+    holding each rank's checkpoint epoch (k-successor replication):
+    higher k multiplies ``checkpoint_time`` but survives k correlated
+    failures per ring neighborhood.
     """
     from repro.apps.workloads import resilient_cluster
     from repro.runtime.adaptive import LoadBalanceConfig
@@ -805,6 +809,7 @@ def scale_resilience_measurements(
         initial_capabilities="equal",
         load_balance=LoadBalanceConfig(check_interval=check_interval),
         checkpoint=checkpoint,
+        replication_factor=int(replication),
     )
     t0 = time.perf_counter()
     report = run_program(graph, cluster, config, y0=y0)
@@ -837,6 +842,7 @@ def scale_resilience_measurements(
         "scenario": ("fail-at-peak", "repeated-failures"),
         "backend": ("vectorized",),
         "policy": ("interval:1", "interval:4", "interval:16", "cost"),
+        "replication": (1, 2, 3),
         "p": (4,),
         "iterations": (30,),
         "check_interval": (5,),
@@ -847,14 +853,15 @@ def scale_resilience_measurements(
         "scenario": ("fail-at-peak", "repeated-failures"),
         "backend": ("vectorized", "reference"),
         "policy": ("interval:4", "cost"),
+        "replication": (1, 2),
         "p": (4,),
         "iterations": (20,),
         "check_interval": (5,),
         "workload_seed": (1995,),
     },
     description="Machines die unannounced mid-run; partner-replication "
-    "checkpoints vs rollback re-execution, fixed intervals vs the "
-    "Young-style cost model.",
+    "checkpoints (k ring successors per epoch) vs rollback re-execution, "
+    "fixed intervals vs the Young-style cost model.",
     tags=("scale", "perf", "adaptive", "resilience"),
 )
 def _exp_scale_resilience(
@@ -869,6 +876,7 @@ def _exp_scale_resilience(
         int(params["iterations"]),
         int(params["check_interval"]),
         workload_seed=int(params["workload_seed"]),
+        replication=int(params["replication"]),
     )
 
 

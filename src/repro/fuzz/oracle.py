@@ -1,0 +1,291 @@
+"""The fuzz oracle: run a scenario, classify it, check the contracts.
+
+The oracle never asks "did it print the right number" — it asks whether
+the standing invariants of the runtime held:
+
+* ``reference-match`` — a recovered run's final values are bit-identical
+  to the scenario's quiet baseline (same graph/y0/iterations, no churn,
+  no loads, no checkpoints).  Final values are a function of the
+  computation alone; any divergence means recovery or redistribution
+  corrupted data.
+* ``backend-differential`` — the reference and vectorized backends agree
+  bit-for-bit on the outcome, the final values, and every virtual metric
+  (makespan, per-rank clocks, checkpoint/rollback/lost-time counters).
+* ``no-desync`` — the collective counters (remaps, membership events,
+  checkpoints, rollbacks) aggregate without a cross-rank disagreement;
+  the :class:`~repro.runtime.ProgramReport` properties raise on desync
+  and the oracle surfaces that as a violation.
+* ``recoverable`` — the run either completes or dies with a *diagnosed*
+  :class:`~repro.errors.ResilienceError` (directly, or wrapped per-rank
+  in a :class:`~repro.errors.RankFailedError`); any other exception is a
+  crash.  A scenario's ``expect`` field may narrow this to exactly one
+  of the two legitimate outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    LoadBalanceError,
+    RankFailedError,
+    ReproError,
+    ResilienceError,
+)
+from repro.fuzz.scenario import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.program import ProgramReport
+
+__all__ = [
+    "INVARIANTS",
+    "OracleReport",
+    "check_invariant_names",
+    "run_scenario",
+]
+
+#: The oracle's invariant vocabulary (``--invariant`` on the CLI).
+INVARIANTS = (
+    "reference-match",
+    "backend-differential",
+    "no-desync",
+    "recoverable",
+)
+
+#: The collective counters whose aggregation detects a desync.
+_COLLECTIVE_COUNTERS = (
+    "num_remaps",
+    "membership_events",
+    "num_checkpoints",
+    "num_rollbacks",
+)
+
+#: Virtual metrics that must agree bit-for-bit across backends.
+_VIRTUAL_METRICS = (
+    "makespan",
+    "checkpoint_time",
+    "rollback_time",
+    "lost_time",
+    "lb_check_time",
+    "remap_time",
+)
+
+
+def check_invariant_names(names: Sequence[str]) -> tuple[str, ...]:
+    """Validate ``--invariant`` selections; actionable on a typo."""
+    if not names:
+        return INVARIANTS
+    for name in names:
+        if name not in INVARIANTS:
+            raise ConfigurationError(
+                f"unknown invariant {name!r}; known invariants: "
+                f"{', '.join(INVARIANTS)} (default: all of them)"
+            )
+    # Preserve the canonical order, drop duplicates.
+    return tuple(inv for inv in INVARIANTS if inv in set(names))
+
+
+@dataclass
+class OracleReport:
+    """What the oracle concluded about one scenario."""
+
+    scenario: Scenario
+    #: ``recovered`` | ``diagnosed`` | ``crashed``
+    outcome: str
+    checked: tuple[str, ...]
+    violations: list[str] = field(default_factory=list)
+    #: The ResilienceError message when the outcome is ``diagnosed``.
+    diagnosis: str = ""
+    makespan: float | None = None
+    num_rollbacks: int | None = None
+    num_checkpoints: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        label = self.scenario.name or "scenario"
+        if self.ok:
+            extra = ""
+            if self.makespan is not None:
+                extra = f" (makespan {self.makespan:.4f} s"
+                if self.num_rollbacks is not None:
+                    extra += f", {self.num_rollbacks} rollback(s)"
+                extra += ")"
+            return f"{label}: {self.outcome} ok{extra}"
+        first = self.violations[0]
+        more = (
+            f" (+{len(self.violations) - 1} more)"
+            if len(self.violations) > 1
+            else ""
+        )
+        return f"{label}: FAIL [{self.outcome}] {first}{more}"
+
+
+def _attempt(
+    scenario: Scenario, backend: str
+) -> tuple[str, "ProgramReport | None", str]:
+    """One run: (outcome, report-or-None, diagnosis-or-crash-message)."""
+    from repro.runtime import run_program
+
+    graph = scenario.build_graph()
+    y0 = scenario.build_y0(graph)
+    cluster = scenario.build_cluster()
+    config = scenario.build_config(backend=backend)
+    try:
+        report = run_program(graph, cluster, config, y0=y0)
+        return "recovered", report, ""
+    except ResilienceError as exc:
+        return "diagnosed", None, str(exc)
+    except RankFailedError as exc:
+        if exc.failures and all(
+            isinstance(e, ResilienceError) for e in exc.failures.values()
+        ):
+            return "diagnosed", None, str(exc)
+        return "crashed", None, f"{type(exc).__name__}: {exc}"
+    except ReproError as exc:
+        return "crashed", None, f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # noqa: BLE001 — the oracle's whole job
+        return "crashed", None, f"{type(exc).__name__}: {exc}"
+
+
+def _check_desync(report: "ProgramReport", backend: str, out: list[str]) -> None:
+    for counter in _COLLECTIVE_COUNTERS:
+        try:
+            getattr(report, counter)
+        except (LoadBalanceError, ResilienceError) as exc:
+            out.append(f"no-desync[{backend}]: {counter} desynchronized: {exc}")
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    invariants: Sequence[str] = INVARIANTS,
+) -> OracleReport:
+    """Execute *scenario* under the selected invariants.
+
+    ``backend-differential`` runs the scenario under both backends;
+    without it only the vectorized backend runs.  ``reference-match``
+    additionally runs the quiet baseline once.
+    """
+    checked = check_invariant_names(invariants)
+    backends = (
+        ("reference", "vectorized")
+        if "backend-differential" in checked
+        else ("vectorized",)
+    )
+    attempts = {b: _attempt(scenario, b) for b in backends}
+    violations: list[str] = []
+
+    outcomes = {b: a[0] for b, a in attempts.items()}
+    if len(set(outcomes.values())) > 1:
+        violations.append(
+            f"backend-differential: backends disagree on the outcome: "
+            f"{outcomes}"
+        )
+    primary_backend = backends[-1]  # vectorized when both ran
+    outcome, primary, diagnosis = attempts[primary_backend]
+
+    if "recoverable" in checked:
+        for b, (oc, _, msg) in attempts.items():
+            if oc == "crashed":
+                violations.append(f"recoverable[{b}]: {msg}")
+        if scenario.expect == "recovered" and outcome == "diagnosed":
+            violations.append(
+                f"recoverable: scenario expects a recovery but the run "
+                f"was diagnosed unrecoverable: {diagnosis}"
+            )
+        if scenario.expect == "diagnosed" and outcome == "recovered":
+            violations.append(
+                "recoverable: scenario expects a diagnosed "
+                "ResilienceError but the run completed"
+            )
+
+    reports = {b: a[1] for b, a in attempts.items() if a[1] is not None}
+    if "no-desync" in checked:
+        for b, report in reports.items():
+            _check_desync(report, b, violations)
+
+    if (
+        "backend-differential" in checked
+        and len(reports) == 2
+        and len(set(outcomes.values())) == 1
+    ):
+        ref, vec = reports["reference"], reports["vectorized"]
+        if not np.array_equal(ref.values, vec.values):
+            violations.append(
+                "backend-differential: final values differ between "
+                "reference and vectorized backends"
+            )
+        if ref.clocks != vec.clocks:
+            violations.append(
+                f"backend-differential: per-rank clocks differ: "
+                f"{ref.clocks} vs {vec.clocks}"
+            )
+        for metric in _VIRTUAL_METRICS:
+            a, b = getattr(ref, metric), getattr(vec, metric)
+            if a != b:
+                violations.append(
+                    f"backend-differential: {metric} differs: "
+                    f"{a!r} (reference) vs {b!r} (vectorized)"
+                )
+        for counter in _COLLECTIVE_COUNTERS:
+            try:
+                a, b = getattr(ref, counter), getattr(vec, counter)
+            except (LoadBalanceError, ResilienceError):
+                continue  # already reported by no-desync
+            if a != b:
+                violations.append(
+                    f"backend-differential: {counter} differs: "
+                    f"{a} (reference) vs {b} (vectorized)"
+                )
+
+    if (
+        "reference-match" in checked
+        and primary is not None
+        and outcome == "recovered"
+    ):
+        base_outcome, base_report, base_msg = _attempt(
+            scenario.baseline(), primary_backend
+        )
+        if base_report is None:
+            violations.append(
+                f"reference-match: the quiet baseline itself failed "
+                f"({base_outcome}): {base_msg}"
+            )
+        elif not np.array_equal(primary.values, base_report.values):
+            delta = float(
+                np.max(np.abs(primary.values - base_report.values))
+            )
+            violations.append(
+                f"reference-match: final values differ from the "
+                f"no-failure baseline (max |delta| = {delta:.3e}) — "
+                f"recovery or redistribution corrupted data"
+            )
+
+    return OracleReport(
+        scenario=scenario,
+        outcome=outcome,
+        checked=checked,
+        violations=violations,
+        diagnosis=diagnosis,
+        makespan=primary.makespan if primary is not None else None,
+        num_rollbacks=(
+            _safe_counter(primary, "num_rollbacks") if primary else None
+        ),
+        num_checkpoints=(
+            _safe_counter(primary, "num_checkpoints") if primary else None
+        ),
+    )
+
+
+def _safe_counter(report: "ProgramReport", name: str) -> int | None:
+    try:
+        return getattr(report, name)
+    except (LoadBalanceError, ResilienceError):
+        return None

@@ -557,6 +557,40 @@ class MembershipTrace:
                 ) from None
         return cls(world_size, events, initially_inactive=inactive)
 
+    def format(self) -> str:
+        """The DSL spelling of the trace: ``parse(format(tr)) == tr``.
+
+        Standby tokens come first (ascending rank), then the events in
+        their stored (stably time-sorted) order, so coincident events keep
+        their apply order through a parse→format→parse cycle.  Times are
+        spelled with :func:`repr` so floats round-trip exactly.
+        """
+
+        def _time(t: float) -> str:
+            return repr(int(t)) if t == int(t) else repr(t)
+
+        tokens = [f"standby:{r}" for r in sorted(self.initially_inactive)]
+        for ev in self.events:
+            if ev.kind == "replace":
+                tokens.append(
+                    f"replace:{ev.rank}->{ev.replacement}@{_time(ev.time)}"
+                )
+            else:
+                tokens.append(f"{ev.kind}:{ev.rank}@{_time(ev.time)}")
+        return ", ".join(tokens)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MembershipTrace):
+            return NotImplemented
+        return (
+            self.world_size == other.world_size
+            and self.initially_inactive == other.initially_inactive
+            and self.events == other.events
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.world_size, self.initially_inactive, self.events))
+
     def __repr__(self) -> str:
         return (
             f"MembershipTrace(world_size={self.world_size}, "

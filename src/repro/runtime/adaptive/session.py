@@ -596,6 +596,9 @@ class AdaptiveSession:
             next_iteration=next_iteration,
             epoch=res.epochs_taken,
             backend=self.backend,
+            replication_factor=getattr(
+                res.policy, "replication_factor", 1
+            ),
         )
         res.measured_cost = ctx.clock - t0
         res.epochs_taken += 1

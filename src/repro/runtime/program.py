@@ -77,6 +77,12 @@ class ProgramConfig:
     #: allowed without one (the overhead-only baseline the
     #: ``scale-resilience`` experiments measure).
     checkpoint: "CheckpointPolicy | str | None" = None
+    #: Replication factor override: when set, the (normalized) checkpoint
+    #: policy is re-issued with this many ring successors per data-holding
+    #: rank — the ``--replication`` CLI knob.  ``None`` keeps whatever the
+    #: policy (or its ``:rF`` DSL suffix) already says.  Setting it
+    #: without a checkpoint policy is a configuration error.
+    replication_factor: int | None = None
     kernel_cost: KernelCostModel = KernelCostModel()
     inspector_cost: InspectorCostModel = InspectorCostModel()
     executor_cost: ExecutorCostModel = ExecutorCostModel()
@@ -114,6 +120,28 @@ class ProgramConfig:
             # configuration time, not inside the rank threads.
             object.__setattr__(
                 self, "checkpoint", resolve_checkpoint_policy(self.checkpoint)
+            )
+        if self.replication_factor is not None:
+            if self.checkpoint is None:
+                raise ConfigurationError(
+                    "replication_factor requires a checkpoint policy: "
+                    "replicas are shipped when an epoch is taken — set "
+                    "ProgramConfig.checkpoint (e.g. \"interval:4\") too"
+                )
+            if self.replication_factor < 1:
+                raise ConfigurationError(
+                    f"replication_factor must be >= 1 ring successor, got "
+                    f"{self.replication_factor}"
+                )
+            import dataclasses as _dc
+
+            object.__setattr__(
+                self,
+                "checkpoint",
+                _dc.replace(
+                    self.checkpoint,
+                    replication_factor=self.replication_factor,
+                ),
             )
 
 

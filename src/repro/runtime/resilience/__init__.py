@@ -16,12 +16,16 @@ pluggable layers, mirroring the Phase D decomposition:
 * :mod:`~repro.runtime.resilience.checkpoint` — *what a checkpoint is*:
   diskless partner replication; each data-holding rank ships its block
   (fields + vertex identity) in one :class:`~repro.net.message.PackedArrays`
-  message to its ring partner and snapshots its own block locally,
-  priced analytically by :func:`estimate_checkpoint_cost`;
+  message to each of its ``replication_factor`` ring successors
+  (:func:`replica_partners`) and snapshots its own block locally,
+  priced analytically by :func:`estimate_checkpoint_cost` — ``k``
+  successors survive any ``k`` correlated failures within one epoch's
+  ring neighborhood;
 * :mod:`~repro.runtime.resilience.recovery` — *how the world restarts*:
   survivors roll back to the checkpoint epoch and
   :func:`recover_redistribute_fields` reassembles it onto the shrunken
-  active set, with dead sources' slabs shipped by their partners.
+  active set, with each dead source's slabs shipped by its first
+  surviving holder.
 
 The driver hooks live in :class:`~repro.runtime.adaptive.session.AdaptiveSession`
 (``fail`` events arrive through the same membership poll as joins and
@@ -33,6 +37,7 @@ from repro.runtime.resilience.checkpoint import (
     Checkpoint,
     ResilienceState,
     estimate_checkpoint_cost,
+    replica_partners,
     ring_partners,
     take_checkpoint,
 )
@@ -41,6 +46,7 @@ from repro.runtime.resilience.policy import (
     CheckpointPolicy,
     CostModelCheckpoint,
     IntervalCheckpoint,
+    format_checkpoint_policy,
     parse_checkpoint_policy,
     resolve_checkpoint_policy,
 )
@@ -58,8 +64,10 @@ __all__ = [
     "ResilienceState",
     "check_recoverable",
     "estimate_checkpoint_cost",
+    "format_checkpoint_policy",
     "parse_checkpoint_policy",
     "recover_redistribute_fields",
+    "replica_partners",
     "resolve_checkpoint_policy",
     "ring_partners",
     "take_checkpoint",

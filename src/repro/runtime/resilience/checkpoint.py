@@ -24,7 +24,7 @@ prices a remap.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -48,29 +48,68 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "Checkpoint",
     "ResilienceState",
+    "replica_partners",
     "ring_partners",
     "take_checkpoint",
     "estimate_checkpoint_cost",
 ]
 
 
-def ring_partners(
-    partition: IntervalPartition, active: np.ndarray
-) -> dict[int, int]:
-    """The replica assignment: each data-holding active rank → its partner.
+def replica_partners(
+    partition: IntervalPartition,
+    active: np.ndarray,
+    replication_factor: int = 1,
+) -> dict[int, tuple[int, ...]]:
+    """The replica assignment: each data-holding active rank → its holders.
 
-    Partners are the ring successors over the *sorted active set*, so the
-    assignment is a pure function of replicated knowledge (every rank
-    computes the identical map without a message).  A pool with a single
-    active rank has nobody to replicate to and gets an empty map — a
-    failure there empties the active set, which the membership trace
-    already forbids.
+    Holders are the next *replication_factor* distinct ring successors
+    over the *sorted active set*, so the assignment is a pure function of
+    replicated knowledge (every rank computes the identical map without a
+    message).  A pool with fewer than ``replication_factor + 1`` active
+    ranks degrades gracefully: every owner replicates to all other active
+    ranks (the widest ring the pool affords).  A single active rank has
+    nobody to replicate to and gets an empty map — a failure there
+    empties the active set, which the membership trace already forbids.
     """
+    if replication_factor < 1:
+        raise ResilienceError(
+            f"replication_factor must be >= 1, got {replication_factor}"
+        )
     actives = [int(r) for r in np.flatnonzero(np.asarray(active, dtype=bool))]
     if len(actives) < 2:
         return {}
-    succ = {r: actives[(i + 1) % len(actives)] for i, r in enumerate(actives)}
-    return {r: succ[r] for r in actives if partition.size(r) > 0}
+    k = min(replication_factor, len(actives) - 1)
+    n = len(actives)
+    index = {r: i for i, r in enumerate(actives)}
+    return {
+        r: tuple(actives[(index[r] + j) % n] for j in range(1, k + 1))
+        for r in actives
+        if partition.size(r) > 0
+    }
+
+
+def ring_partners(
+    partition: IntervalPartition, active: np.ndarray
+) -> dict[int, int]:
+    """The single-successor (k=1) view: each data-holding rank → partner."""
+    return {
+        owner: holders[0]
+        for owner, holders in replica_partners(partition, active, 1).items()
+    }
+
+
+def normalize_partners(
+    partners: "Mapping[int, int | Sequence[int]]",
+) -> dict[int, tuple[int, ...]]:
+    """Accept both the k=1 ``owner -> rank`` map and the general
+    ``owner -> (rank, ...)`` map, returning the general form."""
+    out: dict[int, tuple[int, ...]] = {}
+    for owner, holders in partners.items():
+        if isinstance(holders, (int, np.integer)):
+            out[int(owner)] = (int(holders),)
+        else:
+            out[int(owner)] = tuple(int(h) for h in holders)
+    return out
 
 
 @dataclass
@@ -88,7 +127,7 @@ class Checkpoint:
     clock: float  # synchronized post-checkpoint clock
     partition: IntervalPartition
     active: np.ndarray  # active mask when taken
-    partners: dict[int, int]  # data owner -> replica holder
+    partners: dict[int, tuple[int, ...]]  # data owner -> replica holders
     snapshot: list[np.ndarray] = field(default_factory=list)
     replicas: dict[int, list[np.ndarray]] = field(default_factory=dict)
 
@@ -117,14 +156,18 @@ def take_checkpoint(
     epoch: int,
     tag: int = Tags.CHECKPOINT,
     backend: str | None = None,
+    replication_factor: int = 1,
 ) -> Checkpoint:
     """Replicate this epoch to the ring partners; SPMD collective.
 
     Every rank calls it at a synchronized boundary with its current block
     of *fields*.  Data-holding active ranks send one packed message
-    (identity + every field) to their ring partner; every rank snapshots
-    its own block locally; a trailing barrier makes the epoch's cost a
-    synchronized span every rank measures identically.
+    (identity + every field) to each of their *replication_factor* ring
+    successors; every rank snapshots its own block locally; a trailing
+    barrier makes the epoch's cost a synchronized span every rank
+    measures identically.  With ``replication_factor=1`` this is the
+    single-partner diskless scheme; ``k`` successors survive any ``k``
+    correlated failures within one epoch's ring neighborhood.
     """
     backend = resolve_backend(backend)
     fields = [np.asarray(f) for f in fields]
@@ -139,13 +182,13 @@ def take_checkpoint(
                 f"rank {rank}: field {k} has {f.shape[0]} elements, the "
                 f"interval holds {hi - lo}"
             )
-    partners = ring_partners(partition, active)
+    partners = replica_partners(partition, active, replication_factor)
 
-    # Outgoing: one packed message to the ring partner (if this rank
-    # holds data and has one) — the interval as a single slab through
-    # the shared wire-format implementation.
-    partner = partners.get(rank)
-    if partner is not None:
+    # Outgoing: one packed message per ring successor (if this rank
+    # holds data) — the interval as a single slab through the shared
+    # wire-format implementation, packed once and fanned out.  Sends go
+    # in ring order so the virtual clock is deterministic.
+    for partner in partners.get(rank, ()):
         ctx.send(
             partner,
             _pack_slabs(fields, [Transfer(rank, partner, lo, hi)], lo, backend),
@@ -156,14 +199,14 @@ def take_checkpoint(
     # cost, like the retained-overlap copy of a redistribution).
     snapshot = [f.copy() for f in fields]
 
-    # Incoming: the ring predecessor's replica, if it holds data.  The
-    # ring is injective, so there is at most one.  The shared verify
+    # Incoming: every ring predecessor whose holder set names this rank
+    # (at most ``replication_factor`` of them).  The shared verify
     # checks identity against the replicated partition plus every field
     # segment's length and dtype (own fields are the dtype reference —
     # SPMD ranks run one program), so a malformed replica fails at
     # replication time, not mid-rollback.
     replicas: dict[int, list[np.ndarray]] = {}
-    predecessors = [o for o, holder in partners.items() if holder == rank]
+    predecessors = [o for o, holders in partners.items() if rank in holders]
     for owner in sorted(predecessors):
         parts = unpack_arrays(ctx.recv(owner, tag))
         olo, ohi = partition.interval(owner)
@@ -199,15 +242,18 @@ def estimate_checkpoint_cost(
     *,
     num_fields: int = 1,
     shared_medium: bool | None = None,
+    replication_factor: int = 1,
 ) -> float:
     """Predicted virtual seconds for one checkpoint, without taking it.
 
     Prices exactly what :func:`take_checkpoint` ships: per data-holding
-    active rank, one packed message of its interval's ``num_fields``
+    active rank, one packed message per ring successor (``k`` of them
+    under ``replication_factor=k``) of its interval's ``num_fields``
     payload copies plus one vertex-identity entry per element.  Shared
     media serialize all frames; switched fabrics overlap distinct
-    destinations, approximated by the slowest single message — the same
-    model as :func:`~repro.runtime.adaptive.redistribution.estimate_remap_cost`.
+    sources but serialize each source's own fan-out, approximated by the
+    slowest single source — the same style of model as
+    :func:`~repro.runtime.adaptive.redistribution.estimate_remap_cost`.
     """
     if element_nbytes <= 0:
         raise ResilienceError(
@@ -215,15 +261,20 @@ def estimate_checkpoint_cost(
         )
     if num_fields < 1:
         raise ResilienceError(f"num_fields must be >= 1, got {num_fields}")
-    partners = ring_partners(partition, active)
+    partners = replica_partners(partition, active, replication_factor)
     if not partners:
         return 0.0
     per_element = num_fields * element_nbytes + IDENTITY_NBYTES
     latency, bandwidth, overhead, shared_medium = network_pricing_params(
         network, shared_medium
     )
-    sizes = {owner: partition.size(owner) * per_element for owner in partners}
-    fixed = len(sizes) * (overhead + latency)
+    # Per owner: all its replica copies leave through its own port.
+    outgoing = {
+        owner: partition.size(owner) * per_element * len(holders)
+        for owner, holders in partners.items()
+    }
+    n_messages = sum(len(holders) for holders in partners.values())
+    fixed = n_messages * (overhead + latency)
     if shared_medium:
-        return fixed + sum(sizes.values()) / bandwidth
-    return fixed + max(sizes.values()) / bandwidth
+        return fixed + sum(outgoing.values()) / bandwidth
+    return fixed + max(outgoing.values()) / bandwidth

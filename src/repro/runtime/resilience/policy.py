@@ -37,6 +37,7 @@ __all__ = [
     "IntervalCheckpoint",
     "CostModelCheckpoint",
     "POLICY_NAMES",
+    "format_checkpoint_policy",
     "parse_checkpoint_policy",
     "resolve_checkpoint_policy",
 ]
@@ -56,9 +57,15 @@ class CheckpointPolicy(Protocol):
     and its measured synchronized cost — and implementations must be
     deterministic in them: ranks that disagree on whether a checkpoint
     is due deadlock the replication ring.
+
+    ``replication_factor`` is how many distinct ring successors each
+    data-holding rank replicates to when an epoch is taken: ``k``
+    successors survive any ``k`` correlated failures within one epoch's
+    ring neighborhood, at ``k`` messages per owner per checkpoint.
     """
 
     name: str
+    replication_factor: int
 
     def due(
         self,
@@ -72,18 +79,27 @@ class CheckpointPolicy(Protocol):
         ...
 
 
+def _check_replication_factor(factor: int) -> None:
+    if factor < 1:
+        raise ResilienceError(
+            f"replication_factor must be >= 1 ring successor, got {factor}"
+        )
+
+
 @dataclass(frozen=True)
 class IntervalCheckpoint:
     """Checkpoint every *k* synchronized iterations (the fixed rule)."""
 
     k: int
     name: str = "interval"
+    replication_factor: int = 1
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ResilienceError(
                 f"checkpoint interval must be >= 1 iteration, got {self.k}"
             )
+        _check_replication_factor(self.replication_factor)
 
     def due(
         self,
@@ -114,6 +130,7 @@ class CostModelCheckpoint:
     mtbf: float
     min_interval_s: float = 0.0
     name: str = "cost"
+    replication_factor: int = 1
 
     def __post_init__(self) -> None:
         if not (math.isfinite(self.mtbf) and self.mtbf > 0):
@@ -125,6 +142,7 @@ class CostModelCheckpoint:
             raise ResilienceError(
                 f"min_interval_s must be >= 0, got {self.min_interval_s}"
             )
+        _check_replication_factor(self.replication_factor)
 
     def interval(self, checkpoint_cost: float) -> float:
         """The target interval ``max(sqrt(2 C M), min_interval_s)``."""
@@ -148,29 +166,48 @@ class CostModelCheckpoint:
 def parse_checkpoint_policy(spec: str) -> CheckpointPolicy:
     """Parse the ``--checkpoint`` CLI mini-language.
 
-    Two forms::
+    Two forms, each with an optional replication suffix::
 
-        interval:K     checkpoint every K synchronized iterations
-        cost:MTBF      Young's interval for an MTBF estimate (virtual s)
+        interval:K[:rF]   checkpoint every K synchronized iterations
+        cost:MTBF[:rF]    Young's interval for an MTBF estimate (virtual s)
 
+    ``:rF`` sets the replication factor — every data-holding rank ships
+    its epoch to its F distinct ring successors, so F correlated
+    failures per ring neighborhood stay recoverable ("interval:4:r2").
     Malformed specs raise :class:`~repro.errors.ResilienceError` with the
     offending token and the accepted vocabulary spelled out.
     """
     token = spec.strip()
-    name, sep, arg = token.partition(":")
-    name = name.strip()
+    parts = [p.strip() for p in token.split(":")]
+    name = parts[0]
     if name not in POLICY_NAMES:
         raise ResilienceError(
             f"unknown checkpoint policy {name or token!r}; known policies: "
             f"'interval:K' (every K iterations) and 'cost:MTBF' "
-            f"(Young's interval for an MTBF estimate in virtual seconds)"
+            f"(Young's interval for an MTBF estimate in virtual seconds), "
+            f"each with an optional ':rF' replication-factor suffix"
         )
-    if not sep or not arg.strip():
+    if len(parts) < 2 or not parts[1]:
         raise ResilienceError(
             f"checkpoint policy {token!r} is missing its parameter: use "
-            f"'interval:K' or 'cost:MTBF'"
+            f"'interval:K' or 'cost:MTBF' (optionally ':rF' for F replicas)"
         )
-    arg = arg.strip()
+    if len(parts) > 3:
+        raise ResilienceError(
+            f"checkpoint policy {token!r} has too many ':' segments: use "
+            f"'interval:K[:rF]' or 'cost:MTBF[:rF]'"
+        )
+    replication = 1
+    if len(parts) == 3:
+        suffix = parts[2]
+        if not suffix.startswith("r") or not suffix[1:].isdigit():
+            raise ResilienceError(
+                f"checkpoint policy {token!r}: the replication suffix must "
+                f"look like 'r2' (an 'r' followed by a whole number of "
+                f"ring successors), got {suffix!r}"
+            )
+        replication = int(suffix[1:])
+    arg = parts[1]
     if name == "interval":
         try:
             k = int(arg)
@@ -179,7 +216,7 @@ def parse_checkpoint_policy(spec: str) -> CheckpointPolicy:
                 f"checkpoint policy {token!r}: interval takes a whole "
                 f"number of iterations, got {arg!r}"
             ) from None
-        return IntervalCheckpoint(k)
+        return IntervalCheckpoint(k, replication_factor=replication)
     try:
         mtbf = float(arg)
     except ValueError:
@@ -187,7 +224,34 @@ def parse_checkpoint_policy(spec: str) -> CheckpointPolicy:
             f"checkpoint policy {token!r}: cost takes an MTBF estimate in "
             f"virtual seconds, got {arg!r}"
         ) from None
-    return CostModelCheckpoint(mtbf)
+    return CostModelCheckpoint(mtbf, replication_factor=replication)
+
+
+def format_checkpoint_policy(policy: CheckpointPolicy) -> str:
+    """The DSL spelling of *policy*: ``parse(format(p)) == p``.
+
+    The replication suffix is omitted at the default ``r1`` so a spec
+    without one survives parse→format→parse byte-identically; the MTBF
+    is formatted with :func:`repr` so the float round-trips exactly.
+    """
+    if isinstance(policy, IntervalCheckpoint):
+        base = f"interval:{policy.k}"
+    elif isinstance(policy, CostModelCheckpoint):
+        base = f"cost:{_format_float(policy.mtbf)}"
+    else:
+        raise ResilienceError(
+            f"cannot format a {type(policy).__name__} as a --checkpoint "
+            f"spec; only the built-in interval/cost policies have a DSL "
+            f"spelling"
+        )
+    if policy.replication_factor != 1:
+        base += f":r{policy.replication_factor}"
+    return base
+
+
+def _format_float(x: float) -> str:
+    """Exact round-trip float text, integers spelled without '.0'."""
+    return repr(int(x)) if x == int(x) else repr(x)
 
 
 def resolve_checkpoint_policy(

@@ -7,12 +7,15 @@ active set (chosen by the ordinary MCR profitability machinery, where the
 dead rank holding elements makes the remap mandatory).
 
 The exchange is the packed Phase D redistribution with one twist: slabs
-whose *source* is a dead rank are shipped by that rank's checkpoint
-partner from the replica instead — the plan is still fully replicated
-(partition, ring, and failure set are shared knowledge), so no discovery
-round is needed and the receiver can still verify every slab's vertex
-identity against the plan.  Replica slabs travel under a per-owner tag
-(``Tags.RECOVERY_BASE + owner``) so a partner covering several dead
+whose *source* is a dead rank are shipped from the replica by that
+rank's *first surviving* checkpoint holder instead — the plan is still
+fully replicated (partition, ring, holder lists, and failure set are
+shared knowledge), so no discovery round is needed and the receiver can
+still verify every slab's vertex identity against the plan.  Under
+k-successor replication an owner has up to ``k`` holders; exactly one
+(the designated shipper) speaks for it, chosen identically on every
+rank.  Replica slabs travel under a per-owner tag
+(``Tags.RECOVERY_BASE + owner``) so a holder covering several dead
 owners keeps their streams apart from each other and from its own slabs.
 """
 
@@ -34,6 +37,7 @@ from repro.runtime.adaptive.redistribution import (
     _verify_slabs,
 )
 from repro.runtime.backend import resolve_backend
+from repro.runtime.resilience.checkpoint import normalize_partners
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.comm import RankContext
@@ -43,37 +47,45 @@ __all__ = ["check_recoverable", "recover_redistribute_fields"]
 
 def check_recoverable(
     partition: IntervalPartition,
-    partners: Mapping[int, int],
+    partners: "Mapping[int, int | Sequence[int]]",
     failed: np.ndarray,
 ) -> None:
     """Fail loudly when the epoch cannot be reassembled.
 
-    Every dead rank that owned data at the checkpoint must have a live
-    replica holder.  Two ways to lose: the owner never had a partner (a
-    single-active-rank pool), or the owner *and* its partner both died
-    within one epoch — the classic double-failure limit of single-copy
-    partner replication.
+    Every dead rank that owned data at the checkpoint must have at least
+    one live replica holder.  Two ways to lose: the owner never had a
+    partner (a single-active-rank pool), or the owner *and all k of its
+    holders* died within one epoch — the correlated-failure limit of
+    k-successor partner replication (k=1 is the classic ring-edge double
+    failure).
     """
     failed = np.asarray(failed, dtype=bool)
+    holder_map = normalize_partners(partners)
     for owner in sorted(int(r) for r in np.flatnonzero(failed)):
         if partition.size(owner) == 0:
             continue
-        holder = partners.get(owner)
-        if holder is None:
+        holders = holder_map.get(owner, ())
+        if not holders:
             raise ResilienceError(
                 f"rank {owner} failed holding {partition.size(owner)} "
                 f"elements but the checkpoint epoch has no replica partner "
                 f"for it; its data is unrecoverable"
             )
-        if failed[holder]:
+        if all(failed[h] for h in holders):
+            k = len(holders)
+            who = (
+                f"its replica partner {holders[0]} both"
+                if k == 1
+                else f"all {k} of its replica holders {list(holders)}"
+            )
             raise ResilienceError(
-                f"rank {owner} and its replica partner {holder} both "
+                f"rank {owner} and {who} "
                 f"failed within one checkpoint epoch; the interval "
                 f"[{partition.interval(owner)[0]}, "
                 f"{partition.interval(owner)[1]}) is unrecoverable "
-                f"(single-copy partner replication survives one failure "
-                f"per epoch per ring edge — checkpoint more often or "
-                f"widen the replication)"
+                f"(k-successor partner replication survives k failures "
+                f"per epoch per ring neighborhood — checkpoint more "
+                f"often or raise the replication factor)"
             )
 
 
@@ -95,7 +107,7 @@ def recover_redistribute_fields(
     fields: Sequence[np.ndarray],
     *,
     failed: np.ndarray,
-    partners: Mapping[int, int],
+    partners: "Mapping[int, int | Sequence[int]]",
     replicas: Mapping[int, Sequence[np.ndarray]],
     backend: str | None = None,
 ) -> list[np.ndarray]:
@@ -104,8 +116,10 @@ def recover_redistribute_fields(
     Survivors call it with their restored snapshot (*old*-block fields);
     dead ranks participate with nothing (their snapshot died with them)
     and must own nothing under *new*.  *partners*/*replicas* come from the
-    checkpoint being recovered; *failed* is the cumulative failure mask at
-    detection time.  Each rank returns its *new*-block fields.
+    checkpoint being recovered (holder lists under k-successor
+    replication; the bare ``owner -> rank`` form is accepted for k=1);
+    *failed* is the cumulative failure mask at detection time.  Each rank
+    returns its *new*-block fields.
     """
     backend = resolve_backend(backend)
     fields = [np.asarray(f) for f in fields]
@@ -116,7 +130,18 @@ def recover_redistribute_fields(
     failed = np.asarray(failed, dtype=bool)
     rank = ctx.rank
     alive = not failed[rank]
-    check_recoverable(old, partners, failed)
+    holder_map = normalize_partners(partners)
+    check_recoverable(old, holder_map, failed)
+    # The designated shipper for each dead data owner: its first live
+    # holder, in ring-successor order — replicated knowledge, so every
+    # rank names the same shipper without a message.
+    shippers: dict[int, int] = {}
+    for owner in (int(r) for r in np.flatnonzero(failed)):
+        if old.size(owner) == 0:
+            continue
+        shippers[owner] = next(
+            h for h in holder_map[owner] if not failed[h]
+        )
     if np.any(failed & (new.sizes() > 0)):
         bad = np.flatnonzero(failed & (new.sizes() > 0)).tolist()
         raise ResilienceError(
@@ -161,8 +186,7 @@ def recover_redistribute_fields(
     incoming_dead: dict[int, list[Transfer]] = {}  # dead owner -> slabs
     for tr in transfers:
         if failed[tr.source]:
-            holder = partners[tr.source]
-            if holder == rank:
+            if shippers[tr.source] == rank:
                 replica_out.setdefault((tr.source, tr.dest), []).append(tr)
             if tr.dest == rank:
                 incoming_dead.setdefault(tr.source, []).append(tr)
@@ -201,10 +225,10 @@ def recover_redistribute_fields(
         _place_slabs(outs, slabs, parts[1:], new_lo, backend)
 
     # Dead owners' slabs, ascending owner order: from the local replica
-    # when this rank is the holder, else from the holder's message.
+    # when this rank is the designated shipper, else from its message.
     for owner in sorted(incoming_dead):
         slabs = incoming_dead[owner]
-        holder = partners[owner]
+        holder = shippers[owner]
         if holder == rank:
             olo, _ = old.interval(owner)
             parts = _extract_slabs(list(replicas[owner]), slabs, olo, backend)

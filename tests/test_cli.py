@@ -170,6 +170,130 @@ class TestBenchGlobs:
         assert (tmp_path / "scale-epoch-quick.json").exists()
 
 
+class TestRunReplicationFlag:
+    def test_replication_requires_checkpoint(self, capsys):
+        rc = main([
+            "run", "--vertices", "200", "--iterations", "4",
+            "--workstations", "3", "--replication", "2",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "replication_factor requires a checkpoint policy" in err
+
+    def test_replication_rejects_zero(self, capsys):
+        rc = main([
+            "run", "--vertices", "200", "--iterations", "4",
+            "--workstations", "3", "--checkpoint", "interval:2",
+            "--replication", "0",
+        ])
+        assert rc == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_replication_overrides_policy_suffix(self, capsys):
+        rc = main([
+            "run", "--vertices", "400", "--iterations", "8",
+            "--workstations", "3", "--load-balance",
+            "--checkpoint", "interval:2:r3", "--replication", "2",
+            "--verify",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "checkpoint: interval:2:r2" in out
+
+
+class TestFuzzCLI:
+    # A quiet inline scenario: no churn, no failures, tiny graph.
+    QUIET = (
+        '{"schema_version": 1, "seed": 1, "vertices": 64, '
+        '"workstations": 2, "iterations": 2}'
+    )
+    # k=1 ring-edge double failure mislabeled "recovered": the oracle
+    # must flag it, and the shrinker has something real to chew on.
+    FAILING = (
+        '{"schema_version": 1, "seed": 5, "vertices": 96, '
+        '"workstations": 3, "iterations": 6, '
+        '"membership": "fail:1@0.005, fail:2@0.005", '
+        '"checkpoint": "interval:2", "expect": "recovered"}'
+    )
+
+    def test_rejects_negative_seed(self, capsys):
+        rc = main(["fuzz", "run", "--seed", "-3", "--budget", "2"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "non-negative" in err
+
+    def test_rejects_zero_budget(self, capsys):
+        rc = main(["fuzz", "run", "--seed", "0", "--budget", "0"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "budget" in err and ">= 1" in err
+
+    def test_rejects_unknown_invariant(self, capsys):
+        rc = main([
+            "fuzz", "run", "--seed", "0", "--budget", "1",
+            "--invariant", "no-desink",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        # The message must name the valid choices, not just complain.
+        assert "known invariants" in err
+        assert "no-desync" in err
+
+    def test_rejects_bad_scenario_spec(self, capsys):
+        rc = main(["fuzz", "run", "--scenario", "no/such/file.json"])
+        assert rc == 2
+        assert "neither an inline JSON" in capsys.readouterr().err
+
+    def test_shrink_without_target_is_an_error(self, capsys):
+        rc = main(["fuzz", "shrink"])
+        assert rc == 2
+        assert "needs a target" in capsys.readouterr().err
+
+    def test_corpus_rejects_empty_dir(self, capsys, tmp_path):
+        rc = main(["fuzz", "corpus", "--dir", str(tmp_path)])
+        assert rc == 2
+        assert "no scenario JSON files" in capsys.readouterr().err
+
+    def test_run_inline_scenario_passes(self, capsys):
+        rc = main(["fuzz", "run", "--scenario", self.QUIET])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "1 scenario(s), 0 failure(s)" in out
+
+    def test_failing_scenario_prints_reproducer(self, capsys):
+        rc = main([
+            "fuzz", "run", "--scenario", self.FAILING,
+            "--invariant", "recoverable",
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "expects a recovery" in out
+        assert "python -m repro fuzz run --scenario '" in out
+
+    def test_reproducer_smoke_shrink_then_replay(self, capsys, tmp_path):
+        # End-to-end: shrink the failing scenario, then replay the
+        # written reproducer through the same CLI and get the same
+        # verdict (exit 1, still failing).
+        out_file = tmp_path / "shrunk.json"
+        rc = main([
+            "fuzz", "shrink", "--scenario", self.FAILING,
+            "--invariant", "recoverable", "--max-attempts", "40",
+            "-o", str(out_file),
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "minimal reproducer:" in out
+        assert out_file.exists()
+        rc = main([
+            "fuzz", "run", "--scenario", str(out_file),
+            "--invariant", "recoverable",
+        ])
+        assert rc == 1
+        assert "1 failure(s)" in capsys.readouterr().out
+
+
 class TestBenchGlobOverrideValidation:
     def test_glob_override_fails_fast_before_running(self, capsys, tmp_path):
         # "family" is an axis of scale-epoch/scale-generate but not of

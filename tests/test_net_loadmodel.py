@@ -12,6 +12,8 @@ from hypothesis import strategies as st
 from repro.net.loadmodel import (
     CompositeLoad,
     ConstantLoad,
+    MembershipEvent,
+    MembershipTrace,
     NoLoad,
     RampLoad,
     RandomWalkLoad,
@@ -265,3 +267,108 @@ class TestCompositeAlgebraProperties:
             StepLoad([(0.0, 0.0), (2.0, 1.0)]),
         ])
         assert tr.mean_load(0.0, 4.0) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# MembershipTrace DSL round-trips: parse -> format -> parse is identity
+
+
+class TestMembershipDSLRoundTrip:
+    @pytest.mark.parametrize("spec", [
+        "leave:0@9.5",
+        "standby:3, join:3@5.0, leave:0@9.5, replace:1->0@12, fail:0@15",
+        "standby:1, standby:2, join:1@0.5, join:2@0.5",
+        "standby:4, fail:1@0.015, join:4@0.015, leave:3@0.015",  # coincident
+        "leave:2@0.0033",  # float that must survive repr exactly
+        "",  # the empty trace
+    ])
+    def test_parse_format_parse_is_identity(self, spec):
+        world = 5
+        first = MembershipTrace.parse(spec, world)
+        text = first.format()
+        second = MembershipTrace.parse(text, world)
+        assert second == first
+        # And formatting is a fixpoint: one more cycle changes nothing.
+        assert second.format() == text
+
+    def test_format_spells_every_event_kind(self):
+        trace = MembershipTrace(
+            5,
+            [
+                MembershipEvent(1.0, "leave", 0),
+                MembershipEvent(2.0, "join", 0),
+                MembershipEvent(3.0, "replace", 1, replacement=4),
+                MembershipEvent(4.0, "fail", 2),
+            ],
+            initially_inactive=[4],
+        )
+        assert trace.format() == (
+            "standby:4, leave:0@1, join:0@2, replace:1->4@3, fail:2@4"
+        )
+
+    def test_coincident_events_keep_their_apply_order(self):
+        # Two opposite orderings of the same instant are distinct traces
+        # and must stay distinct through a round-trip.
+        a = MembershipTrace.parse("standby:3, leave:0@1, join:3@1", 4)
+        b = MembershipTrace.parse("standby:3, join:3@1, leave:0@1", 4)
+        assert a != b
+        assert MembershipTrace.parse(a.format(), 4) == a
+        assert MembershipTrace.parse(b.format(), 4) == b
+
+    def test_equality_covers_standby_and_world_size(self):
+        a = MembershipTrace.parse("standby:2, join:2@1", 3)
+        b = MembershipTrace.parse("standby:2, join:2@1", 4)
+        assert a != b
+        assert a == MembershipTrace.parse("standby:2, join:2@1", 3)
+
+    @settings(deadline=None, max_examples=60)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_random_valid_traces_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        world = int(rng.integers(2, 7))
+        standby = set(
+            int(r)
+            for r in rng.choice(
+                world, size=int(rng.integers(0, world - 1)), replace=False
+            )
+        )
+        active = set(range(world)) - set(standby)
+        inactive = set(standby)
+        events = []
+        t = 0.0
+        for _ in range(int(rng.integers(0, 8))):
+            t += float(np.round(rng.uniform(0.0, 3.0), 3))
+            kinds = []
+            if len(active) > 1:
+                kinds += ["leave", "fail"]
+            if inactive:
+                kinds += ["join"]
+                if active:
+                    kinds += ["replace"]
+            if not kinds:
+                break
+            kind = str(rng.choice(kinds))
+            if kind in ("leave", "fail"):
+                r = int(rng.choice(sorted(active)))
+                active.discard(r)
+                inactive.add(r)
+                events.append(MembershipEvent(t, kind, r))
+            elif kind == "join":
+                r = int(rng.choice(sorted(inactive)))
+                inactive.discard(r)
+                active.add(r)
+                events.append(MembershipEvent(t, "join", r))
+            else:
+                old = int(rng.choice(sorted(active)))
+                new = int(rng.choice(sorted(inactive)))
+                active.discard(old)
+                inactive.discard(new)
+                active.add(new)
+                inactive.add(old)
+                events.append(
+                    MembershipEvent(t, "replace", old, replacement=new)
+                )
+        trace = MembershipTrace(
+            world, events, initially_inactive=sorted(standby)
+        )
+        assert MembershipTrace.parse(trace.format(), world) == trace

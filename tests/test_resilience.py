@@ -26,8 +26,10 @@ from repro.runtime.resilience import (
     IntervalCheckpoint,
     check_recoverable,
     estimate_checkpoint_cost,
+    format_checkpoint_policy,
     parse_checkpoint_policy,
     recover_redistribute_fields,
+    replica_partners,
     ring_partners,
     take_checkpoint,
 )
@@ -626,6 +628,212 @@ def test_random_failure_preserves_result(seed, p, frac):
     np.testing.assert_array_equal(rep.values, rep0.values)
     if t_fail <= rep.makespan:
         assert rep.membership_events == 1
+
+
+# ----------------------------------------------------------------------
+# k-successor replication: placement properties and the DSL
+
+
+def _random_world(seed: int, p: int):
+    """A partition + active mask pair with >= 2 active ranks."""
+    rng = np.random.default_rng(seed)
+    caps = rng.uniform(0.0, 1.0, size=p)
+    caps[rng.integers(0, p)] = 0.0  # at least one empty interval
+    if caps.sum() == 0:
+        caps[0] = 1.0
+    part = partition_list(int(rng.integers(p, 40 * p)), caps + 1e-12)
+    active = rng.random(p) < 0.75
+    active[rng.integers(0, p)] = True
+    if active.sum() < 2:
+        active[np.argmin(active)] = True
+    return part, active
+
+
+class TestReplicaPartnerPlacement:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        seed=st.integers(0, 2**20),
+        p=st.integers(2, 9),
+        k=st.integers(1, 4),
+    )
+    def test_every_data_holder_gets_k_distinct_live_replicas(
+        self, seed, p, k
+    ):
+        part, active = _random_world(seed, p)
+        partners = replica_partners(part, active, replication_factor=k)
+        n_active = int(active.sum())
+        expected_k = min(k, n_active - 1)
+        for owner, holders in partners.items():
+            assert part.size(owner) > 0
+            assert len(holders) == expected_k
+            assert len(set(holders)) == len(holders)  # distinct
+            assert owner not in holders  # no self-replication
+            assert all(active[h] for h in holders)  # all live
+        # Every data-holding active rank is covered.
+        for r in np.flatnonzero(active):
+            if part.size(int(r)) > 0:
+                assert int(r) in partners
+
+    @settings(deadline=None, max_examples=40)
+    @given(seed=st.integers(0, 2**20), p=st.integers(2, 9))
+    def test_k1_matches_the_classic_ring(self, seed, p):
+        part, active = _random_world(seed, p)
+        singles = replica_partners(part, active, replication_factor=1)
+        ring = ring_partners(part, active)
+        assert ring == {owner: h[0] for owner, h in singles.items()}
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        seed=st.integers(0, 2**20),
+        p=st.integers(3, 9),
+        k=st.integers(1, 3),
+    )
+    def test_shrinking_re_replicates_orphaned_slabs(self, seed, p, k):
+        # Remove one active rank; recomputing placement over the shrunken
+        # set must re-home every orphaned holder assignment onto live
+        # ranks only — no dangling references to the removed machine.
+        part, active = _random_world(seed, p)
+        if active.sum() < 3:
+            return
+        removed = int(np.flatnonzero(active)[0])
+        shrunk = active.copy()
+        shrunk[removed] = False
+        partners = replica_partners(part, shrunk, replication_factor=k)
+        for owner, holders in partners.items():
+            assert owner != removed
+            assert removed not in holders
+            assert all(shrunk[h] for h in holders)
+
+    def test_k_is_capped_by_the_active_set(self):
+        part = partition_list(90, [1 / 3, 1 / 3, 1 / 3])
+        partners = replica_partners(
+            part, np.ones(3, dtype=bool), replication_factor=10
+        )
+        assert all(len(h) == 2 for h in partners.values())
+
+    def test_successors_walk_the_ring_in_order(self):
+        part = partition_list(100, [0.25, 0.25, 0.25, 0.25])
+        partners = replica_partners(
+            part, np.ones(4, dtype=bool), replication_factor=2
+        )
+        assert partners == {
+            0: (1, 2), 1: (2, 3), 2: (3, 0), 3: (0, 1)
+        }
+
+    def test_rejects_nonpositive_factor(self):
+        part = partition_list(50, [0.5, 0.5])
+        with pytest.raises(ResilienceError, match="replication_factor"):
+            replica_partners(part, np.ones(2, bool), replication_factor=0)
+
+
+class TestReplicationDSL:
+    def test_interval_with_replication_suffix(self):
+        policy = parse_checkpoint_policy("interval:4:r2")
+        assert isinstance(policy, IntervalCheckpoint)
+        assert policy.k == 4
+        assert policy.replication_factor == 2
+
+    def test_cost_with_replication_suffix(self):
+        policy = parse_checkpoint_policy("cost:0.5:r3")
+        assert isinstance(policy, CostModelCheckpoint)
+        assert policy.replication_factor == 3
+
+    def test_default_replication_is_one(self):
+        assert parse_checkpoint_policy("interval:4").replication_factor == 1
+
+    def test_malformed_suffix_is_actionable(self):
+        with pytest.raises(ResilienceError, match="r2"):
+            parse_checkpoint_policy("interval:4:x2")
+        with pytest.raises(ResilienceError, match="r2"):
+            parse_checkpoint_policy("interval:4:r")
+        with pytest.raises(ResilienceError, match="too many"):
+            parse_checkpoint_policy("interval:4:r2:r3")
+
+    def test_zero_replication_rejected(self):
+        with pytest.raises(ResilienceError, match="replication_factor"):
+            parse_checkpoint_policy("interval:4:r0")
+
+    @pytest.mark.parametrize("spec", [
+        "interval:4", "interval:1:r2", "cost:50", "cost:0.125:r3",
+    ])
+    def test_format_round_trips(self, spec):
+        policy = parse_checkpoint_policy(spec)
+        assert format_checkpoint_policy(policy) == spec
+        assert parse_checkpoint_policy(format_checkpoint_policy(policy)) == policy
+
+    def test_program_config_replication_override(self):
+        cfg = ProgramConfig(checkpoint="interval:4", replication_factor=2)
+        assert cfg.checkpoint.replication_factor == 2
+        # The override wins over the DSL suffix.
+        cfg = ProgramConfig(checkpoint="interval:4:r3", replication_factor=2)
+        assert cfg.checkpoint.replication_factor == 2
+
+    def test_replication_without_checkpoint_rejected(self):
+        with pytest.raises(ConfigurationError, match="checkpoint policy"):
+            ProgramConfig(replication_factor=2)
+
+    def test_nonpositive_replication_rejected(self):
+        with pytest.raises(ConfigurationError, match="replication_factor"):
+            ProgramConfig(checkpoint="interval:4", replication_factor=0)
+
+
+class TestKSuccessorRecovery:
+    """End-to-end: k correlated failures per ring neighborhood."""
+
+    _edge = ((0.03, "fail", 1), (0.03, "fail", 2))
+
+    def test_ring_edge_double_failure_is_unrecoverable_at_k1(self):
+        # Pinned: the k=1 correlated-failure limit stays a diagnosed
+        # ResilienceError, not a crash and not silent corruption.
+        with pytest.raises(RankFailedError) as exc:
+            _fail_run(events=self._edge, checkpoint="interval:2")
+        errors = list(exc.value.failures.values())
+        assert errors and all(
+            isinstance(e, ResilienceError) for e in errors
+        )
+        assert any("replication factor" in str(e) for e in errors)
+
+    def test_ring_edge_double_failure_recovers_at_k2(self):
+        rep = _fail_run(events=self._edge, checkpoint="interval:2:r2")
+        rep0 = _baseline_run()
+        assert np.array_equal(rep.values, rep0.values)
+        assert rep.num_rollbacks >= 1
+        sizes = rep.partition_final.sizes()
+        assert sizes[1] == 0 and sizes[2] == 0
+
+    def test_triple_failure_needs_k3(self):
+        triple = ((0.03, "fail", 1), (0.03, "fail", 2), (0.03, "fail", 3))
+        with pytest.raises(RankFailedError):
+            _fail_run(p=5, events=triple, checkpoint="interval:2:r2")
+        rep = _fail_run(p=5, events=triple, checkpoint="interval:2:r3")
+        rep0 = _baseline_run(p=5)
+        assert np.array_equal(rep.values, rep0.values)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_k2_recovery_is_backend_identical(self, backend):
+        rep = _fail_run(
+            events=self._edge, checkpoint="interval:2:r2", backend=backend
+        )
+        rep0 = _fail_run(events=self._edge, checkpoint="interval:2:r2")
+        assert rep.makespan == rep0.makespan
+        assert np.array_equal(rep.values, rep0.values)
+
+    def test_replication_cost_scales_with_k(self):
+        part = partition_list(4000, [0.25, 0.25, 0.25, 0.25])
+        net = PointToPointNetwork()
+        costs = [
+            estimate_checkpoint_cost(
+                net, part, np.ones(4, bool), 8, replication_factor=k
+            )
+            for k in (1, 2, 3)
+        ]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_higher_k_costs_more_wall_time(self):
+        r1 = _fail_run(events=(), checkpoint="interval:2")
+        r3 = _fail_run(events=(), checkpoint="interval:2:r3")
+        assert r3.checkpoint_time > r1.checkpoint_time
+        assert r3.num_checkpoints == r1.num_checkpoints
 
 
 # ----------------------------------------------------------------------
