@@ -74,6 +74,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "--checkpoint, overrides its ':rF' suffix)")
     run.add_argument("--check-interval", type=int, default=10)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--world", default="sim", choices=("sim", "real"),
+                     help="execution world: 'sim' (threads + virtual "
+                          "clocks, the default) or 'real' (one OS process "
+                          "per rank over loopback sockets; reported times "
+                          "are wall seconds and --membership times are "
+                          "interpreted as wall seconds too)")
+    run.add_argument("--recv-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="host timeout for blocking receives (deadlock "
+                          "guard; default: REPRO_RECV_TIMEOUT env var, "
+                          "else 120)")
     run.add_argument("--verify", action="store_true",
                      help="check the result against the sequential oracle")
 
@@ -240,16 +251,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             membership=args.membership,
             checkpoint=args.checkpoint,
             replication_factor=args.replication,
+            world=args.world,
+            recv_timeout=args.recv_timeout,
         )
         report = run_program(graph, cluster, config, y0=y0)
         print(f"workload: {graph}")
         print(f"cluster:  {args.workstations} workstations "
               f"(speeds {cluster.speeds.tolist()})")
-        print(f"virtual time: {report.makespan:.4f} s")
-        eff = cluster_efficiency(
-            cluster, report.makespan, report.total_work_seconds
-        )
-        print(f"efficiency (Sec. 4): {eff:.3f}")
+        print(f"world: {args.world}")
+        if args.world == "real":
+            print(f"wall time: {report.makespan:.4f} s")
+        else:
+            print(f"virtual time: {report.makespan:.4f} s")
+        if args.world == "sim":
+            # Efficiency relates virtual makespan to modeled work; a wall
+            # makespan is not comparable to virtual work-seconds.
+            eff = cluster_efficiency(
+                cluster, report.makespan, report.total_work_seconds
+            )
+            print(f"efficiency (Sec. 4): {eff:.3f}")
         if balancing:
             print(f"strategy: {args.load_balance}, "
                   f"remaps: {report.num_remaps}, "

@@ -20,6 +20,7 @@ __all__ = [
     "RedistributionError",
     "LoadBalanceError",
     "ResilienceError",
+    "ResilienceWarning",
     "GraphError",
 ]
 
@@ -87,6 +88,12 @@ class ResilienceError(ReproError):
     """Checkpointing or failure recovery failed (or is impossible —
     e.g. a rank failed with no checkpoint policy configured, or both a
     data owner and its replica partner died within one epoch)."""
+
+
+class ResilienceWarning(UserWarning):
+    """A resilience configuration was accepted but degraded — e.g. a
+    replication factor larger than the active pool can honor, capped to
+    the widest ring available."""
 
 
 class GraphError(ReproError):

@@ -414,12 +414,15 @@ def scale_epoch_measurements(
     epochs: int,
     *,
     workload_seed: int = 1995,
+    world: str = "sim",
 ) -> dict[str, float]:
     """Host-time one inspector build plus *epochs* gather/scatter rounds.
 
     Returns both timings and structural schedule facts (ghost counts, send
     volume, message counts) — the structural part is deterministic and is
-    what the golden-artifact regression test pins.
+    what the golden-artifact regression test pins.  With ``world="real"``
+    the executor rounds run on one OS process per rank instead of
+    threads (``--set world=real`` on the CLI).
     """
     from repro.net.cluster import uniform_cluster
     from repro.net.spmd import run_spmd
@@ -448,7 +451,7 @@ def scale_epoch_measurements(
         return float(local.sum())
 
     t0 = time.perf_counter()
-    run_spmd(uniform_cluster(p), fn)
+    run_spmd(uniform_cluster(p), fn, world=world)
     executor_s = time.perf_counter() - t0
 
     stats = [r.schedule.stats() for r in insp]
@@ -475,6 +478,7 @@ def scale_epoch_measurements(
         "p": (4,),
         "epochs": (3,),
         "workload_seed": (1995,),
+        "world": ("sim",),
     },
     quick_grid={
         "tier": ("100k",),
@@ -483,6 +487,7 @@ def scale_epoch_measurements(
         "p": (4,),
         "epochs": (1,),
         "workload_seed": (1995,),
+        "world": ("sim",),
     },
     description="Host seconds per epoch on 100k-500k meshes, per backend.",
     tags=("scale", "perf"),
@@ -495,6 +500,7 @@ def _exp_scale_epoch(params: Mapping[str, Any], *, seed: int) -> dict[str, float
         int(params["p"]),
         int(params["epochs"]),
         workload_seed=int(params["workload_seed"]),
+        world=str(params.get("world", "sim")),
     )
 
 
@@ -553,6 +559,7 @@ def scale_adaptive_measurements(
     *,
     family: str = "grid",
     workload_seed: int = 1995,
+    world: str = "sim",
 ) -> dict[str, float]:
     """One dynamic-load run at a scale tier, through the adaptive session.
 
@@ -560,7 +567,11 @@ def scale_adaptive_measurements(
     backend-independent by the differential contract; the host-time
     metrics (``redistribute_host_s``, ``run_host_s``) are what separates
     the ``vectorized`` packed-slab exchange from the ``reference``
-    per-element loops.
+    per-element loops.  With ``world="real"`` the whole adaptive session
+    runs on OS processes and the makespan is wall seconds; the competing
+    load is then only visible to the *decision* layer (the simulated
+    traces do not slow the host down), so the interesting real-world
+    metrics are the overhead ones.
     """
     from repro.apps.workloads import dynamic_load_cluster
     from repro.runtime.adaptive import LoadBalanceConfig
@@ -581,6 +592,7 @@ def scale_adaptive_measurements(
         load_balance=LoadBalanceConfig(
             check_interval=check_interval, style=style
         ),
+        world=world,
     )
     t0 = time.perf_counter()
     report = run_program(graph, cluster, config, y0=y0)
@@ -611,6 +623,7 @@ def scale_adaptive_measurements(
         "iterations": (30,),
         "check_interval": (5,),
         "workload_seed": (1995,),
+        "world": ("sim",),
     },
     quick_grid={
         "tier": ("10k",),
@@ -621,6 +634,7 @@ def scale_adaptive_measurements(
         "iterations": (20,),
         "check_interval": (5,),
         "workload_seed": (1995,),
+        "world": ("sim",),
     },
     description="Phase D keeping up with mid-run load changes at scale; "
     "vectorized vs reference packed redistribution.",
@@ -637,6 +651,168 @@ def _exp_scale_adaptive(
         int(params["p"]),
         int(params["iterations"]),
         int(params["check_interval"]),
+        workload_seed=int(params["workload_seed"]),
+        world=str(params.get("world", "sim")),
+    )
+
+
+# --------------------------------------------------------------------------
+# Scale tier — sim-vs-real differential benchmark: the same probe program
+# runs in both execution worlds, giving the first *empirical* check on the
+# analytic cost models (estimate_remap_cost / estimate_checkpoint_cost)
+# the profitability tests rely on.
+
+
+def _real_probe_rank(ctx, graph, y0, caps_old, caps_new, epochs, replication):
+    """SPMD probe: epoch loop, one remap, one checkpoint — all between
+    barriers, so the measured spans are rank-agreed in both worlds.
+
+    Module-level (not a closure) so the real world can run it under any
+    multiprocessing start method.
+    """
+    from repro.partition.intervals import partition_list
+    from repro.runtime.adaptive.redistribution import redistribute_fields
+    from repro.runtime.executor import gather
+    from repro.runtime.inspector import run_inspector
+    from repro.runtime.resilience import take_checkpoint
+
+    n = graph.num_vertices
+    part_old = partition_list(n, caps_old)
+    part_new = partition_list(n, caps_new)
+    lo, hi = part_old.interval(ctx.rank)
+    local = y0[lo:hi].copy()
+    insp = run_inspector(graph, part_old, ctx.rank, strategy="sort2", ctx=ctx)
+
+    ctx.barrier()
+    t0 = ctx.clock
+    for _ in range(epochs):
+        ghost = gather(ctx, insp.schedule, local)
+        local = insp.kernel_plan.sweep(local, ghost)
+        ctx.barrier()
+    epoch_s = (ctx.clock - t0) / epochs
+
+    t0 = ctx.clock
+    (local,) = redistribute_fields(ctx, part_old, part_new, (local,))
+    ctx.barrier()
+    remap_s = ctx.clock - t0
+
+    active = np.ones(ctx.size, dtype=bool)
+    t0 = ctx.clock
+    take_checkpoint(
+        ctx, part_new, (local,), active,
+        next_iteration=0, epoch=0, replication_factor=replication,
+    )  # ends with a barrier
+    checkpoint_s = ctx.clock - t0
+
+    return {
+        "epoch_s": epoch_s,
+        "remap_s": remap_s,
+        "checkpoint_s": checkpoint_s,
+        "checksum": float(local.sum()),
+    }
+
+
+def scale_real_measurements(
+    tier: str,
+    p: int,
+    epochs: int,
+    replication: int,
+    *,
+    family: str = "grid",
+    workload_seed: int = 1995,
+) -> dict[str, float]:
+    """Run the probe in both worlds and report measured-vs-predicted ratios.
+
+    ``predicted_*`` are the sim world's virtual spans of the *identical*
+    probe; ``est_remap_s`` / ``est_checkpoint_s`` are the closed-form
+    analytic prices the Phase D profitability tests use.  ``ratio_*`` is
+    measured wall seconds over the virtual prediction — how conservative
+    the simulator's cost model is relative to loopback-socket reality on
+    this host.  ``values_match`` asserts the differential contract (every
+    rank's final checksum bit-identical across worlds).
+    """
+    from repro.net.cluster import uniform_cluster
+    from repro.net.spmd import run_spmd
+    from repro.partition.intervals import partition_list
+    from repro.runtime.adaptive.redistribution import estimate_remap_cost
+    from repro.runtime.resilience import estimate_checkpoint_cost
+
+    graph, y0 = _scale_workload(tier, family, workload_seed)
+    n = graph.num_vertices
+    cluster = uniform_cluster(p)
+    caps_old = np.ones(p)
+    caps_new = np.linspace(1.0, 2.0, p)  # shifts ~1/6 of the elements
+    args = (graph, y0, caps_old, caps_new, epochs, replication)
+
+    sim = run_spmd(cluster, _real_probe_rank, *args)
+    real = run_spmd(
+        cluster, _real_probe_rank, *args, world="real", recv_timeout=60.0
+    )
+
+    part_old = partition_list(n, caps_old)
+    part_new = partition_list(n, caps_new)
+    network = cluster.make_network()
+    est_remap = estimate_remap_cost(network, part_old, part_new, 8, num_fields=1)
+    est_checkpoint = estimate_checkpoint_cost(
+        network, part_new, np.ones(p, dtype=bool), 8,
+        num_fields=1, replication_factor=replication,
+    )
+
+    svals, rvals = sim.values[0], real.values[0]
+    values_match = all(
+        s["checksum"] == r["checksum"]
+        for s, r in zip(sim.values, real.values)
+    )
+
+    def ratio(measured: float, predicted: float) -> float:
+        return measured / predicted if predicted > 0 else 0.0
+
+    return {
+        "measured_epoch_s": rvals["epoch_s"],
+        "predicted_epoch_s": svals["epoch_s"],
+        "ratio_epoch": ratio(rvals["epoch_s"], svals["epoch_s"]),
+        "measured_remap_s": rvals["remap_s"],
+        "predicted_remap_s": svals["remap_s"],
+        "est_remap_s": est_remap,
+        "ratio_remap": ratio(rvals["remap_s"], svals["remap_s"]),
+        "measured_checkpoint_s": rvals["checkpoint_s"],
+        "predicted_checkpoint_s": svals["checkpoint_s"],
+        "est_checkpoint_s": est_checkpoint,
+        "ratio_checkpoint": ratio(rvals["checkpoint_s"], svals["checkpoint_s"]),
+        "values_match": 1.0 if values_match else 0.0,
+        "n_vertices": float(n),
+    }
+
+
+@experiment(
+    "scale-real",
+    title="Real processes vs simulator: measured/predicted cost ratios",
+    paper_anchor="ROADMAP (real-process backend)",
+    grid={
+        "tier": ("10k", "100k"),
+        "p": (4,),
+        "epochs": (5,),
+        "replication": (1, 2),
+        "workload_seed": (1995,),
+    },
+    quick_grid={
+        "tier": ("10k",),
+        "p": (4,),
+        "epochs": (3,),
+        "replication": (1,),
+        "workload_seed": (1995,),
+    },
+    description="Epoch/remap/checkpoint costs measured on real OS "
+    "processes vs the virtual-clock prediction and the analytic "
+    "estimators; values_match asserts the differential contract.",
+    tags=("scale", "perf", "real"),
+)
+def _exp_scale_real(params: Mapping[str, Any], *, seed: int) -> dict[str, float]:
+    return scale_real_measurements(
+        str(params["tier"]),
+        int(params["p"]),
+        int(params["epochs"]),
+        int(params["replication"]),
         workload_seed=int(params["workload_seed"]),
     )
 

@@ -13,7 +13,7 @@ from repro.net.cluster import (
     sun4_cluster,
     uniform_cluster,
 )
-from repro.net.comm import Communicator, RankContext
+from repro.net.comm import Communicator, RankContext, resolve_recv_timeout
 from repro.net.loadmodel import (
     CompositeLoad,
     ConstantLoad,
@@ -43,7 +43,7 @@ from repro.net.report import (
     analyze_trace,
     render_timeline,
 )
-from repro.net.spmd import SPMDResult, SPMDRunner, run_spmd
+from repro.net.spmd import WORLDS, SPMDResult, SPMDRunner, run_spmd
 from repro.net.trace import TraceEvent, TraceLog
 
 __all__ = [
@@ -79,10 +79,12 @@ __all__ = [
     "Tags",
     "TraceEvent",
     "TraceLog",
+    "WORLDS",
     "adaptive_cluster",
     "advance_clock",
     "heterogeneous_cluster",
     "payload_nbytes",
+    "resolve_recv_timeout",
     "run_spmd",
     "sun4_cluster",
     "uniform_cluster",

@@ -17,6 +17,7 @@ order, keeping clocks bit-reproducible on deterministic networks.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Any, Callable, Iterable, Sequence
 
@@ -36,11 +37,44 @@ from repro.net.message import (
 )
 from repro.net.trace import TraceEvent, TraceLog
 
-__all__ = ["Communicator", "RankContext"]
+__all__ = ["Communicator", "RankContext", "resolve_recv_timeout"]
 
 #: Default *host* timeout for blocking receives, to surface deadlocks in
-#: tests instead of hanging forever.
+#: tests instead of hanging forever.  Override per run with the
+#: ``recv_timeout`` parameter (``repro run --recv-timeout``) or globally
+#: with the ``REPRO_RECV_TIMEOUT`` environment variable.
 DEFAULT_RECV_TIMEOUT = 120.0
+
+#: Environment variable overriding :data:`DEFAULT_RECV_TIMEOUT`.
+RECV_TIMEOUT_ENV = "REPRO_RECV_TIMEOUT"
+
+
+def resolve_recv_timeout(explicit: float | None = None) -> float:
+    """Resolve the blocking-receive host timeout in seconds.
+
+    Precedence: *explicit* argument > ``REPRO_RECV_TIMEOUT`` environment
+    variable > :data:`DEFAULT_RECV_TIMEOUT`.  The result must be > 0.
+    """
+    if explicit is not None:
+        if explicit <= 0:
+            raise ConfigurationError(
+                f"recv_timeout must be > 0 seconds, got {explicit}"
+            )
+        return float(explicit)
+    env = os.environ.get(RECV_TIMEOUT_ENV)
+    if env is not None and env.strip():
+        try:
+            value = float(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{RECV_TIMEOUT_ENV}={env!r} is not a number"
+            ) from None
+        if value <= 0:
+            raise ConfigurationError(
+                f"{RECV_TIMEOUT_ENV} must be > 0 seconds, got {value}"
+            )
+        return value
+    return DEFAULT_RECV_TIMEOUT
 
 
 class Communicator:
@@ -51,7 +85,7 @@ class Communicator:
         cluster: ClusterSpec,
         *,
         trace: bool = False,
-        recv_timeout: float = DEFAULT_RECV_TIMEOUT,
+        recv_timeout: float | None = None,
         recv_overhead: float = 2.0e-4,
         barrier_overhead: float = 1.0e-4,
     ):
@@ -61,7 +95,7 @@ class Communicator:
         self.mailboxes = [Mailbox(r) for r in range(self.size)]
         self.clocks = [0.0] * self.size
         self.trace = TraceLog(enabled=trace)
-        self.recv_timeout = recv_timeout
+        self.recv_timeout = resolve_recv_timeout(recv_timeout)
         self.recv_overhead = recv_overhead
         self.barrier_overhead = barrier_overhead
         self._seq_lock = threading.Lock()

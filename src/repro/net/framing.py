@@ -1,0 +1,171 @@
+"""Length-prefixed socket framing for the real-process execution world.
+
+The sim world hands payload *objects* between threads; the real world
+(:mod:`repro.runtime.procs`) must put them on a byte stream.  This module
+defines that stream format.  :class:`~repro.net.message.PackedArrays` is
+already the runtime's serialization boundary (the executor and checkpoint
+layers coalesce arrays into one contiguous buffer per peer), so it maps
+directly onto a wire frame: the segment index travels in the frame header
+area and the buffer bytes travel verbatim, with no per-element encoding.
+
+Frame layout (all little-endian)::
+
+    magic    u32   sanity check against stream desync
+    source   i32   sending rank
+    tag      i32   message tag (>= 0; control frames use kind instead)
+    kind     i32   payload encoding, one of KIND_*
+    meta_len u32   length of the pickled metadata section
+    body_len u64   length of the raw body section
+    meta     meta_len bytes
+    body     body_len bytes
+
+Payload encodings:
+
+``KIND_PACKED``
+    body = ``PackedArrays.buffer`` bytes, meta = pickled segment index.
+``KIND_ARRAY``
+    body = raw ndarray bytes, meta = pickled ``(dtype_str, shape)``.
+``KIND_PICKLE``
+    body = pickled object, meta empty (fallback for scalars, dicts, ...).
+``KIND_SHUTDOWN``
+    control frame: the peer is leaving.  meta = pickled bool, True for a
+    clean exit (receiver just stops reading this peer) and False for an
+    error exit (receiver closes its mailbox so blocked receives wake with
+    :class:`~repro.errors.MailboxClosedError`, mirroring the sim world's
+    failure cascade).
+
+Array bodies are received into fresh writable memory (``recv_into`` on a
+``bytearray``), so decoded arrays behave like the sim world's payloads.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.net.message import PackedArrays
+
+__all__ = [
+    "KIND_PICKLE",
+    "KIND_ARRAY",
+    "KIND_PACKED",
+    "KIND_SHUTDOWN",
+    "Frame",
+    "encode_payload",
+    "decode_payload",
+    "send_frame",
+    "recv_frame",
+]
+
+_MAGIC = 0x5250524F  # "RPRO"
+_HEADER = struct.Struct("<IiiiIQ")
+
+KIND_PICKLE = 0
+KIND_ARRAY = 1
+KIND_PACKED = 2
+KIND_SHUTDOWN = 3
+
+
+class Frame:
+    """One decoded wire frame."""
+
+    __slots__ = ("source", "tag", "kind", "meta", "body")
+
+    def __init__(self, source: int, tag: int, kind: int, meta: bytes, body: bytes):
+        self.source = source
+        self.tag = tag
+        self.kind = kind
+        self.meta = meta
+        self.body = body
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of this frame (header + sections)."""
+        return _HEADER.size + len(self.meta) + len(self.body)
+
+
+def encode_payload(payload: Any) -> tuple[int, bytes, Any]:
+    """Return ``(kind, meta, body)`` for *payload*.
+
+    ``body`` is a bytes-like object (possibly a memoryview over the
+    payload's own buffer — callers must send it before mutating the
+    payload, which the runtime's buffered-send semantics guarantee).
+    """
+    if isinstance(payload, PackedArrays):
+        buf = np.ascontiguousarray(payload.buffer)
+        return KIND_PACKED, pickle.dumps(payload.index), memoryview(buf).cast("B")
+    if isinstance(payload, np.ndarray):
+        a = np.ascontiguousarray(payload)
+        meta = pickle.dumps((a.dtype.str, payload.shape))
+        return KIND_ARRAY, meta, memoryview(a.reshape(-1).view(np.uint8)).cast("B")
+    return KIND_PICKLE, b"", pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_payload(kind: int, meta: bytes, body: bytes | bytearray) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    if kind == KIND_PACKED:
+        index = pickle.loads(meta)
+        buffer = np.frombuffer(body, dtype=np.uint8)
+        return PackedArrays(buffer=buffer, index=index)
+    if kind == KIND_ARRAY:
+        dtype_str, shape = pickle.loads(meta)
+        return np.frombuffer(body, dtype=np.dtype(dtype_str)).reshape(shape)
+    if kind == KIND_PICKLE:
+        return pickle.loads(bytes(body))
+    raise CommunicationError(f"cannot decode payload frame of kind {kind}")
+
+
+def send_frame(
+    sock: socket.socket,
+    source: int,
+    tag: int,
+    kind: int,
+    meta: bytes,
+    body: Any,
+) -> int:
+    """Write one frame to *sock*; returns the wire size in bytes.
+
+    Each socket direction has exactly one writer (the owning rank's main
+    thread), so no locking is needed here.
+    """
+    header = _HEADER.pack(_MAGIC, source, tag, kind, len(meta), len(body))
+    sock.sendall(header + meta)
+    if len(body):
+        sock.sendall(body)
+    return _HEADER.size + len(meta) + len(body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytearray:
+    """Read exactly *n* bytes into fresh writable memory; raises EOFError."""
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        k = sock.recv_into(view[got:], n - got)
+        if k == 0:
+            raise EOFError(f"socket closed after {got}/{n} bytes")
+        got += k
+    return buf
+
+
+def recv_frame(sock: socket.socket) -> Frame | None:
+    """Read one frame from *sock*; ``None`` on clean EOF at a frame edge."""
+    try:
+        header = _recv_exact(sock, _HEADER.size)
+    except EOFError as exc:
+        if "0/" in str(exc):
+            return None  # EOF between frames: the peer closed its socket
+        raise
+    magic, source, tag, kind, meta_len, body_len = _HEADER.unpack(bytes(header))
+    if magic != _MAGIC:
+        raise CommunicationError(
+            f"bad frame magic 0x{magic:08x}: socket stream desynchronized"
+        )
+    meta = bytes(_recv_exact(sock, meta_len)) if meta_len else b""
+    body = _recv_exact(sock, body_len) if body_len else bytearray()
+    return Frame(source, tag, kind, meta, body)

@@ -118,9 +118,15 @@ class Mailbox:
                 if msg is not None:
                     return msg
                 if not self._cond.wait(timeout=timeout):
+                    src = "ANY" if source == ANY_SOURCE else str(source)
+                    tg = "ANY" if tag == ANY_TAG else str(tag)
+                    buffered = len(self._arrival_order) - len(self._dead)
                     raise CommunicationError(
-                        f"rank {self.rank}: receive(source={source}, tag={tag}) "
-                        f"timed out after {timeout}s"
+                        f"rank {self.rank}: blocked receive timed out after "
+                        f"{timeout}s waiting for source={src}, tag={tg} "
+                        f"({buffered} non-matching message(s) buffered); "
+                        f"likely deadlock or a slow peer — tune with "
+                        f"--recv-timeout / REPRO_RECV_TIMEOUT"
                     )
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:

@@ -1,8 +1,19 @@
-"""The SPMD runner: execute one function on every rank of a simulated cluster.
+"""The SPMD runner: execute one function on every rank of a cluster.
 
 This is the substitute for ``mpiexec -n p python app.py`` over P4: the same
-program runs on all ranks (the paper's Sec. 2 SPMD model), each as an OS
-thread with its own :class:`~repro.net.comm.RankContext`.
+program runs on all ranks (the paper's Sec. 2 SPMD model).  Two execution
+worlds share this entry point:
+
+``world="sim"`` (default)
+    Each rank is an OS thread with its own
+    :class:`~repro.net.comm.RankContext` and a **virtual** clock; results
+    do not depend on the host machine.
+
+``world="real"``
+    Each rank is an OS process (:mod:`repro.runtime.procs`) connected to
+    its peers by loopback sockets; clocks are barrier-synchronized wall
+    seconds.  Trace capture is a virtual-clock diagnostic and is not
+    available here.
 
 Failure semantics: if any rank raises, all mailboxes are closed so blocked
 peers wake with :class:`~repro.errors.MailboxClosedError`, and the runner
@@ -18,51 +29,100 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.errors import MailboxClosedError, RankFailedError
+from repro.errors import ConfigurationError, MailboxClosedError, RankFailedError
 from repro.net.cluster import ClusterSpec
-from repro.net.comm import Communicator, RankContext, DEFAULT_RECV_TIMEOUT
+from repro.net.comm import Communicator, RankContext  # noqa: F401 - re-export
 from repro.net.trace import TraceLog
 
-__all__ = ["SPMDResult", "SPMDRunner", "run_spmd"]
+__all__ = ["WORLDS", "SPMDResult", "SPMDRunner", "run_spmd"]
+
+#: Supported execution worlds.
+WORLDS = ("sim", "real")
+
+
+def _check_world(world: str) -> str:
+    if world not in WORLDS:
+        raise ConfigurationError(
+            f"unknown execution world {world!r}; pick from {WORLDS}"
+        )
+    return world
 
 
 @dataclass
 class SPMDResult:
-    """Outcome of one SPMD run."""
+    """Outcome of one SPMD run.
+
+    ``clocks`` are virtual seconds in the sim world and barrier-aligned
+    wall seconds in the real world.
+    """
 
     values: list[Any]
     clocks: list[float]
     trace: TraceLog
     cluster: ClusterSpec
 
+    def _check_clocks(self, what: str) -> None:
+        if not self.clocks:
+            raise ConfigurationError(
+                f"{what} is undefined for a run with no ranks"
+            )
+        bad = [c for c in self.clocks if not np.isfinite(c) or c < 0]
+        if bad:
+            raise ConfigurationError(
+                f"{what} is undefined: degenerate final clocks {bad} "
+                f"(clocks must be finite and >= 0)"
+            )
+
     @property
     def makespan(self) -> float:
-        """Virtual parallel execution time: the max final rank clock."""
+        """Parallel execution time: the max final rank clock."""
+        self._check_clocks("makespan")
         return max(self.clocks)
 
     @property
     def imbalance(self) -> float:
-        """max/mean of final clocks (1.0 = perfectly balanced finish)."""
+        """max/mean of final clocks (1.0 = perfectly balanced finish).
+
+        All-zero clocks (no time ever charged) are defined as perfectly
+        balanced; empty or negative/non-finite clocks raise
+        :class:`~repro.errors.ConfigurationError` instead of silently
+        reporting balance.
+        """
+        self._check_clocks("imbalance")
         mean = float(np.mean(self.clocks))
-        return self.makespan / mean if mean > 0 else 1.0
+        if mean == 0.0:
+            return 1.0  # nobody accumulated any time: vacuously balanced
+        return self.makespan / mean
 
     def value(self, rank: int = 0) -> Any:
         return self.values[rank]
 
 
 class SPMDRunner:
-    """Runs rank functions over a cluster specification."""
+    """Runs rank functions over a cluster specification.
+
+    ``recv_timeout=None`` resolves through ``REPRO_RECV_TIMEOUT`` and then
+    :data:`~repro.net.comm.DEFAULT_RECV_TIMEOUT`.
+    """
 
     def __init__(
         self,
         cluster: ClusterSpec,
         *,
         trace: bool = False,
-        recv_timeout: float = DEFAULT_RECV_TIMEOUT,
+        recv_timeout: float | None = None,
+        world: str = "sim",
     ):
         self.cluster = cluster
         self.trace = trace
         self.recv_timeout = recv_timeout
+        self.world = _check_world(world)
+        if world == "real" and trace:
+            raise ConfigurationError(
+                "trace capture records virtual-clock events and is only "
+                "available in the sim world; drop trace=True or use "
+                'world="sim"'
+            )
 
     def run(
         self,
@@ -74,8 +134,16 @@ class SPMDRunner:
 
         *args*/*kwargs* are shared across ranks (rank-specific data should
         be derived from ``ctx.rank``, as in any SPMD program).  Returns the
-        per-rank return values and final virtual clocks.
+        per-rank return values and final clocks.
         """
+        if self.world == "real":
+            from repro.runtime.procs import run_real_spmd
+
+            return run_real_spmd(
+                self.cluster, fn, *args,
+                recv_timeout=self.recv_timeout, **kwargs,
+            )
+
         comm = Communicator(
             self.cluster, trace=self.trace, recv_timeout=self.recv_timeout
         )
@@ -124,10 +192,11 @@ def run_spmd(
     fn: Callable[..., Any],
     *args: Any,
     trace: bool = False,
-    recv_timeout: float = DEFAULT_RECV_TIMEOUT,
+    recv_timeout: float | None = None,
+    world: str = "sim",
     **kwargs: Any,
 ) -> SPMDResult:
     """One-shot convenience wrapper around :class:`SPMDRunner`."""
-    return SPMDRunner(cluster, trace=trace, recv_timeout=recv_timeout).run(
-        fn, *args, **kwargs
-    )
+    return SPMDRunner(
+        cluster, trace=trace, recv_timeout=recv_timeout, world=world
+    ).run(fn, *args, **kwargs)

@@ -1,0 +1,14 @@
+"""Real-process execution world: the RankContext API on actual OS cores.
+
+The sim world (:mod:`repro.net.comm`) runs ranks as threads with virtual
+clocks; this package runs the *same rank functions* as real
+``multiprocessing`` processes connected by loopback TCP sockets, with the
+virtual clock replaced by a barrier-synchronized wall clock.  Select it
+with ``world="real"`` on :func:`repro.net.spmd.run_spmd`,
+:class:`repro.runtime.program.ProgramConfig`, or ``repro run --world real``.
+"""
+
+from repro.runtime.procs.context import RealCommunicator, RealRankContext
+from repro.runtime.procs.runner import run_real_spmd
+
+__all__ = ["RealCommunicator", "RealRankContext", "run_real_spmd"]

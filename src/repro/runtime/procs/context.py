@@ -1,0 +1,446 @@
+"""Real-process rank contexts: the :class:`RankContext` API over sockets.
+
+One :class:`RealCommunicator` lives in each worker OS process.  It owns the
+peer sockets, one receiver thread per peer (depositing decoded frames into
+the rank's :class:`~repro.net.mailbox.Mailbox`, which provides the same
+(source, tag) matching and FIFO guarantees as the sim world), and the
+rank's **latched wall clock**.
+
+Latched wall clock
+------------------
+The adaptive runtime makes *replicated* collective decisions: every rank
+evaluates the same predicate (checkpoint due? membership change? remap
+profitable?) on inputs that must be identical, or the SPMD protocol
+deadlocks.  Several of those inputs are reads of ``ctx.clock`` taken right
+after a barrier.  A naive ``time.monotonic()`` clock would return a
+slightly different value on every rank and desynchronize the decisions.
+
+Instead, ``ctx.clock`` is a *stored* value that advances in two ways:
+
+* every communication/compute operation latches it forward to the rank's
+  current wall time (``max`` keeps it monotonic), so spans measured as
+  ``ctx.clock - t0`` reflect real elapsed time; and
+* :meth:`RealRankContext.barrier` runs an explicit max-agreement round
+  (gather entry clocks to rank 0, broadcast the max ``M``): every rank
+  **sets** its clock to the same ``M`` and re-bases its wall offset.
+
+Reads between operations therefore return a stable, rank-agreed value at
+every barrier boundary — exactly the property the sim world's virtual
+clocks provide — while still measuring real wall time between barriers.
+``compute``/``charge`` only latch (the host already did the work for
+real); modeled virtual costs are never added to the real clock.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+import time
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CommunicationError, MailboxClosedError
+from repro.net.cluster import ClusterSpec
+from repro.net.framing import (
+    KIND_SHUTDOWN,
+    decode_payload,
+    encode_payload,
+    recv_frame,
+    send_frame,
+)
+from repro.net.mailbox import Mailbox
+from repro.net.message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Message,
+    Tags,
+    pack_arrays,
+    payload_nbytes,
+    unpack_arrays,
+)
+from repro.net.trace import TraceLog
+
+__all__ = ["RealCommunicator", "RealRankContext"]
+
+
+class RealCommunicator:
+    """Per-process shared state for one real-world SPMD run.
+
+    Exposes the attributes runtime code reaches for on the sim
+    :class:`~repro.net.comm.Communicator` — notably ``network`` (the
+    analytic pricing model used by the load-balancing strategy's
+    profitability test) and ``recv_timeout``.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        rank: int,
+        peers: dict[int, socket.socket],
+        *,
+        recv_timeout: float,
+    ):
+        self.cluster = cluster
+        self.size = cluster.size
+        self.rank = rank
+        #: Analytic network model instance: real sends do not consult it,
+        #: but replicated cost estimates (remap/checkpoint pricing inside
+        #: the adaptive strategy) do, exactly as in the sim world.
+        self.network = cluster.make_network()
+        self.recv_timeout = recv_timeout
+        self.trace = TraceLog(enabled=False)
+        self.mailbox = Mailbox(rank)
+        self._peers = dict(peers)
+        self._t0 = time.perf_counter()
+        self._closing = False
+        self._clean_peers: set[int] = set()
+        self._readers = [
+            threading.Thread(
+                target=self._reader,
+                args=(peer, sock),
+                name=f"repro-real-{rank}-recv-{peer}",
+                daemon=True,
+            )
+            for peer, sock in self._peers.items()
+        ]
+        for t in self._readers:
+            t.start()
+
+    # -------------------------------------------------------------- #
+    # wire I/O
+    # -------------------------------------------------------------- #
+
+    def wall(self) -> float:
+        """Raw wall seconds since this communicator was created."""
+        return time.perf_counter() - self._t0
+
+    def send_payload(self, dest: int, tag: int, payload: Any) -> None:
+        """Encode and write one payload frame to *dest* (never self)."""
+        sock = self._peers.get(dest)
+        if sock is None:
+            raise CommunicationError(
+                f"rank {self.rank}: no socket to rank {dest}"
+            )
+        kind, meta, body = encode_payload(payload)
+        try:
+            send_frame(sock, self.rank, tag, kind, meta, body)
+        except OSError as exc:
+            raise CommunicationError(
+                f"rank {self.rank}: send to rank {dest} (tag {tag}) failed: "
+                f"{exc}"
+            ) from exc
+
+    def _reader(self, peer: int, sock: socket.socket) -> None:
+        """Receiver loop: one per peer socket, deposits into the mailbox."""
+        try:
+            while True:
+                frame = recv_frame(sock)
+                if frame is None:
+                    # EOF: clean only if the peer announced it first.
+                    if peer not in self._clean_peers and not self._closing:
+                        self.mailbox.close()
+                    return
+                if frame.kind == KIND_SHUTDOWN:
+                    clean = bool(pickle.loads(frame.meta))
+                    if clean:
+                        self._clean_peers.add(peer)
+                        continue  # keep draining until EOF
+                    self.mailbox.close()  # error cascade, like sim shutdown
+                    return
+                now = self.wall()
+                msg = Message(
+                    frame.source,
+                    self.rank,
+                    frame.tag,
+                    decode_payload(frame.kind, frame.meta, frame.body),
+                    frame.nbytes,
+                    send_time=now,
+                    arrival_time=now,
+                )
+                self.mailbox.deposit(msg)
+        except MailboxClosedError:
+            return  # our own rank already failed; drop the stream
+        except Exception:
+            if not self._closing:
+                self.mailbox.close()
+
+    def close(self, *, clean: bool) -> None:
+        """Announce departure to all peers and tear the sockets down.
+
+        A clean close lets peers keep running (their receives of anything
+        still in flight succeed; a receive that *waits* on us afterwards
+        hits their ``recv_timeout``).  An error close makes every peer's
+        mailbox close, waking blocked receivers with
+        :class:`~repro.errors.MailboxClosedError` — the same failure
+        cascade the sim world's ``Communicator.shutdown`` produces.
+        """
+        self._closing = True
+        meta = pickle.dumps(bool(clean))
+        for peer, sock in self._peers.items():
+            try:
+                send_frame(sock, self.rank, 0, KIND_SHUTDOWN, meta, b"")
+                sock.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+        deadline = time.monotonic() + (5.0 if clean else 2.0)
+        for t in self._readers:
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        for sock in self._peers.values():
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class RealRankContext:
+    """The per-rank API, backed by real sockets and a latched wall clock.
+
+    Implements the same surface as :class:`~repro.net.comm.RankContext`;
+    rank functions, collectives, the executor, and the adaptive session
+    run unmodified on either.
+    """
+
+    def __init__(self, comm: RealCommunicator):
+        self._comm = comm
+        self.rank = comm.rank
+        self.size = comm.size
+        self.proc = comm.cluster.processors[comm.rank]
+        self._clock = 0.0
+        self._offset = 0.0
+
+    # -------------------------------------------------------------- #
+    # latched wall clock
+    # -------------------------------------------------------------- #
+
+    def _now(self) -> float:
+        return self._comm.wall() + self._offset
+
+    def _latch(self) -> None:
+        now = self._now()
+        if now > self._clock:
+            self._clock = now
+
+    def _adopt(self, agreed: float) -> None:
+        """Set the clock to a barrier-agreed value and re-base the offset."""
+        self._clock = max(self._clock, float(agreed))
+        self._offset = self._clock - self._comm.wall()
+
+    @property
+    def clock(self) -> float:
+        """Latched wall time in seconds (see module docstring)."""
+        return self._clock
+
+    def charge(self, seconds: float) -> None:
+        """Validate like the sim world, then latch (wall time is not
+        advanced by modeled costs — the host clock is authoritative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self._latch()
+
+    def compute(self, work_seconds: float, *, label: str = "") -> None:
+        """Latch the clock forward to now: the computation already ran on
+        the host, so its real duration is captured by the latch."""
+        if work_seconds < 0:
+            raise ValueError(f"work_seconds must be >= 0, got {work_seconds}")
+        self._latch()
+
+    def compute_items(
+        self, n_items: int, sec_per_item: float, *, label: str = ""
+    ) -> None:
+        if n_items < 0 or sec_per_item < 0:
+            raise ValueError("n_items and sec_per_item must be >= 0")
+        self._latch()
+
+    # -------------------------------------------------------------- #
+    # point-to-point
+    # -------------------------------------------------------------- #
+
+    def send(self, dest: int, payload: Any, tag: int = Tags.USER_BASE) -> None:
+        if not (0 <= dest < self.size):
+            raise CommunicationError(f"send to invalid rank {dest}")
+        if dest == self.rank:
+            self._latch()
+            msg = Message(
+                self.rank, dest, tag, payload, payload_nbytes(payload),
+                send_time=self._clock, arrival_time=self._clock,
+            )
+            self._comm.mailbox.deposit(msg)
+            return
+        self._comm.send_payload(dest, tag, payload)
+        self._latch()
+
+    def multicast(
+        self, dests: Sequence[int], payload: Any, tag: int = Tags.USER_BASE
+    ) -> None:
+        """Sequential unicasts: loopback TCP has no hardware multicast."""
+        for d in dests:
+            if d != self.rank:
+                self.send(d, payload, tag)
+
+    def send_packed(
+        self, dest: int, arrays: Sequence[np.ndarray], tag: int = Tags.USER_BASE
+    ) -> None:
+        self.send(dest, pack_arrays(list(arrays)), tag)
+
+    def recv_packed(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> list[np.ndarray]:
+        return unpack_arrays(self.recv(source, tag))
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        return_message: bool = False,
+    ) -> Any:
+        msg = self._comm.mailbox.receive(
+            source, tag, timeout=self._comm.recv_timeout
+        )
+        self._latch()
+        return msg if return_message else msg.payload
+
+    def recv_expected(
+        self, sources: Iterable[int], tag: int = ANY_TAG
+    ) -> dict[int, Message]:
+        comm = self._comm
+        pending = set(sources)
+        if self.rank in pending:
+            raise CommunicationError(
+                "recv_expected cannot expect a message from self"
+            )
+        received: dict[int, Message] = {}
+        while pending:
+            msg = comm.mailbox.receive(
+                ANY_SOURCE, tag, timeout=comm.recv_timeout
+            )
+            if msg.source not in pending:
+                raise CommunicationError(
+                    f"rank {self.rank}: unexpected message from rank "
+                    f"{msg.source} (tag {msg.tag}) while expecting "
+                    f"{sorted(pending)}"
+                )
+            received[msg.source] = msg
+            pending.discard(msg.source)
+        self._latch()
+        return received
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        return self._comm.mailbox.probe(source, tag)
+
+    def sendrecv(
+        self,
+        dest: int,
+        payload: Any,
+        source: int,
+        *,
+        send_tag: int = Tags.USER_BASE,
+        recv_tag: int | None = None,
+    ) -> Any:
+        self.send(dest, payload, send_tag)
+        return self.recv(source, recv_tag if recv_tag is not None else send_tag)
+
+    # -------------------------------------------------------------- #
+    # collectives
+    # -------------------------------------------------------------- #
+
+    def barrier(self) -> None:
+        """Max-agreement barrier: all ranks leave with **identical** clocks.
+
+        Rank 0 collects every rank's entry clock (tag ``Tags.BARRIER``,
+        received per-source so back-to-back barriers cannot interleave),
+        takes the max — including its own wall time at the moment the last
+        entry arrived, which is the true all-arrived instant — and
+        broadcasts it.  The internal sends/receives deliberately bypass
+        the latch so the adopted value is ``>=`` every rank's clock,
+        keeping the clock monotonic *and* rank-agreed.
+        """
+        self._latch()
+        if self.size == 1:
+            return
+        comm = self._comm
+        if self.rank == 0:
+            entries = [self._clock]
+            for r in range(1, self.size):
+                msg = comm.mailbox.receive(
+                    r, Tags.BARRIER, timeout=comm.recv_timeout
+                )
+                entries.append(float(msg.payload))
+            agreed = max(max(entries), self._now())
+            for r in range(1, self.size):
+                comm.send_payload(r, Tags.BARRIER, agreed)
+        else:
+            comm.send_payload(0, Tags.BARRIER, self._clock)
+            msg = comm.mailbox.receive(
+                0, Tags.BARRIER, timeout=comm.recv_timeout
+            )
+            agreed = float(msg.payload)
+        self._adopt(agreed)
+
+    def bcast(self, payload: Any, root: int = 0, *, tag: int = Tags.BCAST) -> Any:
+        from repro.net.collectives import bcast
+
+        return bcast(self, payload, root=root, tag=tag)
+
+    def gather(
+        self, payload: Any, root: int = 0, *, tag: int = Tags.GATHER
+    ) -> list[Any] | None:
+        from repro.net.collectives import gather
+
+        return gather(self, payload, root=root, tag=tag)
+
+    def allgather(self, payload: Any) -> list[Any]:
+        from repro.net.collectives import allgather
+
+        return allgather(self, payload)
+
+    def scatter(self, parts: Sequence[Any] | None, root: int = 0) -> Any:
+        from repro.net.collectives import scatter
+
+        return scatter(self, parts, root=root)
+
+    def reduce(
+        self, value: Any, op: Callable[[Any, Any], Any], root: int = 0
+    ) -> Any | None:
+        from repro.net.collectives import reduce as _reduce
+
+        return _reduce(self, value, op, root=root)
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        from repro.net.collectives import allreduce
+
+        return allreduce(self, value, op)
+
+    def alltoallv(
+        self,
+        outgoing: dict[int, Any],
+        recv_from: Iterable[int],
+        *,
+        tag: int = Tags.ALLTOALL,
+    ) -> dict[int, Any]:
+        from repro.net.collectives import alltoallv
+
+        return alltoallv(self, outgoing, recv_from, tag=tag)
+
+    # -------------------------------------------------------------- #
+    # misc
+    # -------------------------------------------------------------- #
+
+    @property
+    def trace(self) -> TraceLog:
+        return self._comm.trace
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        return self._comm.cluster
+
+    def capability_snapshot(self) -> np.ndarray:
+        return self._comm.cluster.capability_ratios(self.clock)
+
+    def __repr__(self) -> str:
+        return (
+            f"RealRankContext(rank={self.rank}, size={self.size}, "
+            f"clock={self.clock:.6f})"
+        )

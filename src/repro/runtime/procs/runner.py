@@ -1,0 +1,266 @@
+"""Spawn real OS processes and run a rank function on each.
+
+This is the real-world counterpart of :class:`repro.net.spmd.SPMDRunner`:
+``run_real_spmd(cluster, fn, *args)`` executes ``fn(ctx, *args)`` on one
+OS process per rank, connected pairwise by loopback TCP sockets, and
+returns the same :class:`~repro.net.spmd.SPMDResult` shape (per-rank
+return values and final clocks — wall seconds here, virtual in the sim).
+
+Bootstrap protocol (parent <-> workers over ``multiprocessing.Pipe``):
+
+1. each worker binds a listener on ``127.0.0.1:0`` and reports its port;
+2. the parent broadcasts the full port list;
+3. worker ``r`` dials every rank ``s < r`` (announcing its own rank in a
+   4-byte hello) and accepts connections from every rank ``s > r`` —
+   deadlock-free because listeners are bound before any port is reported,
+   so a dial can complete before the acceptor reaches ``accept()``;
+4. every worker runs one initial barrier, aligning the latched clocks'
+   epoch across ranks, then calls the rank function.
+
+Failure semantics mirror the sim runner: a worker that raises sends an
+error-shutdown frame to its peers (their blocked receives wake with
+:class:`~repro.errors.MailboxClosedError`), secondary mailbox-closed
+errors are filtered, and the parent raises
+:class:`~repro.errors.RankFailedError` with the primary exceptions.  A
+worker that dies without reporting (killed, segfault) is surfaced as a
+:class:`~repro.errors.CommunicationError` naming the rank and exit code.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import struct
+import time
+import traceback
+from typing import Any, Callable
+
+from repro.errors import (
+    CommunicationError,
+    ConfigurationError,
+    MailboxClosedError,
+    RankFailedError,
+)
+from repro.net.cluster import ClusterSpec
+from repro.net.comm import resolve_recv_timeout
+from repro.net.trace import TraceLog
+from repro.runtime.procs.context import RealCommunicator, RealRankContext
+
+__all__ = ["run_real_spmd"]
+
+#: How long the parent waits for the socket-mesh bootstrap phase.
+_BOOTSTRAP_TIMEOUT = 60.0
+_HELLO = struct.Struct("<i")
+
+
+def _resolve_start_method(explicit: str | None) -> str:
+    """Start method: explicit arg > ``REPRO_MP_START`` env > fork if
+    available (fast; the cluster/graph are inherited, not pickled)."""
+    method = explicit or os.environ.get("REPRO_MP_START")
+    if method:
+        if method not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                f"multiprocessing start method {method!r} not available; "
+                f"pick from {multiprocessing.get_all_start_methods()}"
+            )
+        return method
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+def _build_mesh(
+    rank: int, size: int, listener: socket.socket, ports: list[int]
+) -> dict[int, socket.socket]:
+    """Connect this rank to every peer; returns peer -> socket."""
+    peers: dict[int, socket.socket] = {}
+    for s in range(rank):
+        sock = socket.create_connection(
+            ("127.0.0.1", ports[s]), timeout=_BOOTSTRAP_TIMEOUT
+        )
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.sendall(_HELLO.pack(rank))
+        peers[s] = sock
+    listener.settimeout(_BOOTSTRAP_TIMEOUT)
+    for _ in range(size - 1 - rank):
+        sock, _addr = listener.accept()
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        hello = b""
+        while len(hello) < _HELLO.size:
+            chunk = sock.recv(_HELLO.size - len(hello))
+            if not chunk:
+                raise CommunicationError(
+                    f"rank {rank}: peer hung up during mesh handshake"
+                )
+            hello += chunk
+        (peer,) = _HELLO.unpack(hello)
+        if not (rank < peer < size):
+            raise CommunicationError(
+                f"rank {rank}: bad hello from alleged rank {peer}"
+            )
+        peers[peer] = sock
+    listener.close()
+    return peers
+
+
+def _worker_main(
+    rank: int,
+    cluster: ClusterSpec,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    conn: Any,
+    recv_timeout: float,
+) -> None:
+    comm: RealCommunicator | None = None
+    try:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(cluster.size)
+        conn.send(("port", listener.getsockname()[1]))
+        kind, ports = conn.recv()
+        if kind != "ports":  # pragma: no cover - protocol invariant
+            raise CommunicationError(f"unexpected control message {kind!r}")
+        peers = _build_mesh(rank, cluster.size, listener, ports)
+        comm = RealCommunicator(cluster, rank, peers, recv_timeout=recv_timeout)
+        ctx = RealRankContext(comm)
+        ctx.barrier()  # align the latched-clock epoch across ranks
+        value = fn(ctx, *args, **kwargs)
+        comm.close(clean=True)
+        comm = None
+        conn.send(("ok", value, ctx.clock))
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        if comm is not None:
+            comm.close(clean=False)
+        try:
+            conn.send(("error", exc))
+        except Exception:
+            conn.send(
+                ("error-text",
+                 f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+            )
+    finally:
+        conn.close()
+
+
+def _decode_error(msg: tuple) -> BaseException:
+    if msg[0] == "error":
+        return msg[1]
+    return CommunicationError(f"remote rank error: {msg[1]}")
+
+
+def run_real_spmd(
+    cluster: ClusterSpec,
+    fn: Callable[..., Any],
+    *args: Any,
+    recv_timeout: float | None = None,
+    start_method: str | None = None,
+    **kwargs: Any,
+):
+    """Execute ``fn(ctx, *args, **kwargs)`` on one OS process per rank.
+
+    Returns a :class:`~repro.net.spmd.SPMDResult` whose ``clocks`` are
+    barrier-aligned wall seconds.  ``fn`` and all arguments must be
+    picklable under the ``spawn`` start method; under ``fork`` (the
+    default where available) they are inherited.
+    """
+    from repro.net.spmd import SPMDResult  # local import: avoid a cycle
+
+    timeout = resolve_recv_timeout(recv_timeout)
+    size = cluster.size
+    mp = multiprocessing.get_context(_resolve_start_method(start_method))
+    conns = []
+    procs = []
+    try:
+        for r in range(size):
+            parent_conn, child_conn = mp.Pipe()
+            p = mp.Process(
+                target=_worker_main,
+                args=(r, cluster, fn, args, kwargs, child_conn, timeout),
+                name=f"repro-rank-{r}",
+                daemon=True,
+            )
+            p.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(p)
+
+        # Phase 1: collect listener ports, broadcast the full list.
+        ports: list[int] = [0] * size
+        deadline = time.monotonic() + _BOOTSTRAP_TIMEOUT
+        for r in range(size):
+            if not conns[r].poll(max(0.0, deadline - time.monotonic())):
+                raise CommunicationError(
+                    f"rank {r}: socket bootstrap timed out after "
+                    f"{_BOOTSTRAP_TIMEOUT}s"
+                )
+            kind, port = conns[r].recv()
+            if kind != "port":
+                raise CommunicationError(
+                    f"rank {r}: unexpected control message {kind!r}"
+                )
+            ports[r] = port
+        for r in range(size):
+            conns[r].send(("ports", ports))
+
+        # Phase 2: collect results.  Workers self-police deadlocks via
+        # recv_timeout, so the parent only errors on ranks that die
+        # without reporting.
+        values: list[Any] = [None] * size
+        clocks: list[float] = [0.0] * size
+        failures: dict[int, BaseException] = {}
+        pending = set(range(size))
+        while pending:
+            progressed = False
+            for r in sorted(pending):
+                if conns[r].poll(0.05):
+                    progressed = True
+                    try:
+                        msg = conns[r].recv()
+                    except (EOFError, Exception) as exc:
+                        failures[r] = CommunicationError(
+                            f"rank {r}: undecodable result from worker: {exc}"
+                        )
+                        pending.discard(r)
+                        continue
+                    if msg[0] == "ok":
+                        values[r], clocks[r] = msg[1], msg[2]
+                    else:
+                        failures[r] = _decode_error(msg)
+                    pending.discard(r)
+                elif procs[r].exitcode is not None:
+                    progressed = True
+                    failures[r] = CommunicationError(
+                        f"rank {r}: worker process died without reporting "
+                        f"(exit code {procs[r].exitcode})"
+                    )
+                    pending.discard(r)
+            if not progressed:
+                time.sleep(0.01)
+    finally:
+        for p in procs:
+            p.join(timeout=10.0)
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        for c in conns:
+            c.close()
+
+    if failures:
+        primary = {
+            r: e
+            for r, e in failures.items()
+            if not isinstance(e, MailboxClosedError)
+        }
+        raise RankFailedError(primary or failures)
+
+    return SPMDResult(
+        values=values,
+        clocks=clocks,
+        trace=TraceLog(enabled=False),
+        cluster=cluster,
+    )

@@ -88,11 +88,36 @@ class ProgramConfig:
     executor_cost: ExecutorCostModel = ExecutorCostModel()
     trace: bool = False
     barrier_each_iteration: bool = True
+    #: Execution world: "sim" (threads + virtual clocks, the default) or
+    #: "real" (one OS process per rank over loopback sockets, wall-clock
+    #: time).  Final field values are bit-identical between the two; time
+    #: and cost metrics are virtual vs measured.  See docs/architecture.md
+    #: "Execution worlds".
+    world: str = "sim"
+    #: Host timeout for blocking receives in seconds; ``None`` resolves
+    #: through ``REPRO_RECV_TIMEOUT`` and then the library default (the
+    #: ``--recv-timeout`` CLI knob).
+    recv_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
             raise ConfigurationError(
                 f"iterations must be >= 1, got {self.iterations}"
+            )
+        from repro.net.spmd import WORLDS
+
+        if self.world not in WORLDS:
+            raise ConfigurationError(
+                f"unknown execution world {self.world!r}; pick from {WORLDS}"
+            )
+        if self.world == "real" and self.trace:
+            raise ConfigurationError(
+                "trace capture records virtual-clock events and is only "
+                'available with world="sim"'
+            )
+        if self.recv_timeout is not None and self.recv_timeout <= 0:
+            raise ConfigurationError(
+                f"recv_timeout must be > 0 seconds, got {self.recv_timeout}"
             )
         if isinstance(self.load_balance, str):
             from repro.runtime.adaptive import STRATEGY_NAMES
@@ -181,6 +206,15 @@ class ProgramReport:
     trace: TraceLog | None = None
     partition_final: IntervalPartition | None = None
 
+    def _require_stats(self, what: str) -> None:
+        """Aggregates over zero ranks are undefined; say so instead of
+        raising a bare ``ValueError`` from ``max()`` or a misleading
+        "ranks disagree" from an empty count set."""
+        if not self.rank_stats:
+            raise ConfigurationError(
+                f"{what} is undefined: this report carries no per-rank stats"
+            )
+
     @property
     def num_remaps(self) -> int:
         """Remaps performed, aggregated across ranks.
@@ -190,6 +224,7 @@ class ProgramReport:
         Phase D, which this property surfaces instead of silently
         reporting rank 0's view.
         """
+        self._require_stats("num_remaps")
         counts = {s.num_remaps for s in self.rank_stats}
         if len(counts) != 1:
             per_rank = {s.rank: s.num_remaps for s in self.rank_stats}
@@ -208,6 +243,7 @@ class ProgramReport:
         count; a disagreement means a rank consumed a different event
         window — surfaced here exactly like a :attr:`num_remaps` desync.
         """
+        self._require_stats("membership_events")
         counts = {s.membership_events for s in self.rank_stats}
         if len(counts) != 1:
             per_rank = {s.rank: s.membership_events for s in self.rank_stats}
@@ -226,6 +262,7 @@ class ProgramReport:
         means the policy desynchronized — surfaced exactly like a
         :attr:`num_remaps` desync.
         """
+        self._require_stats("num_checkpoints")
         counts = {s.num_checkpoints for s in self.rank_stats}
         if len(counts) != 1:
             per_rank = {s.rank: s.num_checkpoints for s in self.rank_stats}
@@ -238,6 +275,7 @@ class ProgramReport:
     @property
     def num_rollbacks(self) -> int:
         """Failure recoveries performed, aggregated across ranks."""
+        self._require_stats("num_rollbacks")
         counts = {s.num_rollbacks for s in self.rank_stats}
         if len(counts) != 1:
             per_rank = {s.rank: s.num_rollbacks for s in self.rank_stats}
@@ -249,14 +287,17 @@ class ProgramReport:
 
     @property
     def checkpoint_time(self) -> float:
+        self._require_stats("checkpoint_time")
         return max(s.checkpoint_time for s in self.rank_stats)
 
     @property
     def rollback_time(self) -> float:
+        self._require_stats("rollback_time")
         return max(s.rollback_time for s in self.rank_stats)
 
     @property
     def lost_time(self) -> float:
+        self._require_stats("lost_time")
         return max(s.lost_time for s in self.rank_stats)
 
     @property
@@ -266,10 +307,12 @@ class ProgramReport:
 
     @property
     def lb_check_time(self) -> float:
+        self._require_stats("lb_check_time")
         return max(s.lb_check_time for s in self.rank_stats)
 
     @property
     def remap_time(self) -> float:
+        self._require_stats("remap_time")
         return max(s.remap_time for s in self.rank_stats)
 
 
@@ -445,6 +488,20 @@ def run_program(
     y_init = np.empty(n, dtype=np.float64)
     y_init[perm] = y0
 
+    # Surface a replication-factor cap at configuration time (the same
+    # warning the checkpoint layer would emit from inside the ranks).
+    if config.checkpoint is not None:
+        from repro.runtime.resilience import effective_replication_factor
+
+        num_active = (
+            int(np.count_nonzero(trace.active_mask(0.0)))
+            if trace is not None
+            else cluster.size
+        )
+        effective_replication_factor(
+            getattr(config.checkpoint, "replication_factor", 1), num_active
+        )
+
     caps = _initial_capabilities(config, cluster)
     if trace is not None:
         # Standby machines (inactive at t=0) start with nothing; they get
@@ -458,6 +515,8 @@ def run_program(
         caps,
         config,
         trace=config.trace,
+        world=config.world,
+        recv_timeout=config.recv_timeout,
     )
 
     full_t = result.values[0]["full"]

@@ -36,7 +36,9 @@ leaves) and are configured through ``ProgramConfig.checkpoint`` /
 from repro.runtime.resilience.checkpoint import (
     Checkpoint,
     ResilienceState,
+    effective_replication_factor,
     estimate_checkpoint_cost,
+    normalize_partners,
     replica_partners,
     ring_partners,
     take_checkpoint,
@@ -63,8 +65,10 @@ __all__ = [
     "POLICY_NAMES",
     "ResilienceState",
     "check_recoverable",
+    "effective_replication_factor",
     "estimate_checkpoint_cost",
     "format_checkpoint_policy",
+    "normalize_partners",
     "parse_checkpoint_policy",
     "recover_redistribute_fields",
     "replica_partners",

@@ -23,12 +23,13 @@ prices a remap.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import ResilienceError
+from repro.errors import ResilienceError, ResilienceWarning
 from repro.net.message import Tags, unpack_arrays
 from repro.partition.arrangement import Transfer
 from repro.partition.intervals import IntervalPartition
@@ -48,11 +49,43 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "Checkpoint",
     "ResilienceState",
+    "effective_replication_factor",
     "replica_partners",
     "ring_partners",
     "take_checkpoint",
     "estimate_checkpoint_cost",
 ]
+
+
+def effective_replication_factor(
+    replication_factor: int, num_active: int
+) -> int:
+    """The replication factor a pool of *num_active* ranks can honor.
+
+    A ring of ``n`` active ranks has at most ``n - 1`` distinct successors,
+    so ``k > n - 1`` is capped to ``n - 1`` — **with a warning** (echoed
+    once per process; the ``warnings`` default filter deduplicates repeat
+    occurrences).  This is the single capping rule every consumer agrees
+    on: :func:`replica_partners` (and through it :func:`take_checkpoint`
+    and :func:`estimate_checkpoint_cost`), and the configuration-time
+    check in :func:`repro.runtime.program.run_program` behind the CLI's
+    ``--replication``.
+    """
+    if replication_factor < 1:
+        raise ResilienceError(
+            f"replication_factor must be >= 1, got {replication_factor}"
+        )
+    if num_active < 0:
+        raise ResilienceError(f"num_active must be >= 0, got {num_active}")
+    k = min(replication_factor, max(num_active - 1, 0))
+    if k < replication_factor:
+        warnings.warn(
+            f"replication_factor {replication_factor} exceeds what "
+            f"{num_active} active rank(s) can honor; capped to {k} ring "
+            f"successor(s) per owner",
+            ResilienceWarning,
+        )
+    return k
 
 
 def replica_partners(
@@ -67,18 +100,16 @@ def replica_partners(
     replicated knowledge (every rank computes the identical map without a
     message).  A pool with fewer than ``replication_factor + 1`` active
     ranks degrades gracefully: every owner replicates to all other active
-    ranks (the widest ring the pool affords).  A single active rank has
-    nobody to replicate to and gets an empty map — a failure there
-    empties the active set, which the membership trace already forbids.
+    ranks (the widest ring the pool affords) and
+    :func:`effective_replication_factor` warns about the cap once.  A
+    single active rank has nobody to replicate to and gets an empty map —
+    a failure there empties the active set, which the membership trace
+    already forbids.
     """
-    if replication_factor < 1:
-        raise ResilienceError(
-            f"replication_factor must be >= 1, got {replication_factor}"
-        )
     actives = [int(r) for r in np.flatnonzero(np.asarray(active, dtype=bool))]
+    k = effective_replication_factor(replication_factor, len(actives))
     if len(actives) < 2:
         return {}
-    k = min(replication_factor, len(actives) - 1)
     n = len(actives)
     index = {r: i for i, r in enumerate(actives)}
     return {
@@ -102,13 +133,32 @@ def normalize_partners(
     partners: "Mapping[int, int | Sequence[int]]",
 ) -> dict[int, tuple[int, ...]]:
     """Accept both the k=1 ``owner -> rank`` map and the general
-    ``owner -> (rank, ...)`` map, returning the general form."""
+    ``owner -> (rank, ...)`` map, returning the general form.
+
+    Validates the map: an owner replicating to itself or naming the same
+    holder twice is a malformed assignment (it would silently lower the
+    real replication degree) and raises
+    :class:`~repro.errors.ResilienceError`.
+    """
     out: dict[int, tuple[int, ...]] = {}
     for owner, holders in partners.items():
         if isinstance(holders, (int, np.integer)):
-            out[int(owner)] = (int(holders),)
+            holders = (int(holders),)
         else:
-            out[int(owner)] = tuple(int(h) for h in holders)
+            holders = tuple(int(h) for h in holders)
+        owner = int(owner)
+        if owner in holders:
+            raise ResilienceError(
+                f"partner map: owner {owner} replicates to itself — a "
+                f"failure would take both copies"
+            )
+        if len(set(holders)) != len(holders):
+            raise ResilienceError(
+                f"partner map: owner {owner} names duplicate holders "
+                f"{holders} — the real replication degree is lower than "
+                f"declared"
+            )
+        out[owner] = holders
     return out
 
 

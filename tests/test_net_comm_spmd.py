@@ -281,3 +281,109 @@ class TestSPMDFailures:
         comm = Communicator(uniform_cluster(2))
         with pytest.raises(Exception):
             comm.context(5)
+
+
+class TestDegenerateAggregates:
+    """SPMDResult.makespan/imbalance must never silently report balance."""
+
+    def _result(self, clocks):
+        from repro.net.spmd import SPMDResult
+        from repro.net.trace import TraceLog
+
+        n = max(len(clocks), 1)
+        return SPMDResult(
+            values=[None] * len(clocks),
+            clocks=list(clocks),
+            trace=TraceLog(enabled=False),
+            cluster=uniform_cluster(n),
+        )
+
+    def test_no_ranks_raises(self):
+        from repro.errors import ConfigurationError
+
+        res = self._result([])
+        with pytest.raises(ConfigurationError, match="no ranks"):
+            res.imbalance
+        with pytest.raises(ConfigurationError, match="no ranks"):
+            res.makespan
+
+    def test_all_zero_clocks_is_vacuously_balanced(self):
+        res = self._result([0.0, 0.0, 0.0])
+        assert res.imbalance == 1.0
+        assert res.makespan == 0.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_degenerate_clocks_raise(self, bad):
+        from repro.errors import ConfigurationError
+
+        res = self._result([1.0, bad, 2.0])
+        with pytest.raises(ConfigurationError, match="degenerate"):
+            res.imbalance
+        with pytest.raises(ConfigurationError, match="degenerate"):
+            res.makespan
+
+    def test_normal_clocks_still_work(self):
+        res = self._result([2.0, 4.0])
+        assert res.makespan == 4.0
+        assert res.imbalance == pytest.approx(4.0 / 3.0)
+
+
+class TestRecvTimeoutPlumbing:
+    def test_explicit_wins(self, monkeypatch):
+        from repro.net.comm import RECV_TIMEOUT_ENV, resolve_recv_timeout
+
+        monkeypatch.setenv(RECV_TIMEOUT_ENV, "7")
+        assert resolve_recv_timeout(3.5) == 3.5
+
+    def test_env_overrides_default(self, monkeypatch):
+        from repro.net.comm import RECV_TIMEOUT_ENV, resolve_recv_timeout
+
+        monkeypatch.setenv(RECV_TIMEOUT_ENV, "42.5")
+        assert resolve_recv_timeout() == 42.5
+
+    def test_default(self, monkeypatch):
+        from repro.net.comm import (
+            DEFAULT_RECV_TIMEOUT,
+            RECV_TIMEOUT_ENV,
+            resolve_recv_timeout,
+        )
+
+        monkeypatch.delenv(RECV_TIMEOUT_ENV, raising=False)
+        assert resolve_recv_timeout() == DEFAULT_RECV_TIMEOUT
+
+    @pytest.mark.parametrize("env", ["zero", "-3", "0"])
+    def test_bad_env_rejected(self, monkeypatch, env):
+        from repro.errors import ConfigurationError
+        from repro.net.comm import RECV_TIMEOUT_ENV, resolve_recv_timeout
+
+        monkeypatch.setenv(RECV_TIMEOUT_ENV, env)
+        with pytest.raises(ConfigurationError, match="REPRO_RECV_TIMEOUT"):
+            resolve_recv_timeout()
+
+    def test_bad_explicit_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.net.comm import resolve_recv_timeout
+
+        with pytest.raises(ConfigurationError, match="recv_timeout"):
+            resolve_recv_timeout(0)
+
+    def test_communicator_uses_resolved_timeout(self, monkeypatch):
+        from repro.net.comm import RECV_TIMEOUT_ENV
+
+        monkeypatch.setenv(RECV_TIMEOUT_ENV, "9.25")
+        comm = Communicator(uniform_cluster(2))
+        assert comm.recv_timeout == 9.25
+        assert Communicator(uniform_cluster(2), recv_timeout=1.5).recv_timeout == 1.5
+
+    def test_timeout_error_names_blocked_receive(self):
+        from repro.errors import CommunicationError
+        from repro.net.mailbox import Mailbox
+
+        box = Mailbox(rank=4)
+        with pytest.raises(CommunicationError) as ei:
+            box.receive(2, 17, timeout=0.01)
+        msg = str(ei.value)
+        assert "rank 4" in msg
+        assert "source=2" in msg
+        assert "tag=17" in msg
+        assert "--recv-timeout" in msg and "REPRO_RECV_TIMEOUT" in msg

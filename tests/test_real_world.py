@@ -1,0 +1,283 @@
+"""Real-process execution world: transport, differential contract, recovery.
+
+Everything here is marked ``real`` (see pytest.ini): selected by default,
+skippable with ``-m "not real"`` for the fastest laptop loop, and run alone
+by CI's real-smoke job.  Rank functions are module-level so they work under
+any multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError, ConfigurationError, RankFailedError
+from repro.net.cluster import uniform_cluster
+from repro.net.framing import (
+    KIND_ARRAY,
+    KIND_PACKED,
+    KIND_PICKLE,
+    decode_payload,
+    encode_payload,
+    recv_frame,
+    send_frame,
+)
+from repro.net.message import PackedArrays, pack_arrays
+from repro.net.spmd import SPMDRunner, run_spmd
+from repro.runtime.program import ProgramConfig, run_program
+
+pytestmark = pytest.mark.real
+
+
+# ------------------------------------------------------------------ #
+# framing layer
+# ------------------------------------------------------------------ #
+
+
+class TestFraming:
+    def _roundtrip(self, payload, tag=101):
+        a, b = socket.socketpair()
+        try:
+            kind, meta, body = encode_payload(payload)
+            send_frame(a, 3, tag, kind, meta, body)
+            frame = recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+        assert frame is not None
+        assert frame.source == 3 and frame.tag == tag and frame.kind == kind
+        return decode_payload(frame.kind, frame.meta, frame.body)
+
+    def test_array_roundtrip(self):
+        arr = np.arange(1000, dtype=np.float64).reshape(50, 20)
+        out = self._roundtrip(arr)
+        assert out.dtype == arr.dtype and np.array_equal(out, arr)
+
+    def test_array_roundtrip_is_writable(self):
+        out = self._roundtrip(np.ones(8))
+        out[0] = 7.0  # sim payloads are writable; real ones must match
+        assert out[0] == 7.0
+
+    def test_packed_roundtrip(self):
+        packed = pack_arrays(
+            [np.arange(5, dtype=np.int64), np.linspace(0, 1, 7)]
+        )
+        out = self._roundtrip(packed)
+        assert isinstance(out, PackedArrays)
+        assert out.index == packed.index
+        assert np.array_equal(out.buffer, packed.buffer)
+
+    def test_pickle_fallback_roundtrip(self):
+        payload = {"a": 1, "b": (2.5, "x"), "mask": [True, False]}
+        assert self._roundtrip(payload) == payload
+
+    def test_kind_selection(self):
+        assert encode_payload(np.ones(3))[0] == KIND_ARRAY
+        assert encode_payload(pack_arrays([np.ones(3)]))[0] == KIND_PACKED
+        assert encode_payload({"k": 1})[0] == KIND_PICKLE
+
+    def test_eof_between_frames_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_desync_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"not a frame header at all....")
+            with pytest.raises(CommunicationError, match="magic"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+# ------------------------------------------------------------------ #
+# real SPMD runs
+# ------------------------------------------------------------------ #
+
+
+def _ring_and_collectives(ctx):
+    right = (ctx.rank + 1) % ctx.size
+    left = (ctx.rank - 1) % ctx.size
+    ctx.send(right, np.arange(4, dtype=np.float64) + ctx.rank, tag=200)
+    got = ctx.recv(left, 200)
+    total = ctx.allreduce(float(got.sum()), lambda a, b: a + b)
+    gathered = ctx.allgather(ctx.rank * 10)
+    ctx.barrier()
+    return (os.getpid(), total, gathered, ctx.clock)
+
+
+def _clock_monotone_probe(ctx):
+    clocks = []
+    for _ in range(3):
+        clocks.append(ctx.clock)
+        ctx.barrier()
+        clocks.append(ctx.clock)
+    assert clocks == sorted(clocks), "latched clock moved backwards"
+    return clocks[-1]
+
+
+def _deadlock_on_rank0(ctx):
+    if ctx.rank == 0:
+        return ctx.recv(1, tag=300)  # rank 1 never sends
+    return None
+
+
+def _boom_on_rank2(ctx):
+    ctx.barrier()
+    if ctx.rank == 2:
+        raise ValueError("intentional rank failure")
+    # Other ranks block; the error cascade must wake them.
+    return ctx.recv(2, tag=400)
+
+
+class TestRealSPMD:
+    def test_runs_on_distinct_processes(self):
+        res = run_spmd(
+            uniform_cluster(4), _ring_and_collectives,
+            world="real", recv_timeout=30,
+        )
+        pids = {v[0] for v in res.values}
+        assert len(pids) == 4
+        assert os.getpid() not in pids
+        left_sums = [v[1] for v in res.values]
+        expected = sum(4 * r + 6 for r in range(4))  # sum over all rings
+        assert left_sums == [expected] * 4
+        assert all(v[2] == [0, 10, 20, 30] for v in res.values)
+
+    def test_barrier_agrees_clocks(self):
+        res = run_spmd(
+            uniform_cluster(4), _ring_and_collectives,
+            world="real", recv_timeout=30,
+        )
+        # The rank fn ends right after a barrier: every rank must have
+        # adopted the identical agreed clock.
+        clocks = [v[3] for v in res.values]
+        assert len(set(clocks)) == 1
+        assert clocks[0] > 0.0
+
+    def test_clock_monotone_across_barriers(self):
+        run_spmd(
+            uniform_cluster(3), _clock_monotone_probe,
+            world="real", recv_timeout=30,
+        )
+
+    def test_recv_timeout_names_blocked_receive(self):
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(
+                uniform_cluster(2), _deadlock_on_rank0,
+                world="real", recv_timeout=1.0,
+            )
+        failure = ei.value.failures[0]
+        msg = str(failure)
+        assert "rank 0" in msg
+        assert "source=1" in msg
+        assert "tag=300" in msg
+        assert "recv-timeout" in msg or "RECV_TIMEOUT" in msg
+
+    def test_rank_failure_cascades(self):
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(
+                uniform_cluster(4), _boom_on_rank2,
+                world="real", recv_timeout=30,
+            )
+        primary = ei.value.failures
+        assert 2 in primary
+        assert isinstance(primary[2], ValueError)
+
+    def test_world_validation(self):
+        with pytest.raises(ConfigurationError, match="world"):
+            run_spmd(uniform_cluster(2), _ring_and_collectives, world="cloud")
+
+    def test_trace_rejected_in_real_world(self):
+        with pytest.raises(ConfigurationError, match="trace"):
+            SPMDRunner(uniform_cluster(2), trace=True, world="real")
+
+
+# ------------------------------------------------------------------ #
+# sim-vs-real differential contract
+# ------------------------------------------------------------------ #
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("backend", ["vectorized", "reference"])
+    def test_program_values_bit_identical(self, tiny_paper_mesh, backend):
+        y0 = np.random.default_rng(11).uniform(0, 100, 500)
+        cluster = uniform_cluster(4)
+        sim = run_program(
+            tiny_paper_mesh, cluster,
+            ProgramConfig(iterations=12, backend=backend), y0=y0,
+        )
+        real = run_program(
+            tiny_paper_mesh, cluster,
+            ProgramConfig(
+                iterations=12, backend=backend,
+                world="real", recv_timeout=30,
+            ),
+            y0=y0,
+        )
+        assert np.array_equal(sim.values, real.values)
+
+    def test_unannounced_failure_recovery_real_world(self, tiny_paper_mesh):
+        y0 = np.random.default_rng(5).uniform(0, 100, 500)
+        cluster = uniform_cluster(4)
+        # Membership times are wall seconds in the real world: fail rank 1
+        # 20 ms in, early enough that 150 iterations always reach it.
+        common = dict(
+            iterations=150,
+            membership="fail:1@0.02",
+            checkpoint="interval:3",
+            initial_capabilities="equal",
+        )
+        real = run_program(
+            tiny_paper_mesh, cluster,
+            ProgramConfig(world="real", recv_timeout=30, **common),
+            y0=y0,
+        )
+        assert real.num_rollbacks >= 1
+        assert real.membership_events == 1
+        # The sim world sees the same event at virtual t=0.02; recovery and
+        # re-execution must leave the final field bit-identical.
+        sim = run_program(
+            tiny_paper_mesh, cluster, ProgramConfig(**common), y0=y0
+        )
+        assert np.array_equal(sim.values, real.values)
+
+    def test_config_world_validation(self):
+        with pytest.raises(ConfigurationError, match="world"):
+            ProgramConfig(world="really")
+        with pytest.raises(ConfigurationError, match="trace"):
+            ProgramConfig(world="real", trace=True)
+        with pytest.raises(ConfigurationError, match="recv_timeout"):
+            ProgramConfig(recv_timeout=0.0)
+
+
+def _checkpoint_probe(ctx, n):
+    from repro.partition.intervals import partition_list
+    from repro.runtime.resilience import take_checkpoint
+
+    part = partition_list(n, np.ones(ctx.size))
+    lo, hi = part.interval(ctx.rank)
+    local = np.arange(lo, hi, dtype=np.float64)
+    cp = take_checkpoint(
+        ctx, part, (local,), np.ones(ctx.size, dtype=bool),
+        next_iteration=0, epoch=0,
+    )
+    return sorted(cp.replicas)
+
+
+class TestRealResilienceProtocol:
+    def test_checkpoint_ring_over_sockets(self):
+        res = run_spmd(
+            uniform_cluster(4), _checkpoint_probe, 400,
+            world="real", recv_timeout=30,
+        )
+        # Each rank holds the replica of its ring predecessor.
+        assert res.values == [[3], [0], [1], [2]]

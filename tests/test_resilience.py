@@ -868,3 +868,125 @@ class TestResilienceScenarios:
         exp = get("scale-resilience")
         assert "policy" in exp.grid
         assert "cost" in exp.grid["policy"]
+
+
+# ----------------------------------------------------------------------
+# Unified replication capping (effective_replication_factor)
+
+
+class TestReplicationCapping:
+    """One capping rule, shared by partners/cost/checkpoint/config."""
+
+    def _fresh_warnings(self):
+        import warnings
+
+        return warnings.catch_warnings()
+
+    def test_no_cap_passthrough(self):
+        from repro.runtime.resilience import effective_replication_factor
+
+        assert effective_replication_factor(2, 5) == 2
+        assert effective_replication_factor(4, 5) == 4
+
+    def test_cap_warns_with_resilience_warning(self):
+        from repro.errors import ResilienceWarning
+        from repro.runtime.resilience import effective_replication_factor
+
+        with pytest.warns(ResilienceWarning, match="capped to 2"):
+            assert effective_replication_factor(5, 3) == 2
+
+    def test_cap_echoed_once_per_process(self):
+        import warnings
+
+        from repro.errors import ResilienceWarning
+        from repro.runtime.resilience import effective_replication_factor
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            effective_replication_factor(9, 4)
+            effective_replication_factor(9, 4)
+        ours = [w for w in caught if issubclass(w.category, ResilienceWarning)]
+        assert len(ours) == 1  # "default" filter dedups the repeat
+
+    def test_invalid_inputs_raise(self):
+        from repro.runtime.resilience import effective_replication_factor
+
+        with pytest.raises(ResilienceError, match=">= 1"):
+            effective_replication_factor(0, 4)
+        with pytest.raises(ResilienceError, match="num_active"):
+            effective_replication_factor(1, -1)
+
+    def test_single_active_rank_caps_to_zero(self):
+        from repro.errors import ResilienceWarning
+        from repro.runtime.resilience import effective_replication_factor
+
+        with pytest.warns(ResilienceWarning):
+            assert effective_replication_factor(1, 1) == 0
+
+    def test_partners_cost_and_checkpoint_agree(self, recwarn):
+        """The three consumers cap identically: k=10 at 3 actives ≡ k=2."""
+        from repro.runtime.resilience import effective_replication_factor
+
+        part = partition_list(90, np.ones(3))
+        active = np.ones(3, dtype=bool)
+        capped = replica_partners(part, active, replication_factor=10)
+        explicit = replica_partners(part, active, replication_factor=2)
+        assert capped == explicit
+
+        net = PointToPointNetwork()
+        cost_capped = estimate_checkpoint_cost(
+            net, part, active, 8, replication_factor=10
+        )
+        cost_explicit = estimate_checkpoint_cost(
+            net, part, active, 8, replication_factor=2
+        )
+        assert cost_capped == cost_explicit
+
+        def fn(ctx):
+            lo, hi = part.interval(ctx.rank)
+            local = np.arange(lo, hi, dtype=np.float64)
+            cp = take_checkpoint(
+                ctx, part, (local,), active,
+                next_iteration=0, epoch=0, replication_factor=10,
+            )
+            return cp.partners
+
+        res = run_spmd(uniform_cluster(3), fn)
+        assert res.values[0] == explicit
+        assert effective_replication_factor(2, 3) == 2  # sanity: uncapped
+
+    def test_run_program_warns_on_capped_replication(self, tiny_paper_mesh):
+        from repro.errors import ResilienceWarning
+
+        y0 = np.random.default_rng(2).uniform(0, 10, 500)
+        with pytest.warns(ResilienceWarning, match="capped"):
+            report = run_program(
+                tiny_paper_mesh,
+                uniform_cluster(3),
+                ProgramConfig(
+                    iterations=4,
+                    checkpoint="interval:2",
+                    replication_factor=10,
+                ),
+                y0=y0,
+            )
+        assert report.num_checkpoints >= 1
+
+
+class TestNormalizePartnersValidation:
+    def test_scalar_and_sequence_forms(self):
+        from repro.runtime.resilience import normalize_partners
+
+        assert normalize_partners({0: 1, 1: (2, 0)}) == {0: (1,), 1: (2, 0)}
+
+    def test_self_replication_rejected(self):
+        from repro.runtime.resilience import normalize_partners
+
+        with pytest.raises(ResilienceError, match="replicates to itself"):
+            normalize_partners({2: (2,)})
+
+    def test_duplicate_holders_rejected(self):
+        from repro.runtime.resilience import normalize_partners
+
+        with pytest.raises(ResilienceError, match="duplicate holders"):
+            normalize_partners({0: (1, 1)})
