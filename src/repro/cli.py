@@ -47,6 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("reference", "vectorized"),
                      help="hot-path implementation (default: REPRO_BACKEND "
                           "env var, else vectorized)")
+    run.add_argument("--inspector-mode", default="full",
+                     choices=("full", "incremental"),
+                     help="phase-B rebuild after a remap: 'full' re-runs "
+                          "the inspector from scratch, 'incremental' "
+                          "patches the previous schedule from the "
+                          "boundary diff (identical results, cheaper "
+                          "for small boundary shifts)")
     run.add_argument("--load-balance", nargs="?", const="centralized",
                      default="off",
                      choices=("off", "centralized", "distributed"),
@@ -174,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
     brun.add_argument("--set", dest="overrides", action="append", default=[],
                       metavar="KEY=VALUE",
                       help="force a parameter value on every configuration")
+    brun.add_argument("--profile", action="store_true",
+                      help="run under cProfile; dumps "
+                           "<results-dir>/profiles/<experiment>.pstats and "
+                           "prints the top-20 cumulative entries to stderr")
 
     bsweep = bsub.add_parser("sweep", help="run a scenario-sweep grid")
     bsweep.add_argument("--grid", default="small",
@@ -236,6 +247,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             iterations=args.iterations,
             strategy=args.strategy,
             backend=args.backend,
+            inspector_mode=args.inspector_mode,
             initial_capabilities=(
                 "equal"
                 if args.competing_load > 0 or args.membership
@@ -591,12 +603,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 for name in matched:
                     validate_overrides(name, overrides, quick=args.quick)
             for name in matched:
-                artifact, path = run_experiment(
-                    name,
-                    quick=args.quick,
-                    overrides=overrides or None,
-                    results_dir=args.results_dir,
-                )
+                if args.profile:
+                    import cProfile
+                    import pstats
+                    from pathlib import Path
+
+                    profile_dir = Path(args.results_dir) / "profiles"
+                    profile_dir.mkdir(parents=True, exist_ok=True)
+                    pstats_path = profile_dir / f"{name}.pstats"
+                    prof = cProfile.Profile()
+                    prof.enable()
+                    try:
+                        artifact, path = run_experiment(
+                            name,
+                            quick=args.quick,
+                            overrides=overrides or None,
+                            results_dir=args.results_dir,
+                        )
+                    finally:
+                        prof.disable()
+                        prof.dump_stats(str(pstats_path))
+                        stats = pstats.Stats(prof, stream=sys.stderr)
+                        stats.sort_stats("cumulative").print_stats(20)
+                        print(f"profile: {pstats_path}", file=sys.stderr)
+                else:
+                    artifact, path = run_experiment(
+                        name,
+                        quick=args.quick,
+                        overrides=overrides or None,
+                        results_dir=args.results_dir,
+                    )
                 _print_artifact_summary(artifact)
                 print(f"\nartifact: {path}")
             return 0

@@ -35,6 +35,7 @@ __all__ = [
     "adaptive_run",
     "ordering_by_name",
     "scale_epoch_measurements",
+    "scale_huge_measurements",
     "scale_adaptive_measurements",
     "scale_elastic_measurements",
     "scale_resilience_measurements",
@@ -1053,6 +1054,174 @@ def _exp_scale_resilience(
         int(params["check_interval"]),
         workload_seed=int(params["workload_seed"]),
         replication=int(params["replication"]),
+    )
+
+
+# --------------------------------------------------------------------------
+# scale-huge — incremental vs full inspector rebuild at 1M-10M vertices
+
+
+@lru_cache(maxsize=1)
+def _huge_workload(tier: str, workload_seed: int):
+    """(graph, y0) for one huge-tier grid mesh.
+
+    Cached separately from :func:`_scale_workload` with ``maxsize=1``:
+    a 10M-vertex CSR is hundreds of MB, so at most one huge mesh lives
+    at a time (put ``tier`` first in the grid so the cache actually
+    hits across the p/backend axes).
+    """
+    import warnings
+
+    from repro.graph.generators import scale_mesh
+
+    with warnings.catch_warnings():
+        # The 10m tier is not a perfect square; the near-target grid is
+        # fine for a relative full-vs-incremental comparison.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        graph = scale_mesh(tier, family="grid", seed=workload_seed)
+    y0 = np.random.default_rng(workload_seed).uniform(
+        0.0, 100.0, graph.num_vertices
+    )
+    return graph, y0
+
+
+def _small_boundary_remap(old, p: int, n: int):
+    """A remap of the kind phase D actually produces: every internal
+    boundary shifts by ~0.5% of a block (alternating direction), owners
+    unchanged — the small-diff regime the incremental path targets."""
+    from repro.partition.intervals import IntervalPartition
+
+    shift = max(n // (p * 200), 1)
+    bounds = old.bounds.copy()
+    for b in range(1, p):
+        bounds[b] += shift if b % 2 else -shift
+    return IntervalPartition(bounds, old.owners), shift
+
+
+#: Remap events measured per rank: the partition oscillates between the
+#: old and new boundaries, so every event is a small-boundary remap and
+#: both modes see the identical sequence.  Multiple rounds measure the
+#: sustained epoch-to-epoch regime the incremental path targets (one
+#: instance patched across a session's successive remaps), not a single
+#: cold rebuild.
+_HUGE_ROUNDS = 4
+
+
+def scale_huge_measurements(
+    tier: str, p: int, backend: str, *, workload_seed: int = 1995
+) -> dict[str, float]:
+    """Incremental-vs-full Phase B across repeated small-boundary remaps.
+
+    Ranks run **sequentially** (not SPMD) so peak memory stays one
+    rank's working set above the shared mesh even at 10M x 128.  Each
+    rank seeds an :class:`~repro.runtime.incremental.IncrementalInspector`
+    on the old partition, then both modes process the same
+    ``_HUGE_ROUNDS``-event remap sequence: a from-scratch
+    ``run_inspector`` per event versus ``rebuild`` on the one live
+    instance.  Every event's structures are checked array-for-array, and
+    the first and last events' kernel-sweep values for bit-identity.
+    """
+    from repro.runtime.incremental import (
+        IncrementalInspector,
+        inspector_results_equal,
+    )
+    from repro.runtime.inspector import run_inspector
+    from repro.partition.intervals import partition_list
+
+    graph, y0 = _huge_workload(tier, workload_seed)
+    n = graph.num_vertices
+    old = partition_list(n, np.ones(p))
+    new, shift = _small_boundary_remap(old, p, n)
+    remaps = [new if i % 2 == 0 else old for i in range(_HUGE_ROUNDS)]
+
+    full_s = 0.0
+    incremental_s = 0.0
+    patched_ranks = 0
+    patch_virtual_s = 0.0
+    results_match = True
+    values_match = True
+    ghost_total = 0
+    for r in range(p):
+        inc = IncrementalInspector(
+            graph, old, r, strategy="sort2", backend=backend
+        )
+        fulls = []
+        for part in remaps:
+            t0 = time.perf_counter()
+            fulls.append(
+                run_inspector(graph, part, r, strategy="sort2", backend=backend)
+            )
+            full_s += time.perf_counter() - t0
+        patched_events = 0
+        patches = []
+        for part in remaps:
+            t0 = time.perf_counter()
+            patches.append(inc.rebuild(part))
+            incremental_s += time.perf_counter() - t0
+            if inc.last_mode == "patched":
+                patched_events += 1
+                patch_virtual_s += inc.last_patch_cost
+        if patched_events == len(remaps):
+            patched_ranks += 1
+        for i, (part, full, patched) in enumerate(zip(remaps, fulls, patches)):
+            if not inspector_results_equal(patched, full):
+                results_match = False
+            if i not in (0, len(remaps) - 1):
+                continue
+            lo, hi = part.interval(r)
+            v_full = full.kernel_plan.sweep(
+                y0[lo:hi], y0[full.schedule.ghost_globals]
+            )
+            v_patch = patched.kernel_plan.sweep(
+                y0[lo:hi], y0[patched.schedule.ghost_globals]
+            )
+            if not np.array_equal(v_full, v_patch):
+                values_match = False
+        ghost_total += patches[0].schedule.ghost_size
+    return {
+        "full_rebuild_s": full_s,
+        "incremental_s": incremental_s,
+        "speedup": full_s / max(incremental_s, 1e-12),
+        "results_match": 1.0 if results_match else 0.0,
+        "values_match": 1.0 if values_match else 0.0,
+        "patched_ranks": float(patched_ranks),
+        "patch_virtual_s": patch_virtual_s,
+        "rounds": float(_HUGE_ROUNDS),
+        "ghost_total": float(ghost_total),
+        "boundary_shift": float(shift),
+        "n_vertices": float(n),
+        "n_edges": float(graph.num_edges),
+    }
+
+
+@experiment(
+    "scale-huge",
+    title="Huge tier: incremental vs full inspector rebuild, 1M-10M vertices",
+    paper_anchor="ROADMAP (beyond Sec. 3's inspector)",
+    grid={
+        "tier": ("1m", "4m", "10m"),
+        "p": (16, 64, 128),
+        "backend": ("vectorized", "reference"),
+        "workload_seed": (1995,),
+    },
+    quick_grid={
+        "tier": ("1m",),
+        "p": (16,),
+        "backend": ("vectorized", "reference"),
+        "workload_seed": (1995,),
+    },
+    higher_is_better=("speedup",),
+    description="Phase B after a small-boundary remap: patch the cached "
+    "schedule/plan vs rebuild from scratch, checking bit-identity of "
+    "structures and sweep values at every rank.",
+    tags=("scale", "perf"),
+)
+def _exp_scale_huge(params: Mapping[str, Any], *, seed: int) -> dict[str, float]:
+    return scale_huge_measurements(
+        str(params["tier"]),
+        int(params["p"]),
+        str(params["backend"]),
+        workload_seed=int(params["workload_seed"]),
     )
 
 

@@ -9,6 +9,7 @@ edge/vertex ratio while preserving connectivity and physical locality.
 from __future__ import annotations
 
 import math
+import warnings
 
 import numpy as np
 import scipy.sparse as sp
@@ -301,6 +302,8 @@ SCALE_TIERS = {
     "250k": 250_000,
     "500k": 500_000,
     "1m": 1_000_000,
+    "4m": 4_000_000,
+    "10m": 10_000_000,
 }
 
 #: Graph families available at scale-tier sizes.
@@ -363,16 +366,21 @@ def streamed_grid_graph(
 
 
 def scale_mesh(
-    tier: str, *, family: str = "grid", seed: SeedLike = 0
+    tier: str, *, family: str = "grid", seed: SeedLike = 0, exact: bool = False
 ) -> CSRGraph:
     """A scale-tier workload mesh: ``tier`` names the target vertex count.
 
     ``family="grid"`` is a square structured grid built with
     :func:`streamed_grid_graph` (exactly ``round(sqrt(n))**2`` vertices,
-    natural row-major order — already a good 1-D ordering).
-    ``family="geometric"`` is a random geometric graph at mean degree ~6
-    (its largest connected component, so counts land slightly under the
-    target).
+    natural row-major order — already a good 1-D ordering).  For tiers
+    whose target is not a perfect square (100k, 500k, 10m) the grid
+    therefore lands *near* the target, not on it: 100k -> 99,856
+    (316x316), 500k -> 499,849 (707x707), 10m -> 9,998,244 (3162x3162).
+    A :class:`RuntimeWarning` notes the deviation; pass ``exact=True`` to
+    turn it into a :class:`GraphError` instead for callers that require
+    the nominal count.  ``family="geometric"`` is a random geometric
+    graph at mean degree ~6 (its largest connected component, so counts
+    land slightly under the target; ``exact`` does not apply).
     """
     if tier not in SCALE_TIERS:
         known = ", ".join(SCALE_TIERS)
@@ -380,6 +388,19 @@ def scale_mesh(
     n = SCALE_TIERS[tier]
     if family == "grid":
         side = int(round(math.sqrt(n)))
+        if side * side != n:
+            if exact:
+                raise GraphError(
+                    f"scale tier {tier!r} targets {n} vertices but the "
+                    f"square grid family only builds {side}x{side} = "
+                    f"{side * side}; use a square tier or exact=False"
+                )
+            warnings.warn(
+                f"scale_mesh({tier!r}, family='grid') builds {side}x{side} "
+                f"= {side * side} vertices, not the nominal {n}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return streamed_grid_graph(side, side)
     if family == "geometric":
         return random_geometric_graph(n, seed=seed)

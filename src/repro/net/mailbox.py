@@ -129,6 +129,67 @@ class Mailbox:
                         f"--recv-timeout / REPRO_RECV_TIMEOUT"
                     )
 
+    def receive_bulk(
+        self,
+        sources: set[int],
+        tag: int,
+        *,
+        timeout: float | None = None,
+    ) -> dict[int, Message]:
+        """Receive one message from each of *sources* for an exact *tag*.
+
+        The bulk form of the known-pattern executor drain: one lock
+        acquisition and one pass over the per-source channels per wakeup,
+        instead of a full wildcard scan of the arrival deque per message
+        (O(peers) per phase rather than O(messages x pending)).  Exact
+        matching only — wildcards take the legacy per-message path.
+
+        A buffered message carrying *tag* from a rank outside *sources*
+        raises :class:`CommunicationError` (the same protocol violation
+        :meth:`repro.net.comm.RankContext.recv_expected` reports), checked
+        whenever no expected channel can make progress.
+        """
+        if tag == ANY_TAG or any(s == ANY_SOURCE for s in sources):
+            raise CommunicationError(
+                "receive_bulk requires an exact tag and exact sources"
+            )
+        received: dict[int, Message] = {}
+        pending = set(sources)
+        with self._cond:
+            while pending:
+                if self._closed:
+                    raise MailboxClosedError(f"mailbox {self.rank} closed")
+                progressed = False
+                for s in tuple(pending):
+                    q = self._queues.get((s, tag))
+                    if q:
+                        msg = q.popleft()
+                        self._dead.add(id(msg))
+                        received[s] = msg
+                        pending.discard(s)
+                        progressed = True
+                if progressed:
+                    self._compact_head()
+                    continue
+                for (s, t), q in self._queues.items():
+                    if t == tag and q and s not in pending:
+                        raise CommunicationError(
+                            f"rank {self.rank}: unexpected message from rank "
+                            f"{s} (tag {tag}) while expecting "
+                            f"{sorted(pending)}"
+                        )
+                if not self._cond.wait(timeout=timeout):
+                    buffered = len(self._arrival_order) - len(self._dead)
+                    raise CommunicationError(
+                        f"rank {self.rank}: bulk receive timed out after "
+                        f"{timeout}s waiting for sources "
+                        f"{sorted(pending)}, tag {tag} ({buffered} "
+                        f"non-matching message(s) buffered); likely "
+                        f"deadlock or a slow peer — tune with "
+                        f"--recv-timeout / REPRO_RECV_TIMEOUT"
+                    )
+        return received
+
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         """True if a matching message is already buffered (non-blocking)."""
         with self._cond:

@@ -23,8 +23,9 @@ MinimizeCostRedistribution, remap — lives here as three pluggable layers:
   profitability test for joiners.
 
 The old single-module homes (``repro.runtime.controller``,
-``repro.runtime.distributed_lb``, ``repro.runtime.redistribution``) remain
-importable as deprecation shims.
+``repro.runtime.distributed_lb``, ``repro.runtime.redistribution``) have
+been removed; import everything from :mod:`repro.runtime.adaptive` (or
+the :mod:`repro.runtime` facade).
 """
 
 from repro.runtime.adaptive.elastic import (

@@ -41,7 +41,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.errors import LoadBalanceError, ResilienceError
+from repro.errors import LoadBalanceError, ResilienceError, ScheduleError
 from repro.graph.csr import CSRGraph
 from repro.partition.intervals import IntervalPartition
 from repro.runtime.adaptive.elastic import (
@@ -57,6 +57,7 @@ from repro.runtime.adaptive.strategy import (
     RebalanceStrategy,
     make_strategy,
 )
+from repro.runtime.incremental import IncrementalInspector
 from repro.runtime.inspector import InspectorResult, run_inspector
 from repro.runtime.monitor import LoadMonitor
 from repro.runtime.resilience.checkpoint import ResilienceState, take_checkpoint
@@ -120,6 +121,12 @@ class AdaptiveSession:
     #: unannounced ``fail`` events — a failure without an epoch to roll
     #: back to is unrecoverable.
     checkpoint: "CheckpointPolicy | str | None" = None
+    #: Phase B rebuild mode after a remap: ``"full"`` re-runs the
+    #: inspector from scratch (the paper's protocol), ``"incremental"``
+    #: patches the previous schedule/plan through the boundary diff
+    #: (:mod:`repro.runtime.incremental`), producing bit-identical
+    #: results for a fraction of the virtual (and host) cost.
+    inspector_mode: str = "full"
 
     def __post_init__(self) -> None:
         if self.total_iterations < 1:
@@ -207,7 +214,28 @@ class AdaptiveSession:
                     f"{bad}; mask the initial capabilities with the "
                     f"membership trace's active set at t=0"
                 )
-        self.inspector: InspectorResult = self._build_inspector()
+        if self.inspector_mode not in ("full", "incremental"):
+            raise ScheduleError(
+                f"inspector_mode must be 'full' or 'incremental', got "
+                f"{self.inspector_mode!r}"
+            )
+        self._incremental: IncrementalInspector | None = None
+        if self.inspector_mode == "incremental":
+            # Raises ScheduleError for the 'simple' strategy, whose
+            # request-ordered ghost buffers the patch path cannot
+            # reproduce.
+            self._incremental = IncrementalInspector(
+                self.graph,
+                self.partition,
+                self.ctx.rank,
+                strategy=self.schedule_strategy,
+                ctx=self.ctx,
+                cost_model=self.inspector_cost,
+                backend=self.backend,
+            )
+            self.inspector: InspectorResult = self._incremental.result
+        else:
+            self.inspector = self._build_inspector()
         self.stats.inspector_time += self.inspector.build_time
 
     # ------------------------------------------------------------------ #
@@ -224,6 +252,18 @@ class AdaptiveSession:
             cost_model=self.inspector_cost,
             backend=self.backend,
         )
+
+    def _rebuild_inspector(self) -> InspectorResult:
+        """Phase B after a remap: incremental patch when configured.
+
+        The incremental inspector diffs against the partition its cached
+        result was built for (not the session's transient ``partition``),
+        so the recovery path — which restores the checkpoint partition
+        before remapping to the survivor split — patches correctly too.
+        """
+        if self._incremental is not None:
+            return self._incremental.rebuild(self.partition)
+        return self._build_inspector()
 
     @property
     def schedule(self):
@@ -721,7 +761,7 @@ class AdaptiveSession:
         )
         self.stats.redistribute_host_s += time.perf_counter() - host0
         self.partition = decision.new_partition
-        self.inspector = self._build_inspector()
+        self.inspector = self._rebuild_inspector()
         ctx.barrier()
         self.stats.rollback_time += ctx.clock - t0
         self._note_remap_span(
@@ -753,7 +793,7 @@ class AdaptiveSession:
             )
             self.stats.redistribute_host_s += time.perf_counter() - host0
         self.partition = new_partition
-        self.inspector = self._build_inspector()
+        self.inspector = self._rebuild_inspector()
         ctx.barrier()
         self.stats.remap_time += ctx.clock - t0
         self.stats.num_remaps += 1

@@ -1,0 +1,719 @@
+"""Incremental inspector rebuild: epoch-to-epoch Phase B deltas.
+
+The paper re-runs all of Phase B "whenever data is redistributed"
+(Sec. 3).  Most redistributions, though, only *shift interval
+boundaries*: after a remap the typical rank keeps almost all of its
+block, so almost all of its ghost set, send lists and translated kernel
+addresses are unchanged.  This module exploits that:
+
+* :func:`diff_interval` computes a rank's boundary diff between two
+  :class:`~repro.partition.intervals.IntervalPartition` objects — the
+  kept intersection plus up to two *lost* and two *gained* contiguous
+  ranges (pure interval arithmetic, O(1));
+* :class:`IncrementalInspector` caches the rank's **cross references**
+  (the off-block adjacency entries — exactly the inspector's raw input
+  that survives a boundary shift) and *patches* the previous
+  :class:`~repro.runtime.schedule.CommSchedule` and
+  :class:`~repro.runtime.kernels.KernelPlan` into the new partition's,
+  touching O(diff x degree + boundary) data instead of O(n/p + refs);
+* a deterministic crossover test (predicted patch cost vs. the cost of
+  the last full build, both in :class:`InspectorCostModel` units) falls
+  back to :func:`~repro.runtime.inspector.run_inspector` when the diff
+  is too large to be worth patching — "learned per run" because the
+  full-cost side tracks the sizes observed at the most recent full
+  build.
+
+**Bit-identity contract.**  The patched schedule and plan are equal,
+array for array, to what a from-scratch ``sort1``/``sort2`` build would
+produce (both backends): the ghost buffer is ``np.unique`` of the same
+cross-reference multiset, the recv side reuses
+:func:`~repro.runtime.schedule_builders._recv_side_sorted` verbatim, and
+the send side runs the same ``dest * n + src`` pair-key dedup as
+:func:`~repro.runtime.schedule_builders._send_side`.  The property suite
+in ``tests/test_incremental.py`` pins this through randomized remap
+sequences.
+
+The patch path requires the sorting strategies' symmetry assumption
+(an edge's reference appears in both endpoint rows — already mandatory
+for ``sort1``/``sort2``); the ``simple`` strategy's request-ordered
+ghost buffers cannot be patched and are rejected at construction.
+
+Virtual time: a patch charges ``"inspector-incremental"`` — a
+deterministic function of the diff's structural sizes, identical across
+backends (the incremental path is a single numpy implementation), and
+much smaller than a full build's charge.  That shrinkage feeds the
+session's learned ``rebuild_cost_estimate``, making *more* remaps pass
+the profitability test — a perf change that also improves adaptive
+quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.graph.csr import CSRGraph
+from repro.partition.intervals import IntervalPartition
+from repro.runtime.inspector import InspectorResult, run_inspector
+from repro.runtime.kernels import KernelPlan
+from repro.runtime.schedule import CommSchedule
+from repro.runtime.schedule_builders import (
+    InspectorCostModel,
+    _charge,
+    _recv_side_sorted,
+    local_references,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.comm import RankContext
+
+__all__ = [
+    "IntervalDiff",
+    "diff_interval",
+    "classify_elements",
+    "IncrementalInspector",
+    "inspector_results_equal",
+]
+
+
+@dataclass(frozen=True)
+class IntervalDiff:
+    """One rank's boundary diff between two interval partitions.
+
+    ``kept`` is the (possibly empty) intersection ``[keep_lo, keep_hi)``;
+    ``lost``/``gained`` are the up-to-two contiguous half-open ranges the
+    rank gave up / acquired.  Together they tile the old and new
+    intervals exactly: ``kept + lost == old`` and ``kept + gained == new``
+    with no overlaps (the property suite pins this).
+    """
+
+    rank: int
+    old_lo: int
+    old_hi: int
+    new_lo: int
+    new_hi: int
+    keep_lo: int
+    keep_hi: int
+    lost: tuple[tuple[int, int], ...]
+    gained: tuple[tuple[int, int], ...]
+
+    @property
+    def n_kept(self) -> int:
+        return self.keep_hi - self.keep_lo
+
+    @property
+    def n_lost(self) -> int:
+        return sum(hi - lo for lo, hi in self.lost)
+
+    @property
+    def n_gained(self) -> int:
+        return sum(hi - lo for lo, hi in self.gained)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the rank's interval did not move at all."""
+        return not self.lost and not self.gained
+
+
+def diff_interval(
+    old: IntervalPartition, new: IntervalPartition, rank: int
+) -> IntervalDiff:
+    """Classify *rank*'s elements as kept/gained/lost between partitions."""
+    if old.num_elements != new.num_elements:
+        raise ScheduleError(
+            f"cannot diff partitions of {old.num_elements} vs "
+            f"{new.num_elements} elements"
+        )
+    lo0, hi0 = old.interval(rank)
+    lo1, hi1 = new.interval(rank)
+    keep_lo, keep_hi = max(lo0, lo1), min(hi0, hi1)
+    if keep_hi <= keep_lo:
+        # Disjoint (or one side empty): everything moved.
+        keep_lo = keep_hi = lo1
+        lost = ((lo0, hi0),) if hi0 > lo0 else ()
+        gained = ((lo1, hi1),) if hi1 > lo1 else ()
+    else:
+        lost = tuple(
+            (lo, hi)
+            for lo, hi in ((lo0, keep_lo), (keep_hi, hi0))
+            if hi > lo
+        )
+        gained = tuple(
+            (lo, hi)
+            for lo, hi in ((lo1, keep_lo), (keep_hi, hi1))
+            if hi > lo
+        )
+    return IntervalDiff(
+        rank=rank,
+        old_lo=lo0, old_hi=hi0, new_lo=lo1, new_hi=hi1,
+        keep_lo=keep_lo, keep_hi=keep_hi,
+        lost=lost, gained=gained,
+    )
+
+
+def classify_elements(
+    old: IntervalPartition, new: IntervalPartition, rank: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(kept, gained, lost) global indices for *rank* — the materialized
+    form of :func:`diff_interval`, used by the property suite."""
+    d = diff_interval(old, new, rank)
+    kept = np.arange(d.keep_lo, d.keep_hi, dtype=np.intp)
+    gained = _ranges_arange(d.gained)
+    lost = _ranges_arange(d.lost)
+    return kept, gained, lost
+
+
+def _ranges_arange(ranges: tuple[tuple[int, int], ...]) -> np.ndarray:
+    if not ranges:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(
+        [np.arange(lo, hi, dtype=np.intp) for lo, hi in ranges]
+    )
+
+
+def _in_ranges(
+    x: np.ndarray, ranges: tuple[tuple[int, int], ...]
+) -> np.ndarray:
+    mask = np.zeros(x.shape, dtype=bool)
+    for lo, hi in ranges:
+        mask |= (x >= lo) & (x < hi)
+    return mask
+
+
+def _range_refs(graph: CSRGraph, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+    """All adjacency references whose source lies in ``[lo, hi)``."""
+    start, stop = graph.indptr[lo], graph.indptr[hi]
+    nbr = graph.indices[start:stop].astype(np.intp, copy=False)
+    counts = graph.indptr[lo + 1 : hi + 1] - graph.indptr[lo:hi]
+    src = np.repeat(np.arange(lo, hi, dtype=np.intp), counts)
+    return src, nbr
+
+
+def _range_ref_count(graph: CSRGraph, ranges: tuple[tuple[int, int], ...]) -> int:
+    return int(sum(graph.indptr[hi] - graph.indptr[lo] for lo, hi in ranges))
+
+
+def _sorted_unique(x: np.ndarray) -> np.ndarray:
+    """``np.unique`` for 1-D integer arrays via an explicit sort.
+
+    Bit-identical output (sorted distinct values) but without the hash
+    machinery ``np.unique`` runs through on small arrays — the patch
+    path calls this twice per rebuild on boundary-sized inputs, where
+    the hash setup alone costs more than the whole sort.
+    """
+    if x.size == 0:
+        return x.astype(np.intp)
+    s = np.sort(x)
+    keep = np.empty(s.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(s[1:], s[:-1], out=keep[1:])
+    return s[keep]
+
+
+def _send_side_from_cross(
+    partition: IntervalPartition,
+    rank: int,
+    cross_src: np.ndarray,
+    cross_nbr: np.ndarray,
+) -> dict[int, np.ndarray]:
+    """``_send_side`` recomputed from the cached cross references.
+
+    Bit-identical to :func:`repro.runtime.schedule_builders._send_side`:
+    the cross arrays hold exactly the off-block reference multiset that
+    function derives from scratch, and ``np.unique`` of the same pair-key
+    multiset yields the same sorted array.
+    """
+    if cross_src.size == 0:
+        return {}
+    lo, hi = partition.interval(rank)
+    dest = partition.owner_of(cross_nbr)
+    n = partition.num_elements
+    pair_key = dest * np.intp(n) + cross_src
+    uniq = _sorted_unique(pair_key)
+    u_dest = uniq // n
+    u_src = uniq % n
+    send_lists: dict[int, np.ndarray] = {}
+    change = np.flatnonzero(np.diff(u_dest)) + 1
+    starts = np.concatenate([[0], change])
+    ends = np.concatenate([change, [uniq.size]])
+    for s, e in zip(starts, ends):
+        d = int(u_dest[s])
+        send_lists[d] = (u_src[s:e] - lo).astype(np.intp)
+    return send_lists
+
+
+def inspector_results_equal(a: InspectorResult, b: InspectorResult) -> bool:
+    """Array-for-array equality of two inspector results (schedule and
+    kernel plan; build times and strategies are excluded on purpose)."""
+    sa, sb = a.schedule, b.schedule
+    if sa.rank != sb.rank or not np.array_equal(sa.ghost_globals, sb.ghost_globals):
+        return False
+    if sorted(sa.send_lists) != sorted(sb.send_lists):
+        return False
+    if any(not np.array_equal(sa.send_lists[d], sb.send_lists[d])
+           for d in sa.send_lists):
+        return False
+    if sorted(sa.recv_lists) != sorted(sb.recv_lists):
+        return False
+    if any(not np.array_equal(sa.recv_lists[s], sb.recv_lists[s])
+           for s in sa.recv_lists):
+        return False
+    pa, pb = a.kernel_plan, b.kernel_plan
+    return (
+        pa.rank == pb.rank
+        and pa.n_local == pb.n_local
+        and np.array_equal(pa.slots, pb.slots)
+        and np.array_equal(pa.starts, pb.starts)
+        and np.array_equal(pa.counts, pb.counts)
+    )
+
+
+class IncrementalInspector:
+    """Per-rank incremental Phase B state.
+
+    Construction runs one full inspector build (charged as usual) and
+    caches the rank's cross references; :meth:`rebuild` then patches the
+    cached result to each new partition, falling back to a full
+    :func:`run_inspector` when the crossover test says the diff is too
+    large (or the intersection is empty).
+
+    The instance assumes the *graph* is immutable for its lifetime and
+    diffs each new partition against the partition its current result
+    was built for — which is what the recovery path needs, where the
+    session's own ``partition`` transits through the checkpoint's.
+    """
+
+    #: Strategies whose schedules the patch path reproduces.
+    PATCHABLE = ("sort1", "sort2")
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        partition: IntervalPartition,
+        rank: int,
+        *,
+        strategy: str = "sort2",
+        ctx: "RankContext | None" = None,
+        cost_model: InspectorCostModel = InspectorCostModel(),
+        backend: str | None = None,
+    ):
+        if strategy not in self.PATCHABLE:
+            raise ScheduleError(
+                f"incremental rebuild requires a sorting strategy "
+                f"{self.PATCHABLE}, got {strategy!r} (the simple "
+                f"strategy's request-ordered ghost buffers cannot be "
+                f"patched)"
+            )
+        self.graph = graph
+        self.rank = rank
+        self.strategy = strategy
+        self.ctx = ctx
+        self.cost_model = cost_model
+        self.backend = backend
+        self.num_patches = 0
+        self.num_full_rebuilds = 0
+        self.last_mode = "full"
+        self.last_patch_cost = 0.0
+        self.result = self._full_build(partition)
+
+    # ------------------------------------------------------------------ #
+    # full-build path (also the fallback)
+    # ------------------------------------------------------------------ #
+
+    def _full_build(self, partition: IntervalPartition) -> InspectorResult:
+        result = run_inspector(
+            self.graph,
+            partition,
+            self.rank,
+            strategy=self.strategy,
+            ctx=self.ctx,
+            cost_model=self.cost_model,
+            backend=self.backend,
+        )
+        self._capture(partition, result)
+        return result
+
+    def _capture(
+        self, partition: IntervalPartition, result: InspectorResult
+    ) -> None:
+        """Refresh the cross-reference cache and full-cost sizes.
+
+        Bookkeeping only — it mirrors information the build just derived,
+        so no extra virtual time is charged.
+        """
+        lo, hi = partition.interval(self.rank)
+        src, nbr = local_references(self.graph, partition, self.rank)
+        off_mask = (nbr < lo) | (nbr >= hi)
+        self.cross_src = src[off_mask].astype(np.intp)
+        self.cross_nbr = nbr[off_mask].astype(np.intp)
+        # Positions of the off-block references within the block's
+        # reference array (== the kernel plan's slot order), ascending.
+        # The patch path uses these to locate every slot it must rewrite
+        # in O(boundary) instead of scanning all O(refs) slot values.
+        self._off_pos = np.flatnonzero(off_mask)
+        self.partition = partition
+        self.result = result
+        self._sizes = {
+            "refs": int(nbr.size),
+            "ghosts": result.schedule.ghost_size,
+            "sends": result.schedule.send_volume,
+        }
+
+    def _full_cost_estimate(self) -> float:
+        """Virtual cost of a full rebuild at the last observed sizes.
+
+        Mirrors the sort1/sort2 charge formulas in
+        :mod:`repro.runtime.schedule_builders`; the sizes track the most
+        recent (full or patched) build, so the estimate is learned per
+        run rather than fixed up front.
+        """
+        cm = self.cost_model
+        s = self._sizes
+        cost = (
+            cm.sec_per_ref * s["refs"]
+            + cm.sec_per_translate * s["ghosts"]
+            + cm.sort_cost(s["ghosts"])
+        )
+        if self.strategy == "sort1":
+            return cost + cm.sort_cost(s["sends"])
+        return cost + cm.sec_per_linear_op * s["sends"]
+
+    def _patch_cost_estimate(self, d: IntervalDiff) -> float:
+        """Predicted virtual cost of patching through *d* (pre-patch).
+
+        Upper-bounds the actual ``"inspector-incremental"`` charge using
+        only structural quantities known before any work happens, so the
+        full-vs-patch decision is deterministic and backend-identical.
+        """
+        cm = self.cost_model
+        diff_refs = _range_ref_count(self.graph, d.lost) + _range_ref_count(
+            self.graph, d.gained
+        )
+        cross = int(self.cross_src.size)
+        s = self._sizes
+        return (
+            cm.sec_per_ref * diff_refs
+            + 2.0 * cm.sec_per_linear_op * cross
+            + cm.sec_per_translate * s["ghosts"]
+            + cm.sort_cost(diff_refs)
+            + cm.sec_per_linear_op * (s["ghosts"] + s["sends"])
+        )
+
+    # ------------------------------------------------------------------ #
+    # the patch path
+    # ------------------------------------------------------------------ #
+
+    def rebuild(
+        self,
+        new_partition: IntervalPartition,
+        *,
+        force: str | None = None,
+    ) -> InspectorResult:
+        """Phase B for *new_partition*: patch if profitable, else full.
+
+        ``force`` pins the decision for tests and measurements:
+        ``"patch"`` always patches (provided the intersection is
+        non-empty), ``"full"`` always rebuilds, ``None`` (default) runs
+        the crossover test.
+        """
+        if force not in (None, "patch", "full"):
+            raise ScheduleError(f"force must be None/'patch'/'full', got {force!r}")
+        d = diff_interval(self.partition, new_partition, self.rank)
+        patchable = d.n_kept > 0
+        if force == "patch":
+            if not patchable:
+                raise ScheduleError(
+                    f"rank {self.rank}: cannot force a patch across a "
+                    f"disjoint interval move"
+                )
+            take_patch = True
+        elif force == "full":
+            take_patch = False
+        else:
+            take_patch = patchable and (
+                self._patch_cost_estimate(d) < self._full_cost_estimate()
+            )
+        if not take_patch:
+            self.num_full_rebuilds += 1
+            self.last_mode = "full"
+            self.last_patch_cost = 0.0
+            return self._full_build(new_partition)
+        result = self._patch(new_partition, d)
+        self.num_patches += 1
+        self.last_mode = "patched"
+        return result
+
+    def _patch(
+        self, new_partition: IntervalPartition, d: IntervalDiff
+    ) -> InspectorResult:
+        graph = self.graph
+        rank = self.rank
+        ctx = self.ctx
+        t0 = ctx.clock if ctx is not None else 0.0
+        lo1, hi1 = d.new_lo, d.new_hi
+
+        # --- cross-reference update ----------------------------------- #
+        # Keep entries whose source stays owned and whose target did not
+        # just become local; the target cannot enter the kept interval
+        # (it was off the OLD block, and kept is a subset of it).
+        keep = (self.cross_src >= d.keep_lo) & (self.cross_src < d.keep_hi)
+        if d.gained:
+            keep &= ~_in_ranges(self.cross_nbr, d.gained)
+        kept_src = self.cross_src[keep]
+        kept_nbr = self.cross_nbr[keep]
+        added_src = [kept_src]
+        added_nbr = [kept_nbr]
+        added = 0
+        # Gained vertices contribute their own off-block references.
+        for glo, ghi in d.gained:
+            src_g, nbr_g = _range_refs(graph, glo, ghi)
+            off = (nbr_g < lo1) | (nbr_g >= hi1)
+            src_off = src_g[off]
+            added_src.append(src_off)
+            added_nbr.append(nbr_g[off])
+            added += src_off.size
+        # Lost vertices turn kept->lost edges into cross references; the
+        # sorting strategies' symmetry assumption lets us find them by
+        # scanning the lost rows for neighbors in the kept interval.
+        back_rows = []
+        for llo, lhi in d.lost:
+            src_l, nbr_l = _range_refs(graph, llo, lhi)
+            back = (nbr_l >= d.keep_lo) & (nbr_l < d.keep_hi)
+            back_src = nbr_l[back]
+            added_src.append(back_src)
+            added_nbr.append(src_l[back])
+            back_rows.append(back_src)
+            added += back_src.size
+        cross_src = np.concatenate(added_src)
+        cross_nbr = np.concatenate(added_nbr)
+
+        # --- exceptional slot positions ------------------------------- #
+        # Every kept-row slot the kernel-plan patch must rewrite, located
+        # in O(boundary) work: the cached off-block positions, plus —
+        # via the same symmetry — references into the lost ranges, found
+        # by expanding only the rows the lost-row scan just named.
+        s0 = int(graph.indptr[d.keep_lo] - graph.indptr[d.old_lo])
+        s1 = int(graph.indptr[d.keep_hi] - graph.indptr[d.old_lo])
+        o = self._off_pos
+        i0, i1 = np.searchsorted(o, (s0, s1))
+        exc_pos = o[i0:i1]
+        back_all = (
+            np.concatenate(back_rows) if back_rows else np.empty(0, np.intp)
+        )
+        if back_all.size:
+            gs = _sorted_unique(back_all)
+            lens = graph.indptr[gs + 1] - graph.indptr[gs]
+            row0 = graph.indptr[gs] - graph.indptr[d.old_lo]
+            shift = row0 - np.concatenate(
+                [np.zeros(1, np.intp), np.cumsum(lens[:-1])]
+            )
+            cand = np.repeat(shift, lens) + np.arange(
+                int(lens.sum()), dtype=np.intp
+            )
+            vals = self.result.kernel_plan.slots[cand]
+            k_lo = d.keep_lo - d.old_lo
+            k_hi = d.keep_hi - d.old_lo
+            lost_pos = cand[(vals < k_lo) | (vals >= k_hi)]
+            exc_pos = _sorted_unique(np.concatenate([exc_pos, lost_pos]))
+
+        # --- schedule -------------------------------------------------- #
+        # Same pipeline as _sorted_schedule, fed the patched multiset:
+        # unique ghost set, run-grouped recv side, pair-key send side.
+        ghost_globals = _sorted_unique(cross_nbr)
+        recv_lists, ghost_globals = _recv_side_sorted(
+            new_partition, rank, ghost_globals
+        )
+        send_lists = _send_side_from_cross(
+            new_partition, rank, cross_src, cross_nbr
+        )
+        schedule = CommSchedule(
+            rank=rank,
+            partition=new_partition,
+            send_lists=send_lists,
+            recv_lists=recv_lists,
+            ghost_globals=ghost_globals,
+        )
+        plan, off_pos = self._patch_kernel_plan(
+            new_partition, d, ghost_globals, exc_pos - s0
+        )
+
+        # --- virtual charge ------------------------------------------- #
+        # Deterministic in the diff's structural sizes (and trivially
+        # backend-identical: the patch is a single numpy implementation).
+        cm = self.cost_model
+        diff_refs = _range_ref_count(graph, d.lost) + _range_ref_count(
+            graph, d.gained
+        )
+        sends = int(sum(a.size for a in send_lists.values()))
+        cost = (
+            cm.sec_per_ref * diff_refs
+            + cm.sec_per_linear_op * int(self.cross_src.size + cross_src.size)
+            + cm.sec_per_translate * int(ghost_globals.size)
+            + cm.sort_cost(added)
+            + cm.sec_per_linear_op * (int(ghost_globals.size) + sends)
+        )
+        _charge(ctx, cost, "inspector-incremental")
+        self.last_patch_cost = cost
+
+        build_time = (ctx.clock - t0) if ctx is not None else 0.0
+        result = InspectorResult(
+            schedule=schedule,
+            kernel_plan=plan,
+            strategy=self.strategy,
+            build_time=build_time,
+        )
+        self.cross_src = cross_src
+        self.cross_nbr = cross_nbr
+        self._off_pos = off_pos
+        self.partition = new_partition
+        self.result = result
+        self._sizes = {
+            "refs": int(graph.indptr[hi1] - graph.indptr[lo1]),
+            "ghosts": schedule.ghost_size,
+            "sends": schedule.send_volume,
+        }
+        return result
+
+    def _patch_kernel_plan(
+        self,
+        new_partition: IntervalPartition,
+        d: IntervalDiff,
+        ghost_globals: np.ndarray,
+        exc: np.ndarray,
+    ) -> tuple[KernelPlan, np.ndarray]:
+        """Remap kept rows' slots by a constant shift plus boundary
+        fixups; translate gained rows from scratch.  Bit-identical to
+        :func:`~repro.runtime.kernels.build_kernel_plan` output.
+
+        *exc* holds the positions (relative to the kept slot segment,
+        ascending) of every kept-row reference whose target is not in
+        the kept interval — the only slots the uniform shift gets wrong.
+        Also returns the new off-block reference positions (the
+        ``_off_pos`` cache for the next patch).
+        """
+        graph = self.graph
+        old_plan = self.result.kernel_plan
+        old_ghost = self.result.schedule.ghost_globals
+        n_local0 = old_plan.n_local
+        lo0 = d.old_lo
+        lo1, hi1 = d.new_lo, d.new_hi
+        n_local1 = hi1 - lo1
+        g1 = ghost_globals.size
+
+        # A kept row's reference into the kept interval maps by the
+        # uniform shift lo0 - lo1 (global g: old slot g - lo0, new slot
+        # g - lo1): one streaming add over the kept segment, then the
+        # O(boundary)-sized exception set is remapped individually.
+        s0 = int(graph.indptr[d.keep_lo] - graph.indptr[lo0])
+        s1 = int(graph.indptr[d.keep_hi] - graph.indptr[lo0])
+        old_slots = old_plan.slots[s0:s1]
+
+        # Assemble straight into the final array (fresh-left | kept |
+        # fresh-right) so the kept segment is written exactly once.
+        slots = np.empty(
+            int(graph.indptr[hi1] - graph.indptr[lo1]), dtype=np.intp
+        )
+        left = [r for r in d.gained if r[1] <= d.keep_lo]
+        right = [r for r in d.gained if r[0] >= d.keep_hi]
+        head = sum(
+            int(graph.indptr[ghi] - graph.indptr[glo]) for glo, ghi in left
+        )
+        mapped = slots[head : head + (s1 - s0)]
+        np.add(old_slots, lo0 - lo1, out=mapped)
+        kept_off = np.empty(0, dtype=np.intp)
+        if exc.size:
+            es = old_slots[exc]
+            g = np.empty(es.size, dtype=np.intp)
+            was_local = es < n_local0
+            g[was_local] = es[was_local] + lo0
+            g[~was_local] = old_ghost[es[~was_local] - n_local0]
+            new_slot = np.empty(es.size, dtype=np.intp)
+            now_local = (g >= lo1) & (g < hi1)
+            new_slot[now_local] = g[now_local] - lo1
+            off = g[~now_local]
+            if off.size:
+                if g1 == 0:
+                    raise ScheduleError(
+                        f"rank {self.rank}: kept row references a global "
+                        f"missing from the patched ghost buffer "
+                        f"(asymmetric adjacency?)"
+                    )
+                pos = np.searchsorted(ghost_globals, off)
+                ok = (pos < g1) & (
+                    ghost_globals[np.minimum(pos, g1 - 1)] == off
+                )
+                if not np.all(ok):
+                    raise ScheduleError(
+                        f"rank {self.rank}: kept row references a global "
+                        f"missing from the patched ghost buffer "
+                        f"(asymmetric adjacency?)"
+                    )
+                new_slot[~now_local] = n_local1 + pos
+            mapped[exc] = new_slot
+            kept_off = head + exc[~now_local]
+
+        # Gained rows: fresh translation (their references are all in the
+        # patched ghost buffer or the new local block by construction),
+        # written into the pre-sized output segment; returns the
+        # positions of the row range's off-block references.
+        def fresh(out: np.ndarray, base: int, glo: int, ghi: int) -> np.ndarray:
+            nbr = graph.indices[graph.indptr[glo] : graph.indptr[ghi]]
+            local = (nbr >= lo1) & (nbr < hi1)
+            out[local] = nbr[local] - lo1
+            off_idx = np.flatnonzero(~local)
+            off = nbr[off_idx]
+            if off.size:
+                if g1 == 0:
+                    raise ScheduleError(
+                        f"rank {self.rank}: gained row has off-block "
+                        f"references but the patched ghost buffer is empty"
+                    )
+                pos = np.searchsorted(ghost_globals, off)
+                ok = (pos < g1) & (
+                    ghost_globals[np.minimum(pos, g1 - 1)] == off
+                )
+                if not np.all(ok):
+                    raise ScheduleError(
+                        f"rank {self.rank}: gained row references a global "
+                        f"missing from the patched ghost buffer"
+                    )
+                out[off_idx] = n_local1 + pos
+            return base + off_idx
+
+        off_parts = []
+        cursor = 0
+        for glo, ghi in left:
+            m = int(graph.indptr[ghi] - graph.indptr[glo])
+            off_parts.append(fresh(slots[cursor : cursor + m], cursor, glo, ghi))
+            cursor += m
+        off_parts.append(kept_off)
+        cursor = head + (s1 - s0)
+        for glo, ghi in right:
+            m = int(graph.indptr[ghi] - graph.indptr[glo])
+            off_parts.append(fresh(slots[cursor : cursor + m], cursor, glo, ghi))
+            cursor += m
+        # Each piece is ascending and pieces cover disjoint ascending
+        # position ranges, so the concatenation is already sorted.
+        off_pos = np.concatenate(off_parts)
+
+        counts = np.asarray(
+            graph.indptr[lo1 + 1 : hi1 + 1] - graph.indptr[lo1:hi1],
+            dtype=np.intp,
+        )
+        # starts is the running sum of counts, which for contiguous rows
+        # is just the indptr offsets — identical values to the
+        # zeros+cumsum in build_kernel_plan, one subtraction instead.
+        starts = np.asarray(
+            graph.indptr[lo1:hi1] - graph.indptr[lo1], dtype=np.intp
+        )
+        plan = KernelPlan(
+            rank=self.rank,
+            n_local=n_local1,
+            slots=slots,
+            starts=starts,
+            counts=counts,
+        )
+        return plan, off_pos

@@ -33,7 +33,7 @@ from repro.partition.intervals import IntervalPartition, partition_list
 from repro.partition.ordering import OrderingMethod
 from repro.partition.rcb import RCBOrdering
 from repro.runtime.adaptive import AdaptiveSession, LoadBalanceConfig
-from repro.runtime.executor import ExecutorCostModel, gather
+from repro.runtime.executor import ExecutorCostModel, ExecutorScratch, gather
 from repro.runtime.kernels import KernelCostModel
 from repro.runtime.schedule_builders import InspectorCostModel
 
@@ -49,6 +49,12 @@ class ProgramConfig:
 
     iterations: int = 100
     strategy: str = "sort2"
+    #: Phase B rebuild mode after a remap: "full" re-runs the inspector
+    #: from scratch (the paper's protocol), "incremental" patches the
+    #: previous schedule/plan through the boundary diff
+    #: (:mod:`repro.runtime.incremental`) — bit-identical results, a
+    #: fraction of the rebuild cost.  Requires a sorting strategy.
+    inspector_mode: str = "full"
     #: Hot-path implementation: "reference" | "vectorized" | None (= the
     #: process default from :mod:`repro.runtime.backend`).  Both backends
     #: produce bit-identical results and virtual times.
@@ -114,6 +120,17 @@ class ProgramConfig:
             raise ConfigurationError(
                 "trace capture records virtual-clock events and is only "
                 'available with world="sim"'
+            )
+        if self.inspector_mode not in ("full", "incremental"):
+            raise ConfigurationError(
+                f"inspector_mode must be 'full' or 'incremental', got "
+                f"{self.inspector_mode!r}"
+            )
+        if self.inspector_mode == "incremental" and self.strategy == "simple":
+            raise ConfigurationError(
+                "inspector_mode='incremental' requires a sorting strategy "
+                "(sort1/sort2): the simple strategy's request-ordered "
+                "ghost buffers cannot be patched"
             )
         if self.recv_timeout is not None and self.recv_timeout <= 0:
             raise ConfigurationError(
@@ -370,9 +387,14 @@ def _rank_main(
         inspector_cost=config.inspector_cost,
         backend=config.backend,
         checkpoint=config.checkpoint,
+        inspector_mode=config.inspector_mode,
     )
     lo, hi = session.interval()
     local = y_init[lo:hi].copy()
+    # Ghost receive buffers are reused across iterations (the payloads a
+    # gather *sends* are still freshly packed — in-flight sim messages
+    # alias the sender's buffers, so those must never be recycled).
+    scratch = ExecutorScratch()
     (local,) = session.bootstrap_resilience((local,))
 
     # A while-loop, not `for`: after a failure rollback the session's
@@ -382,7 +404,7 @@ def _rank_main(
     while it < config.iterations:
         ghost = gather(
             ctx, session.schedule, local, cost_model=config.executor_cost,
-            backend=config.backend,
+            backend=config.backend, scratch=scratch,
         )
         t0 = ctx.clock
         local = session.kernel_plan.sweep(local, ghost)

@@ -52,37 +52,72 @@ class CommSchedule:
         lo, hi = self.partition.interval(self.rank)
         block = hi - lo
         for dest, arr in self.send_lists.items():
-            arr = np.ascontiguousarray(arr, dtype=np.intp)
-            self.send_lists[dest] = arr
-            if arr.size and (arr.min() < 0 or arr.max() >= block):
-                raise ScheduleError(
-                    f"rank {self.rank}: send list for {dest} has local "
-                    f"indices outside [0, {block})"
-                )
+            self.send_lists[dest] = np.ascontiguousarray(arr, dtype=np.intp)
             if dest == self.rank:
                 raise ScheduleError(f"rank {self.rank}: send list to itself")
         ghost = np.ascontiguousarray(self.ghost_globals, dtype=np.intp)
         object.__setattr__(self, "ghost_globals", ghost)
-        seen = np.zeros(ghost.size, dtype=bool)
         for src, pos in self.recv_lists.items():
-            pos = np.ascontiguousarray(pos, dtype=np.intp)
-            self.recv_lists[src] = pos
-            if pos.size and (pos.min() < 0 or pos.max() >= ghost.size):
-                raise ScheduleError(
-                    f"rank {self.rank}: recv positions for {src} out of "
-                    f"ghost buffer [0, {ghost.size})"
-                )
-            if np.any(seen[pos]):
-                raise ScheduleError(
-                    f"rank {self.rank}: ghost slots assigned to two sources"
-                )
-            seen[pos] = True
+            self.recv_lists[src] = np.ascontiguousarray(pos, dtype=np.intp)
             if src == self.rank:
                 raise ScheduleError(f"rank {self.rank}: recv list from itself")
-        if ghost.size and not seen.all():
-            raise ScheduleError(
-                f"rank {self.rank}: {int((~seen).sum())} ghost slots never filled"
+        # Range/coverage checks run once over the concatenated lists (the
+        # constructor sits on the phase-B hot path; per-list reductions
+        # cost more than they check).  A failed fast check falls back to
+        # the per-list scan purely to name the offending peer.
+        if self.send_lists:
+            all_send = np.concatenate(list(self.send_lists.values()))
+            if all_send.size and (
+                all_send.min() < 0 or all_send.max() >= block
+            ):
+                for dest, arr in self.send_lists.items():
+                    if arr.size and (arr.min() < 0 or arr.max() >= block):
+                        raise ScheduleError(
+                            f"rank {self.rank}: send list for {dest} has "
+                            f"local indices outside [0, {block})"
+                        )
+        # Ascending recv positions covering [0, ghost) exactly once imply
+        # in-range, no-duplicate, and fully-filled in a single pass.
+        pos_all = (
+            np.concatenate(list(self.recv_lists.values()))
+            if self.recv_lists
+            else np.empty(0, dtype=np.intp)
+        )
+        covered = pos_all.size == ghost.size and bool(
+            np.array_equal(
+                np.sort(pos_all), np.arange(ghost.size, dtype=np.intp)
             )
+        )
+        if not covered:
+            seen = np.zeros(ghost.size, dtype=bool)
+            for src, pos in self.recv_lists.items():
+                if pos.size and (pos.min() < 0 or pos.max() >= ghost.size):
+                    raise ScheduleError(
+                        f"rank {self.rank}: recv positions for {src} out of "
+                        f"ghost buffer [0, {ghost.size})"
+                    )
+                if np.any(seen[pos]):
+                    raise ScheduleError(
+                        f"rank {self.rank}: ghost slots assigned to two "
+                        f"sources"
+                    )
+                seen[pos] = True
+            if ghost.size and not seen.all():
+                raise ScheduleError(
+                    f"rank {self.rank}: {int((~seen).sum())} ghost slots "
+                    f"never filled"
+                )
+        # Sorted peer order is consulted twice per executor phase per
+        # rank; cache it once at validation time instead of re-sorting in
+        # the virtual-time hot loop.  (Builders never mutate the lists
+        # after construction; anything that does must build a fresh
+        # CommSchedule, which re-validates too.)
+        self._send_peers: tuple[int, ...] = tuple(
+            sorted(d for d, arr in self.send_lists.items() if arr.size)
+        )
+        self._recv_peers: tuple[int, ...] = tuple(
+            sorted(s for s, pos in self.recv_lists.items() if pos.size)
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -108,13 +143,14 @@ class CommSchedule:
 
         The executor issues sends in exactly this order (and applies
         received contributions in ascending source order), so schedule
-        *dict insertion order* can never influence results.
+        *dict insertion order* can never influence results.  Computed at
+        construction; returned as a fresh list each call.
         """
-        return sorted(d for d, arr in self.send_lists.items() if arr.size)
+        return list(self._send_peers)
 
     def recv_peers(self) -> list[int]:
-        """Sources with a non-empty recv list, ascending."""
-        return sorted(s for s, pos in self.recv_lists.items() if pos.size)
+        """Sources with a non-empty recv list, ascending (cached)."""
+        return list(self._recv_peers)
 
     def stats(self) -> dict[str, int]:
         """Structural facts of this schedule (deterministic; used by the

@@ -138,7 +138,7 @@ def _recv_side_sorted(
     )
     recv_lists: dict[int, np.ndarray] = {}
     if owners.size:
-        change = np.flatnonzero(np.diff(owners)) + 1
+        change = np.flatnonzero(owners[1:] != owners[:-1]) + 1
         starts = np.concatenate([[0], change])
         ends = np.concatenate([change, [owners.size]])
         for s, e in zip(starts, ends):

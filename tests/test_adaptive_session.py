@@ -263,85 +263,6 @@ class TestProgramIntegration:
             report_with([3, 2, 3]).num_remaps
 
 
-class TestDeprecationShims:
-    """The pre-refactor import sites keep working, loudly."""
-
-    def test_controller_check_shim(self):
-        from repro.runtime.controller import controller_check
-
-        part = partition_list(60, np.ones(2))
-        cfg = LoadBalanceConfig()
-
-        def fn(ctx):
-            with pytest.warns(DeprecationWarning, match="moved to"):
-                return controller_check(ctx, part, 1e-4, 10, cfg)
-
-        res = run_spmd(uniform_cluster(2), fn)
-        assert all(isinstance(d, Decision) for d in res.values)
-
-    def test_distributed_check_shim(self):
-        from repro.runtime.distributed_lb import distributed_check
-
-        part = partition_list(60, np.ones(2))
-        cfg = LoadBalanceConfig(style="distributed")
-
-        def fn(ctx):
-            with pytest.warns(DeprecationWarning, match="moved to"):
-                return distributed_check(ctx, part, 1e-4, 10, cfg)
-
-        res = run_spmd(uniform_cluster(2), fn)
-        assert all(isinstance(d, Decision) for d in res.values)
-
-    def test_redistribute_shim(self):
-        from repro.runtime.redistribution import redistribute
-
-        old = partition_list(20, [1, 1])
-        new = partition_list(20, [3, 1])
-        base = np.arange(20, dtype=np.float64)
-
-        def fn(ctx):
-            lo, hi = old.interval(ctx.rank)
-            with pytest.warns(DeprecationWarning, match="moved to"):
-                out = redistribute(ctx, old, new, base[lo:hi].copy())
-            nlo, nhi = new.interval(ctx.rank)
-            np.testing.assert_array_equal(out, base[nlo:nhi])
-            return True
-
-        assert all(run_spmd(uniform_cluster(2), fn).values)
-
-    def test_estimate_remap_cost_shim(self):
-        from repro.runtime.adaptive import estimate_remap_cost as canonical
-        from repro.runtime.redistribution import estimate_remap_cost
-
-        old = partition_list(100, [1, 1])
-        new = partition_list(100, [3, 1])
-        from repro.net.network import PointToPointNetwork
-
-        net = PointToPointNetwork()
-        with pytest.warns(DeprecationWarning, match="moved to"):
-            assert estimate_remap_cost(net, old, new, 8) == canonical(
-                net, old, new, 8
-            )
-
-    def test_private_decide_alias_survives(self):
-        # distributed_lb used to reach into controller._decide; external
-        # code copying that pattern still resolves (to the public decide).
-        from repro.runtime.adaptive import decide
-        from repro.runtime.controller import _decide
-
-        assert _decide is decide
-
-    def test_config_classes_importable_without_warning(self):
-        import warnings
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            from repro.runtime.controller import (  # noqa: F401
-                Decision as _D,
-                LoadBalanceConfig as _C,
-            )
-
-
 class TestDynamicLoadScenarios:
     def test_cluster_traces_follow_scenarios(self):
         from repro.apps.workloads import DYNAMIC_SCENARIOS, dynamic_load_cluster

@@ -41,6 +41,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["mcr"])
 
+    def test_run_inspector_mode_forms(self):
+        args = build_parser().parse_args(["run"])
+        assert args.inspector_mode == "full"
+        args = build_parser().parse_args(
+            ["run", "--inspector-mode", "incremental"]
+        )
+        assert args.inspector_mode == "incremental"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--inspector-mode", "magic"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -139,6 +149,15 @@ class TestCommands:
         assert rc == 0
         assert "verified against sequential oracle" in capsys.readouterr().out
 
+    def test_run_incremental_inspector_mode(self, capsys):
+        rc = main([
+            "run", "--vertices", "400", "--iterations", "25",
+            "--workstations", "3", "--load-balance",
+            "--inspector-mode", "incremental", "--verify",
+        ])
+        assert rc == 0
+        assert "verified against sequential oracle" in capsys.readouterr().out
+
 
 class TestBenchGlobs:
     def test_bench_run_glob(self, capsys, tmp_path):
@@ -168,6 +187,23 @@ class TestBenchGlobs:
         out = capsys.readouterr().out
         assert "backend=vectorized" in out and "backend=reference" in out
         assert (tmp_path / "scale-epoch-quick.json").exists()
+
+    def test_bench_run_profile(self, capsys, tmp_path):
+        rc = main([
+            "bench", "run", "table1", "--quick", "--profile",
+            "--results-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        pstats_path = tmp_path / "profiles" / "table1.pstats"
+        assert pstats_path.exists() and pstats_path.stat().st_size > 0
+        assert "cumulative" in err  # top-20 summary printed to stderr
+        assert str(pstats_path) in err
+        # The dump is a loadable pstats file.
+        import pstats
+
+        stats = pstats.Stats(str(pstats_path))
+        assert stats.total_calls > 0
 
 
 class TestRunReplicationFlag:

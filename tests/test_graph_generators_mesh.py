@@ -244,3 +244,27 @@ class TestScaleMesh:
             scale_mesh("3k")
         with pytest.raises(GraphError):
             scale_mesh("10k", family="torus")
+
+    def test_non_square_tier_warns_with_actual_count(self):
+        from repro.graph.generators import scale_mesh
+
+        with pytest.warns(RuntimeWarning, match=r"316x316 = 99856"):
+            g = scale_mesh("100k")
+        assert g.num_vertices == 99_856  # 316^2, not the nominal 100_000
+
+    def test_non_square_tier_exact_raises(self):
+        from repro.errors import GraphError
+        from repro.graph.generators import scale_mesh
+
+        with pytest.raises(GraphError, match=r"99856"):
+            scale_mesh("100k", exact=True)
+
+    def test_square_tier_exact_is_silent(self):
+        import warnings
+
+        from repro.graph.generators import scale_mesh
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            g = scale_mesh("10k", exact=True)
+        assert g.num_vertices == 10_000
