@@ -14,7 +14,11 @@ Commands mirror what a downstream user evaluating the runtime wants first:
 * ``fuzz`` — the seeded adversarial scenario fuzzer (:mod:`repro.fuzz`):
   ``run`` a generated batch or replay one scenario, ``shrink`` a failing
   scenario to a minimal reproducer, ``corpus`` to replay the committed
-  corpus in ``tests/fuzz_corpus/``.
+  corpus in ``tests/fuzz_corpus/``;
+* ``serve`` — the multi-tenant job service (:mod:`repro.serve`): submit
+  a JSONL job stream (or generate a seeded one), co-schedule it over one
+  shared cluster under a chosen admission policy, and print the service
+  report (throughput, p50/p99 makespan, Jain fairness, queue waits).
 """
 
 from __future__ import annotations
@@ -162,6 +166,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="corpus directory (default: tests/fuzz_corpus)")
     fcorpus.add_argument("--invariant", action="append", default=[],
                          metavar="NAME")
+
+    serve = sub.add_parser(
+        "serve",
+        help="co-schedule a job stream over one shared cluster",
+    )
+    serve.add_argument("--jobs", default=None, metavar="FILE",
+                       help="JSONL job stream, one JobSpec per line "
+                            "('-' reads stdin; blank lines and '#' "
+                            "comments are skipped); default: a generated "
+                            "stream (--stream/--n-jobs)")
+    serve.add_argument("--stream", default="uniform",
+                       choices=("uniform", "descending", "mixed"),
+                       help="generated stream shape when --jobs is not "
+                            "given ('descending' is the adversarial "
+                            "head-of-line case for FIFO)")
+    serve.add_argument("--n-jobs", type=int, default=8,
+                       help="number of jobs in the generated stream")
+    serve.add_argument("--cluster-size", type=int, default=8,
+                       help="processors in the shared pool")
+    serve.add_argument("--policy", default="fifo",
+                       choices=("fifo", "random", "sjf"),
+                       help="admission order: submission order, seeded "
+                            "random permutation, or shortest-job-first")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for the generated stream and for the "
+                            "random admission permutation")
+    serve.add_argument("--max-tenants", type=int, default=1,
+                       help="jobs a single rank may host concurrently "
+                            "(1 = space sharing; higher values time-share "
+                            "and co-tenant compute becomes competing load)")
+    serve.add_argument("--backend", default=None,
+                       choices=("reference", "vectorized"),
+                       help="hot-path implementation for every job "
+                            "(default: REPRO_BACKEND env var, else "
+                            "vectorized)")
+    serve.add_argument("--json", dest="json_out", default=None,
+                       metavar="FILE",
+                       help="also write the service report as JSON")
 
     bench = sub.add_parser(
         "bench", help="experiment harness: list, run, sweep, report"
@@ -537,6 +579,58 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled fuzz command {args.fuzz_command!r}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.net import uniform_cluster
+    from repro.serve import JobQueue, ServiceSession, generate_stream
+
+    try:
+        if args.jobs is not None:
+            if args.jobs == "-":
+                text = sys.stdin.read()
+            else:
+                from pathlib import Path
+
+                text = Path(args.jobs).read_text(encoding="utf-8")
+            queue = JobQueue.from_jsonl(text)
+        else:
+            queue = generate_stream(
+                args.stream,
+                args.n_jobs,
+                max_ranks=args.cluster_size,
+                seed=args.seed,
+            )
+        session = ServiceSession(
+            uniform_cluster(args.cluster_size, name="service-pool"),
+            queue,
+            policy=args.policy,
+            seed=args.seed,
+            max_tenants=args.max_tenants,
+            backend=args.backend,
+        )
+        report = session.run()
+    except OSError as exc:
+        print(f"error: cannot read job stream: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_text())
+    if args.json_out:
+        from pathlib import Path
+
+        out = Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nreport: {out}")
+    return 0
+
+
 def _parse_override(text: str) -> tuple[str, object]:
     """``KEY=VALUE`` with the value parsed as JSON when possible."""
     import json
@@ -714,6 +808,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_mcr(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")

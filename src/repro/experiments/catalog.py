@@ -39,6 +39,7 @@ __all__ = [
     "scale_adaptive_measurements",
     "scale_elastic_measurements",
     "scale_resilience_measurements",
+    "scale_service_measurements",
     "ORDERING_NAMES",
 ]
 
@@ -1354,3 +1355,96 @@ def _exp_ablation_check_frequency(
         "check_time": report.lb_check_time,
         "remap_time": report.remap_time,
     }
+
+
+# --------------------------------------------------------------------------
+# Scale tier — the multi-tenant job service (repro.serve): a stream of
+# programs co-scheduled over one shared cluster, each job's compute acting
+# as the others' competing load.
+
+
+def scale_service_measurements(
+    jobs: int,
+    policy: str,
+    backend: str,
+    shape: str,
+    *,
+    p: int = 8,
+    stream_seed: int = 1995,
+    admission_seed: int = 1,
+) -> dict[str, float]:
+    """One service run: a seeded job stream under one admission policy.
+
+    The ``descending`` stream is the adversarial head-of-line case and
+    runs space-shared (``max_tenants=1``): FIFO idles the remainder ranks
+    behind each wide head job, which the seeded random permutation fixes.
+    The other shapes run time-shared (``max_tenants=2``) so co-tenant
+    compute flows through :class:`~repro.net.loadmodel.ServiceLoad` into
+    every job's capability ratios.  All metrics are virtual, hence
+    bit-identical across backends (the differential contract);
+    ``checksum_sum`` aggregates the per-job value checksums, which are
+    policy- and placement-invariant (no job lost or duplicated).
+    """
+    from repro.net import uniform_cluster
+    from repro.serve import ServiceSession, generate_stream
+
+    queue = generate_stream(shape, jobs, max_ranks=p, seed=stream_seed)
+    max_tenants = 1 if shape == "descending" else 2
+    session = ServiceSession(
+        uniform_cluster(p, name="service-pool"),
+        queue,
+        policy=policy,
+        seed=admission_seed,
+        max_tenants=max_tenants,
+        backend=backend,
+    )
+    t0 = time.perf_counter()
+    report = session.run()
+    host_s = time.perf_counter() - t0
+    out = dict(report.metrics())
+    out["max_tenants"] = float(max_tenants)
+    out["checksum_sum"] = sum(r.checksum for r in report.records)
+    out["run_host_s"] = host_s
+    return out
+
+
+@experiment(
+    "scale-service",
+    title="Scale tier: multi-tenant job service on one shared cluster",
+    paper_anchor="Sec. 1, 3.5 (competing jobs as the adaptive environment)",
+    grid={
+        "jobs": (16, 24),
+        "policy": ("fifo", "random", "sjf"),
+        "backend": ("vectorized", "reference"),
+        "shape": ("descending", "uniform"),
+        "p": (8,),
+        "stream_seed": (1995,),
+        "admission_seed": (1,),
+    },
+    quick_grid={
+        "jobs": (16,),
+        "policy": ("fifo", "random", "sjf"),
+        "backend": ("vectorized", "reference"),
+        "shape": ("descending", "uniform"),
+        "p": (8,),
+        "stream_seed": (1995,),
+        "admission_seed": (1,),
+    },
+    higher_is_better=("throughput", "jain_fairness"),
+    description="Job streams co-scheduled under FIFO / seeded-random / "
+    "SJF admission; each running job's compute is the others' competing "
+    "load (ServiceLoad).",
+    tags=("scale", "perf", "adaptive", "serve"),
+)
+def _exp_scale_service(
+    params: Mapping[str, Any], *, seed: int
+) -> dict[str, float]:
+    return scale_service_measurements(
+        int(params["jobs"]),
+        str(params["policy"]),
+        str(params["backend"]),
+        str(params["shape"]),
+        p=int(params["p"]),
+        stream_seed=int(params["stream_seed"]),
+        admission_seed=int(params["admission_seed"]),
+    )

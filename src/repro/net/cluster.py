@@ -9,7 +9,7 @@ machine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -166,6 +166,23 @@ class ClusterSpec:
             raise ConfigurationError(f"rank {rank} out of range for with_load")
         procs = list(self.processors)
         procs[rank] = procs[rank].with_load(load)
+        return replace(self, processors=tuple(procs))
+
+    def with_loads(self, loads: Mapping[int, LoadTrace]) -> "ClusterSpec":
+        """A copy with competing-load traces attached to several processors.
+
+        Each entry *replaces* the rank's existing trace (compose explicitly
+        with :class:`~repro.net.loadmodel.CompositeLoad` to stack).  The
+        job service uses this to project all co-tenant activity onto a
+        job's sub-cluster in one step.
+        """
+        procs = list(self.processors)
+        for rank, load in loads.items():
+            if rank < 0 or rank >= self.size:
+                raise ConfigurationError(
+                    f"rank {rank} out of range for with_loads"
+                )
+            procs[rank] = procs[rank].with_load(load)
         return replace(self, processors=tuple(procs))
 
     def with_membership(self, trace: MembershipTrace | None) -> "ClusterSpec":

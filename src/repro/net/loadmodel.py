@@ -42,6 +42,7 @@ __all__ = [
     "RampLoad",
     "RandomWalkLoad",
     "CompositeLoad",
+    "ServiceLoad",
     "EVENT_KINDS",
     "MembershipEvent",
     "MembershipTrace",
@@ -198,6 +199,54 @@ class RandomWalkLoad(StepLoad):
         for i in range(1, n):
             loads[i] = min(max(loads[i - 1] + increments[i - 1], 0.0), max_load)
         steps = [(i * dt, float(loads[i])) for i in range(n)]
+        super().__init__(steps)
+
+
+class ServiceLoad(StepLoad):
+    """Competing load induced by co-tenant jobs' busy intervals.
+
+    The job service (:mod:`repro.serve`) records, for every physical rank,
+    the service-time intervals during which an admitted job keeps that
+    machine busy.  A later job admitted at service time ``origin`` sees
+    those co-tenants as ordinary competing processes: each interval
+    ``(start, end, load)`` contributes *load* competing processes over
+    ``[start, end)`` of service time, and the whole trace is shifted into
+    the new job's local clock (local ``t`` = service ``origin + t``).
+    Intervals already over by ``origin`` vanish; intervals straddling it
+    are clipped.  Overlapping intervals sum, exactly like
+    :class:`CompositeLoad` — this is how "each running job's compute *is*
+    the other jobs' load" closes the loop the paper's Sec. 3.5 scripts by
+    hand.
+    """
+
+    def __init__(
+        self,
+        intervals: Sequence[tuple[float, float, float]],
+        *,
+        origin: float = 0.0,
+    ):
+        if origin < 0:
+            raise ValueError(f"origin must be >= 0, got {origin}")
+        deltas: dict[float, float] = {}
+        for start, end, load in intervals:
+            if end < start:
+                raise ValueError(
+                    f"busy interval must have end >= start, got ({start}, {end})"
+                )
+            if load < 0:
+                raise ValueError(f"interval load must be >= 0, got {load}")
+            lo = max(float(start) - origin, 0.0)
+            hi = float(end) - origin
+            if hi <= lo or load == 0.0:
+                continue
+            deltas[lo] = deltas.get(lo, 0.0) + float(load)
+            deltas[hi] = deltas.get(hi, 0.0) - float(load)
+        steps: list[tuple[float, float]] = [(0.0, 0.0)]
+        level = 0.0
+        for t in sorted(deltas):
+            level += deltas[t]
+            # Clamp accumulated float error so StepLoad's >= 0 check holds.
+            steps.append((t, max(level, 0.0)))
         super().__init__(steps)
 
 

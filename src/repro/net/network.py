@@ -174,16 +174,35 @@ class SharedEthernet(PointToPointNetwork):
         )
         self._lock = threading.Lock()
         self._medium_free = 0.0
+        # Last granted reservation per source rank: (dest, nbytes, t_send,
+        # sender_free).  What lets injection_done report the *granted* slot
+        # instead of a contention-free guess.
+        self._grants: dict[int, tuple[int, int, float, float]] = {}
 
     def reset(self) -> None:
         with self._lock:
             self._medium_free = 0.0
+            self._grants.clear()
 
-    def _acquire_medium(self, t_ready: float, hold: float) -> float:
-        """Reserve the medium from max(t_ready, free); return start time."""
+    def _acquire_medium(
+        self,
+        t_ready: float,
+        hold: float,
+        *,
+        grant_key: tuple[int, int, int, float] | None = None,
+    ) -> float:
+        """Reserve the medium from max(t_ready, free); return start time.
+
+        With *grant_key* = (source, dest, nbytes, t_send), the reservation
+        is also recorded so a matching :meth:`injection_done` query can
+        report when the sender's frame actually left the medium.
+        """
         with self._lock:
             start = max(t_ready, self._medium_free)
             self._medium_free = start + hold
+            if grant_key is not None:
+                source, dest, nbytes, t_send = grant_key
+                self._grants[source] = (dest, nbytes, t_send, start + hold)
             return start
 
     def send(self, source: int, dest: int, nbytes: int, t_send: float) -> float:
@@ -191,15 +210,28 @@ class SharedEthernet(PointToPointNetwork):
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         p = self._p
         frame = nbytes / p.bandwidth
-        start = self._acquire_medium(t_send + p.per_message_overhead, frame)
+        start = self._acquire_medium(
+            t_send + p.per_message_overhead,
+            frame,
+            grant_key=(source, dest, nbytes, t_send),
+        )
         return start + frame + p.latency
 
     def injection_done(
         self, source: int, dest: int, nbytes: int, t_send: float
     ) -> float:
-        # The sender is busy until its frame has left the shared medium; we
-        # approximate with serialization time from the send instant (the
-        # reservation itself already happened inside :meth:`send`).
+        # The sender is busy until its frame has left the shared medium.
+        # When the query matches the source's last granted reservation (the
+        # send/injection_done pairing every caller uses), report the granted
+        # slot: under contention the frame may have held the medium much
+        # later than t_send, and injecting the next frame before then would
+        # let a sequential-unicast fallback overlap its own frames.
+        with self._lock:
+            grant = self._grants.get(source)
+            if grant is not None and grant[:3] == (dest, nbytes, t_send):
+                return grant[3]
+        # No recorded reservation (a cost estimator probing, or a query for
+        # a transmission this model never granted): contention-free bound.
         return t_send + self._p.per_message_overhead + self.serialization_time(nbytes)
 
     def multicast(
@@ -207,9 +239,17 @@ class SharedEthernet(PointToPointNetwork):
     ) -> list[float]:
         if not dests:
             return []
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         p = self._p
         frame = nbytes / p.bandwidth
-        start = self._acquire_medium(t_send + p.per_message_overhead, frame)
+        # Recorded under the first destination: the comm layer queries
+        # injection_done with dests[0] after a multicast.
+        start = self._acquire_medium(
+            t_send + p.per_message_overhead,
+            frame,
+            grant_key=(source, int(dests[0]), nbytes, t_send),
+        )
         arrival = start + frame + p.latency
         return [arrival] * len(dests)
 
@@ -282,6 +322,8 @@ class SwitchedNetwork(NetworkModel):
     def multicast(
         self, source: int, dests: Sequence[int], nbytes: int, t_send: float
     ) -> list[float]:
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         p = self._p
         hold = nbytes / p.bandwidth
         t_ready = t_send + p.per_message_overhead

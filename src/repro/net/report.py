@@ -101,7 +101,16 @@ def analyze_trace(trace: TraceLog, final_clocks: list[float]) -> UtilizationRepo
     byte_counts: dict[int, int] = {}
     for ev in trace:
         if ev.rank >= len(breakdowns):
-            continue
+            # Silently skipping would drop this rank's traffic from the
+            # report — with elastic joins that is real mid-run activity,
+            # not noise.  The caller passed final clocks for too small a
+            # world (e.g. only the initially active ranks).
+            raise ConfigurationError(
+                f"trace contains events for rank {ev.rank} but only "
+                f"{len(breakdowns)} final clock(s) were supplied; pass the "
+                f"full world's final clocks (elastic joins emit events for "
+                f"ranks beyond the initially active set)"
+            )
         span = ev.t_end - ev.t_start
         b = breakdowns[ev.rank]
         if ev.kind == "compute":

@@ -31,6 +31,14 @@ The session also does the bookkeeping Tables 4-5 are made of: virtual time
 spent in checks, remaps, checkpoints, and rollbacks; check/remap/epoch
 counts; and the host seconds of the redistribution exchange (what the
 ``scale-adaptive`` benchmarks compare across backends).
+
+The competing load this loop reacts to comes from two producers: scripted
+per-rank traces (``StepLoad`` schedules — the Table 5 setup), and the job
+service (:mod:`repro.serve`), where the load on a rank is other admitted
+jobs' measured compute projected through
+:class:`~repro.net.loadmodel.ServiceLoad`.  Either way it arrives through
+the same ``capability_ratios`` machinery, so the session is oblivious to
+which world it is balancing against.
 """
 
 from __future__ import annotations

@@ -1,0 +1,86 @@
+"""Admission ordering and placement for the job service.
+
+Admission is strict head-of-line: the scheduler offers jobs in *admission
+order* and stops at the first one that does not fit — no backfill.  That
+discipline is deliberate: it exposes the classic worst case of cyclic /
+FIFO orderings (a wide job at the head idles the remainder ranks while
+narrow jobs queue behind it), which the seeded random-permutation policy
+exists to fix — the scheduling analogue of Lee & Wright's "random
+permutations fix a worst case for cyclic coordinate descent" (PAPERS.md).
+
+Placement carves the shared pool by *tenancy*: each physical rank hosts
+at most ``max_tenants`` concurrent jobs.  ``max_tenants=1`` is pure space
+sharing (dedicated ranks); higher values time-share ranks, and the
+co-tenant compute becomes competing load through
+:class:`~repro.net.loadmodel.ServiceLoad`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.serve.job import JobSpec
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["ADMISSION_POLICIES", "admission_order", "place_job"]
+
+#: Built-in admission policies: submission order, seeded random
+#: permutation, and shortest-job-first (by :meth:`JobSpec.work_estimate`).
+ADMISSION_POLICIES = ("fifo", "random", "sjf")
+
+
+def admission_order(
+    jobs: Sequence[JobSpec],
+    policy: str,
+    *,
+    seed: SeedLike = 0,
+) -> list[JobSpec]:
+    """The order in which the service offers jobs for admission.
+
+    Higher ``priority`` always admits first; *within* a priority class
+    the policy decides: ``fifo`` keeps submission order, ``random``
+    applies one seeded permutation, ``sjf`` sorts by ascending work
+    estimate (ties broken by submission order, so the order is total and
+    deterministic).
+    """
+    jobs = list(jobs)
+    if policy == "fifo":
+        order = list(range(len(jobs)))
+    elif policy == "random":
+        order = [int(i) for i in as_generator(seed).permutation(len(jobs))]
+    elif policy == "sjf":
+        order = sorted(
+            range(len(jobs)), key=lambda i: (jobs[i].work_estimate(), i)
+        )
+    else:
+        raise ConfigurationError(
+            f"unknown admission policy {policy!r}; known: "
+            f"{', '.join(ADMISSION_POLICIES)}"
+        )
+    # Stable: policy order survives within each priority class.
+    order.sort(key=lambda i: -jobs[i].priority)
+    return [jobs[i] for i in order]
+
+
+def place_job(
+    job: JobSpec,
+    tenancy: Sequence[int],
+    max_tenants: int,
+) -> tuple[int, ...] | None:
+    """Pick ``job.ranks`` physical ranks, or ``None`` if the job won't fit.
+
+    Least-loaded ranks first (ties broken by rank index), and every
+    chosen rank must have a free tenant slot — a job is gang-placed or
+    not at all.  Deterministic given the tenancy vector.
+    """
+    if job.ranks > len(tenancy):
+        raise ConfigurationError(
+            f"job {job.job_id!r} requests {job.ranks} ranks but the "
+            f"shared cluster has only {len(tenancy)}"
+        )
+    candidates = sorted(range(len(tenancy)), key=lambda r: (tenancy[r], r))
+    chosen = candidates[: job.ranks]
+    if tenancy[chosen[-1]] >= max_tenants:
+        return None
+    return tuple(sorted(chosen))

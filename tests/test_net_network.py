@@ -126,3 +126,69 @@ class TestSwitchedNetwork:
         eth = ETHERNET_10MBIT()
         atm = SwitchedNetwork()
         assert atm.send(0, 1, 100_000, 0.0) < eth.send(0, 1, 100_000, 0.0)
+
+
+class TestSharedEthernetContention:
+    """Regression: injection_done must reflect the *granted* medium slot."""
+
+    def test_injection_done_sees_contention(self):
+        net = SharedEthernet(latency=0.0, bandwidth=1e6, per_message_overhead=0.0)
+        net.send(0, 1, 1_000_000, 0.0)  # holds the medium [0, 1]
+        net.send(2, 3, 1_000_000, 0.0)  # granted [1, 2]
+        # Sender 2's frame left the medium at t=2, not at the
+        # contention-free 0 + serialization = 1.
+        assert net.injection_done(2, 3, 1_000_000, 0.0) == pytest.approx(2.0)
+
+    def test_injection_done_uncontended_unchanged(self):
+        net = SharedEthernet(latency=1e-3, bandwidth=1.25e6, per_message_overhead=5e-4)
+        net.send(0, 1, 5000, 10.0)
+        expected = 10.0 + 5e-4 + 5000 / 1.25e6
+        assert net.injection_done(0, 1, 5000, 10.0) == pytest.approx(expected)
+
+    def test_unmatched_query_contention_free(self):
+        # A cost-estimator probe (no prior send) gets the optimistic bound.
+        net = SharedEthernet(latency=0.0, bandwidth=1e6, per_message_overhead=0.0)
+        assert net.injection_done(4, 5, 1_000_000, 3.0) == pytest.approx(4.0)
+
+    def test_sequential_fallback_cannot_overlap_own_frames(self):
+        # Drive the base-class sequential-unicast fallback over the shared
+        # medium: with the bug, every copy was injected at t_send and the
+        # later frames queued behind an already-stale injection estimate.
+        from repro.net.network import NetworkModel
+
+        net = SharedEthernet(latency=0.0, bandwidth=1e6, per_message_overhead=0.0)
+        arrivals = NetworkModel.multicast(net, 0, [1, 2, 3], 1_000_000, 0.0)
+        # Each 1-second frame must fully occupy the medium before the next
+        # copy is injected: arrivals at exactly 1, 2, 3 seconds.
+        assert arrivals == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_multicast_injection_done_matches_grant(self):
+        net = SharedEthernet(latency=0.0, bandwidth=1e6, per_message_overhead=0.0)
+        net.send(0, 1, 1_000_000, 0.0)            # medium busy until t=1
+        net.multicast(2, [3, 4], 500_000, 0.0)    # granted [1, 1.5]
+        # The comm layer queries with dests[0] after a multicast.
+        assert net.injection_done(2, 3, 500_000, 0.0) == pytest.approx(1.5)
+
+    def test_reset_clears_grants(self):
+        net = SharedEthernet(latency=0.0, bandwidth=1e6, per_message_overhead=0.0)
+        net.send(0, 1, 1_000_000, 0.0)
+        net.send(2, 3, 1_000_000, 0.0)
+        net.reset()
+        assert net.injection_done(2, 3, 1_000_000, 0.0) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [PointToPointNetwork, SharedEthernet, SwitchedNetwork],
+    ids=["p2p", "ethernet", "switched"],
+)
+class TestNegativeSizeRejected:
+    """Regression: multicast must validate nbytes like send does."""
+
+    def test_send_rejects(self, factory):
+        with pytest.raises(ValueError, match="nbytes"):
+            factory().send(0, 1, -1, 0.0)
+
+    def test_multicast_rejects(self, factory):
+        with pytest.raises(ValueError, match="nbytes"):
+            factory().multicast(0, [1, 2], -1, 0.0)

@@ -109,3 +109,44 @@ class TestRenderTimeline:
         art = render_timeline(log, [1.0], width=10)
         row = art.splitlines()[0]
         assert "~" in row and "#" in row
+
+
+class TestJoinMidrunClocks:
+    """Regression: analyze_trace must not drop a joined rank's traffic."""
+
+    def _joined_run(self):
+        from repro.graph.generators import paper_mesh
+        from repro.net.loadmodel import MembershipEvent, MembershipTrace
+        from repro.runtime.program import ProgramConfig, run_program
+
+        graph = paper_mesh(64)
+        y0 = np.linspace(0.0, 1.0, graph.num_vertices)
+        trace = MembershipTrace(
+            3, [MembershipEvent(0.01, "join", 2)], initially_inactive=[2]
+        )
+        config = ProgramConfig(
+            iterations=6,
+            membership=trace,
+            load_balance="centralized",
+            initial_capabilities="equal",
+            trace=True,
+        )
+        return run_program(graph, uniform_cluster(3), config, y0=y0)
+
+    def test_truncated_clocks_raise(self):
+        report = self._joined_run()
+        assert any(ev.rank == 2 for ev in report.trace)  # the join happened
+        with pytest.raises(ConfigurationError, match="rank 2"):
+            analyze_trace(report.trace, list(report.clocks)[:2])
+
+    def test_full_clocks_keep_joiner_traffic(self):
+        report = self._joined_run()
+        util = analyze_trace(report.trace, list(report.clocks))
+        joiner = util.breakdowns[2]
+        assert joiner.compute > 0.0  # the joiner's work is accounted
+
+    def test_synthetic_out_of_range_event_named(self):
+        log = TraceLog()
+        log.record(TraceEvent("compute", 5, 0.0, 1.0))
+        with pytest.raises(ConfigurationError, match="rank 5"):
+            analyze_trace(log, [1.0, 1.0])
