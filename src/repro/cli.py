@@ -24,6 +24,7 @@ Commands mirror what a downstream user evaluating the runtime wants first:
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Sequence
 
@@ -31,12 +32,20 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
+_log = logging.getLogger("repro.cli")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="STANCE runtime reproduction (Kaddoura & Ranka, HPDC 1996)",
     )
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="diagnostic verbosity for the repro.* loggers "
+                             "(default: REPRO_LOG_LEVEL env var, else info); "
+                             "real-world workers inherit it and prefix "
+                             "their lines with [rank N]")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="print version and inventory")
@@ -98,6 +107,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "else 120)")
     run.add_argument("--verify", action="store_true",
                      help="check the result against the sequential oracle")
+    run.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="record hierarchical spans and write a Chrome "
+                          "trace-event JSON (load it in Perfetto / "
+                          "chrome://tracing); works in both worlds")
+    run.add_argument("--trace-capacity", type=int, default=None,
+                     metavar="N",
+                     help="ring-buffer cap on recorded trace events per "
+                          "run (oldest dropped first, with a dropped-"
+                          "events count in the export; default: unbounded)")
+    run.add_argument("--trace-timebase", default="clock",
+                     choices=("clock", "wall"),
+                     help="timestamp source for --trace-out: 'clock' "
+                          "(virtual in sim, latched wall in real) or "
+                          "'wall' (host wall clock; sim spans only)")
 
     orderings = sub.add_parser("orderings", help="compare 1-D transformations")
     orderings.add_argument("--vertices", type=int, default=3000)
@@ -204,6 +227,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", dest="json_out", default=None,
                        metavar="FILE",
                        help="also write the service report as JSON")
+    serve.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="record service-time spans (admit / job / "
+                            "per-rank occupancy) and write a Chrome "
+                            "trace-event JSON")
+    serve.add_argument("--trace-capacity", type=int, default=None,
+                       metavar="N",
+                       help="ring-buffer cap on recorded trace events")
 
     bench = sub.add_parser(
         "bench", help="experiment harness: list, run, sweep, report"
@@ -227,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run under cProfile; dumps "
                            "<results-dir>/profiles/<experiment>.pstats and "
                            "prints the top-20 cumulative entries to stderr")
+    brun.add_argument("--trace-out", default=None, metavar="FILE",
+                      help="capture the trace of the experiment's program "
+                           "runs (ambient capture window; the last run's "
+                           "trace is exported as Chrome trace-event JSON)")
+    brun.add_argument("--trace-capacity", type=int, default=None,
+                      metavar="N",
+                      help="ring-buffer cap on recorded trace events per run")
 
     bsweep = bsub.add_parser("sweep", help="run a scenario-sweep grid")
     bsweep.add_argument("--grid", default="small",
@@ -244,6 +281,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the markdown report to this file")
     breport.add_argument("--fail-on-regression", action="store_true",
                          help="exit 1 if any metric regressed")
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="inspect or re-export a Chrome trace written by --trace-out",
+    )
+    tsub = trace_p.add_subparsers(dest="trace_command", required=True)
+    texport = tsub.add_parser(
+        "export", help="re-export a trace (switch timebase, drop wall fields)"
+    )
+    texport.add_argument("input",
+                         help="Chrome trace-event JSON written by --trace-out")
+    texport.add_argument("-o", "--output", required=True,
+                         help="destination JSON file")
+    texport.add_argument("--timebase", default="clock",
+                         choices=("clock", "wall"),
+                         help="timestamp source for the re-export")
+    texport.add_argument("--no-wall", action="store_true",
+                         help="omit wall-clock fields from the event args")
+    tsummary = tsub.add_parser(
+        "summary", help="per-rank, per-phase event / time / byte totals"
+    )
+    tsummary.add_argument("input",
+                          help="Chrome trace-event JSON written by --trace-out")
     return parser
 
 
@@ -307,6 +367,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             replication_factor=args.replication,
             world=args.world,
             recv_timeout=args.recv_timeout,
+            trace=args.trace_out is not None,
+            trace_capacity=args.trace_capacity,
         )
         report = run_program(graph, cluster, config, y0=y0)
         print(f"workload: {graph}")
@@ -345,6 +407,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"{report.num_rollbacks} rollback(s) "
                   f"(cost {report.rollback_time:.4f} s, "
                   f"lost work {report.lost_time:.4f} s)")
+        if args.trace_out:
+            from repro.obs import write_chrome_trace
+
+            assert report.trace is not None
+            write_chrome_trace(
+                args.trace_out,
+                report.trace,
+                timebase=args.trace_timebase,
+                metadata={"command": "run", "world": args.world},
+            )
+            print(f"trace: {args.trace_out} ({len(report.trace)} event(s), "
+                  f"{report.trace.dropped_events} dropped)")
     except (
         ConfigurationError,
         LoadBalanceError,
@@ -354,14 +428,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Cross-rank aggregation (num_remaps / membership_events /
         # num_checkpoints / num_rollbacks) raises on a desync too, so
         # the summary prints live inside the guard.
-        print(f"error: {exc}", file=sys.stderr)
+        _log.error("error: %s", exc)
         return 2
     if args.verify:
         oracle = run_sequential(graph, y0, args.iterations)
         err = float(np.abs(report.values - oracle).max())
         print(f"max deviation from sequential oracle: {err:.2e}")
         if err > 1e-9:
-            print("VERIFICATION FAILED", file=sys.stderr)
+            _log.error("VERIFICATION FAILED")
             return 1
         print("verified against sequential oracle")
     return 0
@@ -410,7 +484,7 @@ def _cmd_mcr(args: argparse.Namespace) -> int:
     )
 
     if len(args.old) != len(args.new):
-        print("--old and --new must have the same length", file=sys.stderr)
+        _log.error("--old and --new must have the same length")
         return 2
     p = len(args.old)
     arrangement = minimize_cost_redistribution(
@@ -574,7 +648,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             print(f"\n{len(paths)} corpus scenario(s), {failures} failure(s)")
             return 1 if failures else 0
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _log.error("error: %s", exc)
         return 2
     raise AssertionError(f"unhandled fuzz command {args.fuzz_command!r}")
 
@@ -609,13 +683,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             max_tenants=args.max_tenants,
             backend=args.backend,
+            trace=args.trace_out is not None,
+            trace_capacity=args.trace_capacity,
         )
         report = session.run()
     except OSError as exc:
-        print(f"error: cannot read job stream: {exc}", file=sys.stderr)
+        _log.error("error: cannot read job stream: %s", exc)
         return 2
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _log.error("error: %s", exc)
         return 2
     print(report.to_text())
     if args.json_out:
@@ -628,6 +704,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             encoding="utf-8",
         )
         print(f"\nreport: {out}")
+    if args.trace_out and report.trace is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(
+            args.trace_out,
+            report.trace,
+            metadata={"command": "serve", "policy": args.policy},
+        )
+        print(f"trace: {args.trace_out} ({len(report.trace)} event(s))")
     return 0
 
 
@@ -681,8 +766,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             if any(ch in args.name for ch in "*?["):
                 matched = [n for n in names() if fnmatchcase(n, args.name)]
                 if not matched:
-                    print(f"error: no experiment matches {args.name!r}",
-                          file=sys.stderr)
+                    _log.error("error: no experiment matches %r", args.name)
                     return 2
             else:
                 matched = [args.name]
@@ -696,39 +780,66 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
                 for name in matched:
                     validate_overrides(name, overrides, quick=args.quick)
-            for name in matched:
-                if args.profile:
-                    import cProfile
-                    import pstats
-                    from pathlib import Path
+            from contextlib import ExitStack
 
-                    profile_dir = Path(args.results_dir) / "profiles"
-                    profile_dir.mkdir(parents=True, exist_ok=True)
-                    pstats_path = profile_dir / f"{name}.pstats"
-                    prof = cProfile.Profile()
-                    prof.enable()
-                    try:
+            with ExitStack() as stack:
+                window = None
+                if args.trace_out:
+                    from repro.obs import capture_traces
+
+                    window = stack.enter_context(
+                        capture_traces(capacity=args.trace_capacity)
+                    )
+                for name in matched:
+                    if args.profile:
+                        import cProfile
+                        import pstats
+                        from pathlib import Path
+
+                        profile_dir = Path(args.results_dir) / "profiles"
+                        profile_dir.mkdir(parents=True, exist_ok=True)
+                        pstats_path = profile_dir / f"{name}.pstats"
+                        prof = cProfile.Profile()
+                        prof.enable()
+                        try:
+                            artifact, path = run_experiment(
+                                name,
+                                quick=args.quick,
+                                overrides=overrides or None,
+                                results_dir=args.results_dir,
+                            )
+                        finally:
+                            prof.disable()
+                            prof.dump_stats(str(pstats_path))
+                            stats = pstats.Stats(prof, stream=sys.stderr)
+                            stats.sort_stats("cumulative").print_stats(20)
+                            _log.info("profile: %s", pstats_path)
+                    else:
                         artifact, path = run_experiment(
                             name,
                             quick=args.quick,
                             overrides=overrides or None,
                             results_dir=args.results_dir,
                         )
-                    finally:
-                        prof.disable()
-                        prof.dump_stats(str(pstats_path))
-                        stats = pstats.Stats(prof, stream=sys.stderr)
-                        stats.sort_stats("cumulative").print_stats(20)
-                        print(f"profile: {pstats_path}", file=sys.stderr)
-                else:
-                    artifact, path = run_experiment(
-                        name,
-                        quick=args.quick,
-                        overrides=overrides or None,
-                        results_dir=args.results_dir,
+                    _print_artifact_summary(artifact)
+                    print(f"\nartifact: {path}")
+            if window is not None:
+                from repro.obs import write_chrome_trace
+
+                if not window.traces:
+                    _log.warning(
+                        "no program runs were captured; %s not written",
+                        args.trace_out,
                     )
-                _print_artifact_summary(artifact)
-                print(f"\nartifact: {path}")
+                else:
+                    label, tr = window.traces[-1]
+                    write_chrome_trace(
+                        args.trace_out,
+                        tr,
+                        metadata={"command": "bench", "run": label},
+                    )
+                    print(f"trace: {args.trace_out} ({label}, "
+                          f"{len(tr)} event(s))")
             return 0
 
         if args.bench_command == "sweep":
@@ -757,9 +868,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 return 1
             return 0
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _log.error("error: %s", exc)
         return 2
     raise AssertionError(f"unhandled bench command {args.bench_command!r}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs import load_chrome_trace, phase_table, write_chrome_trace
+
+    try:
+        trace = load_chrome_trace(args.input)
+        if args.trace_command == "summary":
+            print(phase_table(trace))
+            return 0
+        if args.trace_command == "export":
+            write_chrome_trace(
+                args.output,
+                trace,
+                timebase=args.timebase,
+                include_wall=not args.no_wall,
+                metadata={"command": "trace export", "source": args.input},
+            )
+            print(f"trace: {args.output} ({len(trace)} event(s))")
+            return 0
+    except BrokenPipeError:
+        raise  # main() handles a consumer that closed early (e.g. head)
+    except OSError as exc:
+        _log.error("error: cannot read trace: %s", exc)
+        return 2
+    except ReproError as exc:
+        _log.error("error: %s", exc)
+        return 2
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
 
 
 def _print_artifact_summary(artifact: dict) -> None:
@@ -784,9 +925,23 @@ def _print_artifact_summary(artifact: dict) -> None:
     )
 
 
+def _configure_logging(args: argparse.Namespace) -> None:
+    import os
+
+    from repro.obs.logconf import LEVEL_ENV, configure_logging
+
+    if args.log_level:
+        # Real-world workers are separate processes; the env var is how
+        # they inherit the chosen level.
+        os.environ[LEVEL_ENV] = args.log_level
+    configure_logging(args.log_level)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     try:
-        return _dispatch(build_parser().parse_args(argv))
+        args = build_parser().parse_args(argv)
+        _configure_logging(args)
+        return _dispatch(args)
     except BrokenPipeError:
         # Output was piped into a consumer that closed early (e.g. `head`);
         # that is not an error in us.  Detach stdout so interpreter teardown
@@ -812,6 +967,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -20,11 +20,19 @@ the standing invariants of the runtime held:
   in a :class:`~repro.errors.RankFailedError`); any other exception is a
   crash.  A scenario's ``expect`` field may narrow this to exactly one
   of the two legitimate outcomes.
+* ``obs-neutral`` — re-running the scenario with tracing enabled
+  (:mod:`repro.obs`) leaves the final values, per-rank virtual clocks,
+  virtual metrics, and collective counters bit-identical.  Recording is
+  observation only: a span that advanced a clock or perturbed a decision
+  would break the determinism contract in the subtlest possible way.
+  (Observability's *own* outputs — e.g. the mailbox-depth gauge — are
+  deliberately not compared: they may legitimately vary with thread
+  scheduling; the invariant is that the *computation* cannot.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -54,6 +62,7 @@ INVARIANTS = (
     "backend-differential",
     "no-desync",
     "recoverable",
+    "obs-neutral",
 )
 
 #: The collective counters whose aggregation detects a desync.
@@ -128,7 +137,7 @@ class OracleReport:
 
 
 def _attempt(
-    scenario: Scenario, backend: str
+    scenario: Scenario, backend: str, *, traced: bool = False
 ) -> tuple[str, "ProgramReport | None", str]:
     """One run: (outcome, report-or-None, diagnosis-or-crash-message)."""
     from repro.runtime import run_program
@@ -137,6 +146,8 @@ def _attempt(
     y0 = scenario.build_y0(graph)
     cluster = scenario.build_cluster()
     config = scenario.build_config(backend=backend)
+    if traced:
+        config = replace(config, trace=True)
     try:
         report = run_program(graph, cluster, config, y0=y0)
         return "recovered", report, ""
@@ -244,6 +255,47 @@ def run_scenario(
                     f"backend-differential: {counter} differs: "
                     f"{a} (reference) vs {b} (vectorized)"
                 )
+
+    if (
+        "obs-neutral" in checked
+        and primary is not None
+        and outcome == "recovered"
+    ):
+        tr_outcome, traced, tr_msg = _attempt(
+            scenario, primary_backend, traced=True
+        )
+        if traced is None:
+            violations.append(
+                f"obs-neutral: the traced re-run failed "
+                f"({tr_outcome}): {tr_msg}"
+            )
+        else:
+            if not np.array_equal(primary.values, traced.values):
+                violations.append(
+                    "obs-neutral: enabling tracing changed the final values"
+                )
+            if primary.clocks != traced.clocks:
+                violations.append(
+                    f"obs-neutral: enabling tracing changed the per-rank "
+                    f"clocks: {primary.clocks} vs {traced.clocks}"
+                )
+            for metric in _VIRTUAL_METRICS:
+                a, b = getattr(primary, metric), getattr(traced, metric)
+                if a != b:
+                    violations.append(
+                        f"obs-neutral: enabling tracing changed {metric}: "
+                        f"{a!r} vs {b!r}"
+                    )
+            for counter in _COLLECTIVE_COUNTERS:
+                try:
+                    a, b = getattr(primary, counter), getattr(traced, counter)
+                except (LoadBalanceError, ResilienceError):
+                    continue  # already reported by no-desync
+                if a != b:
+                    violations.append(
+                        f"obs-neutral: enabling tracing changed {counter}: "
+                        f"{a} vs {b}"
+                    )
 
     if (
         "reference-match" in checked

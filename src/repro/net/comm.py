@@ -36,6 +36,8 @@ from repro.net.message import (
     unpack_arrays,
 )
 from repro.net.trace import TraceEvent, TraceLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Tracer
 
 __all__ = ["Communicator", "RankContext", "resolve_recv_timeout"]
 
@@ -85,6 +87,7 @@ class Communicator:
         cluster: ClusterSpec,
         *,
         trace: bool = False,
+        trace_capacity: int | None = None,
         recv_timeout: float | None = None,
         recv_overhead: float = 2.0e-4,
         barrier_overhead: float = 1.0e-4,
@@ -94,7 +97,9 @@ class Communicator:
         self.network = cluster.make_network()
         self.mailboxes = [Mailbox(r) for r in range(self.size)]
         self.clocks = [0.0] * self.size
-        self.trace = TraceLog(enabled=trace)
+        self.trace = TraceLog(enabled=trace, capacity=trace_capacity)
+        #: One registry per rank; each rank thread touches only its own.
+        self.metrics = [MetricsRegistry() for _ in range(self.size)]
         self.recv_timeout = resolve_recv_timeout(recv_timeout)
         self.recv_overhead = recv_overhead
         self.barrier_overhead = barrier_overhead
@@ -136,6 +141,12 @@ class RankContext:
         self.rank = rank
         self.size = comm.size
         self.proc = comm.cluster.processors[rank]
+        self.metrics = comm.metrics[rank]
+        #: Hierarchical span emitter (:mod:`repro.obs`); a no-op unless
+        #: the run was started with trace=True.
+        self.tracer = Tracer(
+            comm.trace, rank, clock_fn=lambda: comm.clocks[rank]
+        )
 
     # ------------------------------------------------------------------ #
     # virtual clock
@@ -212,6 +223,8 @@ class RankContext:
             TraceEvent("send", self.rank, t0, self.clock, nbytes=nbytes,
                        peer=dest, tag=tag)
         )
+        self.metrics.count("net.messages_sent")
+        self.metrics.count("net.bytes_sent", nbytes)
         comm.mailboxes[dest].deposit(msg)
 
     def multicast(
@@ -238,6 +251,8 @@ class RankContext:
             TraceEvent(kind, self.rank, t0, self.clock, nbytes=nbytes,
                        peer=-1, tag=tag, label=f"x{len(dests)}")
         )
+        self.metrics.count("net.messages_sent")
+        self.metrics.count("net.bytes_sent", nbytes)
         for d, arrival in zip(dests, arrivals):
             msg = Message(
                 self.rank, d, tag, payload, nbytes,
@@ -283,7 +298,19 @@ class RankContext:
             TraceEvent("recv", self.rank, t0, self.clock, nbytes=msg.nbytes,
                        peer=msg.source, tag=msg.tag)
         )
+        self._note_recv(msg, self.clock - t0)
         return msg if return_message else msg.payload
+
+    def _note_recv(self, msg: Message, wait: float) -> None:
+        """Count one delivered message (shared by every receive path, so
+        the bulk drain and the scalar path report identically)."""
+        self.metrics.count("net.messages_recv")
+        self.metrics.count("net.bytes_recv", msg.nbytes)
+        self.metrics.observe("net.recv_wait", wait)
+        self.metrics.gauge_max(
+            "net.mailbox_depth",
+            self._comm.mailboxes[self.rank].pending_count(),
+        )
 
     def recv_expected(
         self, sources: Iterable[int], tag: int = ANY_TAG
@@ -338,6 +365,7 @@ class RankContext:
                 TraceEvent("recv", self.rank, t0, self.clock,
                            nbytes=msg.nbytes, peer=msg.source, tag=msg.tag)
             )
+            self._note_recv(msg, self.clock - t0)
         return received
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
@@ -368,6 +396,8 @@ class RankContext:
         comm._barrier.wait()
         self.clock = comm._barrier_max + comm.barrier_overhead
         comm.trace.record(TraceEvent("barrier", self.rank, t0, self.clock))
+        self.metrics.count("net.barriers")
+        self.metrics.observe("net.barrier_wait", self.clock - t0)
 
     def bcast(self, payload: Any, root: int = 0, *, tag: int = Tags.BCAST) -> Any:
         from repro.net.collectives import bcast

@@ -12,8 +12,9 @@ worlds share this entry point:
 ``world="real"``
     Each rank is an OS process (:mod:`repro.runtime.procs`) connected to
     its peers by loopback sockets; clocks are barrier-synchronized wall
-    seconds.  Trace capture is a virtual-clock diagnostic and is not
-    available here.
+    seconds.  Trace capture records the same events and spans over the
+    latched wall clock; each worker ships its buffer back to the parent
+    on shutdown and the merged log lands in :attr:`SPMDResult.trace`.
 
 Failure semantics: if any rank raises, all mailboxes are closed so blocked
 peers wake with :class:`~repro.errors.MailboxClosedError`, and the runner
@@ -110,19 +111,15 @@ class SPMDRunner:
         cluster: ClusterSpec,
         *,
         trace: bool = False,
+        trace_capacity: int | None = None,
         recv_timeout: float | None = None,
         world: str = "sim",
     ):
         self.cluster = cluster
         self.trace = trace
+        self.trace_capacity = trace_capacity
         self.recv_timeout = recv_timeout
         self.world = _check_world(world)
-        if world == "real" and trace:
-            raise ConfigurationError(
-                "trace capture records virtual-clock events and is only "
-                "available in the sim world; drop trace=True or use "
-                'world="sim"'
-            )
 
     def run(
         self,
@@ -141,11 +138,14 @@ class SPMDRunner:
 
             return run_real_spmd(
                 self.cluster, fn, *args,
+                trace=self.trace, trace_capacity=self.trace_capacity,
                 recv_timeout=self.recv_timeout, **kwargs,
             )
 
         comm = Communicator(
-            self.cluster, trace=self.trace, recv_timeout=self.recv_timeout
+            self.cluster, trace=self.trace,
+            trace_capacity=self.trace_capacity,
+            recv_timeout=self.recv_timeout,
         )
         size = comm.size
         values: list[Any] = [None] * size
@@ -192,11 +192,13 @@ def run_spmd(
     fn: Callable[..., Any],
     *args: Any,
     trace: bool = False,
+    trace_capacity: int | None = None,
     recv_timeout: float | None = None,
     world: str = "sim",
     **kwargs: Any,
 ) -> SPMDResult:
     """One-shot convenience wrapper around :class:`SPMDRunner`."""
     return SPMDRunner(
-        cluster, trace=trace, recv_timeout=recv_timeout, world=world
+        cluster, trace=trace, trace_capacity=trace_capacity,
+        recv_timeout=recv_timeout, world=world,
     ).run(fn, *args, **kwargs)

@@ -1,0 +1,52 @@
+"""Ambient trace capture for harnesses that do not own the config.
+
+``repro bench --trace-out`` must trace runs whose :class:`ProgramConfig`
+is built deep inside an experiment function.  Rather than thread a flag
+through every experiment signature, the runner opens a capture window;
+:func:`~repro.runtime.program.run_program` checks :func:`active_capture`
+and, when one is open, enables tracing on that run and deposits the
+resulting :class:`~repro.net.trace.TraceLog` here.
+
+Enabling tracing this way is covered by the ``obs-neutral`` invariant:
+the captured run's virtual metrics are bit-identical to the uncaptured
+run, so an experiment's artifact numbers do not change under capture.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.net.trace import TraceLog
+
+__all__ = ["capture_traces", "active_capture", "CaptureWindow"]
+
+
+class CaptureWindow:
+    """Open capture state: collected ``(label, TraceLog)`` pairs."""
+
+    def __init__(self, capacity: int | None = None):
+        self.capacity = capacity
+        self.traces: list[tuple[str, TraceLog]] = []
+
+    def deposit(self, label: str, trace: TraceLog) -> None:
+        self.traces.append((label, trace))
+
+
+_active: CaptureWindow | None = None
+
+
+def active_capture() -> CaptureWindow | None:
+    return _active
+
+
+@contextmanager
+def capture_traces(capacity: int | None = None) -> Iterator[CaptureWindow]:
+    """Capture the trace of every ``run_program`` call in the window."""
+    global _active
+    window = CaptureWindow(capacity=capacity)
+    prev, _active = _active, window
+    try:
+        yield window
+    finally:
+        _active = prev

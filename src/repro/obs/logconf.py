@@ -1,0 +1,70 @@
+"""Stdlib logging configuration for the ``repro.*`` logger tree.
+
+The CLI and the real-world worker processes used to diagnose through
+ad-hoc ``print(..., file=sys.stderr)``; everything now flows through
+``logging.getLogger("repro...")`` with one configuration entry point.
+
+The handler resolves ``sys.stderr`` at *emit* time (the stdlib
+``logging._StderrHandler`` trick) instead of capturing the stream object
+at setup.  That matters twice: pytest's ``capsys`` swaps ``sys.stderr``
+per test, and the CLI may configure logging once per ``main()`` call —
+a captured stream from a previous test would silently swallow output.
+
+Worker processes inherit the level through the ``REPRO_LOG_LEVEL``
+environment variable (set by the CLI's ``--log-level`` flag) and prefix
+every record with their rank, so interleaved multi-process stderr stays
+attributable.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["configure_logging", "LOG_LEVELS", "LEVEL_ENV"]
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+
+class _DynamicStderrHandler(logging.StreamHandler):
+    """A StreamHandler that looks up ``sys.stderr`` on every emit."""
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):  # type: ignore[override]
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value):  # pragma: no cover - StreamHandler API compat
+        pass
+
+
+def configure_logging(level: str | None = None, *, rank: int | None = None) -> None:
+    """(Re)configure the ``repro`` logger tree.
+
+    ``level`` defaults to ``$REPRO_LOG_LEVEL`` then ``"info"``.  With
+    ``rank`` set (real-world workers) every record is prefixed
+    ``[rank N]``.  Idempotent: the single handler is replaced, not
+    stacked, so repeated ``main()`` calls in one process stay clean.
+    """
+    if level is None:
+        level = os.environ.get(LEVEL_ENV, "info")
+    level = level.lower()
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; known: {', '.join(LOG_LEVELS)}"
+        )
+    root = logging.getLogger("repro")
+    for handler in [h for h in root.handlers if getattr(h, "_repro", False)]:
+        root.removeHandler(handler)
+    handler = _DynamicStderrHandler()
+    handler._repro = True
+    prefix = f"[rank {rank}] " if rank is not None else ""
+    handler.setFormatter(logging.Formatter(f"{prefix}%(message)s"))
+    root.addHandler(handler)
+    root.setLevel(level.upper())
+    root.propagate = False

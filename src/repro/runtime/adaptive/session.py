@@ -44,6 +44,7 @@ which world it is balancing against.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Sequence
 
@@ -247,6 +248,22 @@ class AdaptiveSession:
         self.stats.inspector_time += self.inspector.build_time
 
     # ------------------------------------------------------------------ #
+    # observability plumbing
+    # ------------------------------------------------------------------ #
+
+    def _span(self, kind: str, label: str = ""):
+        """An observability span on this rank's tracer (no-op without one)."""
+        tracer = getattr(self.ctx, "tracer", None)
+        if tracer is None:
+            return nullcontext()
+        return tracer.span(kind, label=label)
+
+    def _count(self, name: str, value: int = 1) -> None:
+        metrics = getattr(self.ctx, "metrics", None)
+        if metrics is not None:
+            metrics.count(name, value)
+
+    # ------------------------------------------------------------------ #
     # phase B plumbing
     # ------------------------------------------------------------------ #
 
@@ -441,39 +458,41 @@ class AdaptiveSession:
         # ownership and rebuilds schedules).
         config = self._priced(self.lb, len(fields))
         t0 = ctx.clock
-        time_per_item = (
-            self.monitor.avg_time_per_item()
-            if self.monitor.has_window
-            else float("nan")  # empty interval: decide() imputes
-        )
-        if self._predictor is not None and np.isfinite(time_per_item):
-            # Footnote 2: forecast next-phase capability from history.
-            self._predictor.observe(1.0 / time_per_item)
-            time_per_item = 1.0 / self._predictor.predict()
-        remaining = self.total_iterations - (iteration + 1)
-        if self.elastic is not None:
-            remaining = self._capped_remaining(remaining, self._last_span)
-            decision = self.strategy.check(
-                ctx,
-                self.partition,
-                time_per_item,
-                remaining_iterations=remaining,
-                config=config,
-                active=self.elastic.active,
+        with self._span("lb-check", label=self.strategy.name):
+            time_per_item = (
+                self.monitor.avg_time_per_item()
+                if self.monitor.has_window
+                else float("nan")  # empty interval: decide() imputes
             )
-        else:
-            # Without a membership trace, call through the PR-3 protocol
-            # surface exactly as before, so caller-supplied strategies
-            # written against it keep working unchanged.
-            decision = self.strategy.check(
-                ctx,
-                self.partition,
-                time_per_item,
-                remaining_iterations=remaining,
-                config=config,
-            )
+            if self._predictor is not None and np.isfinite(time_per_item):
+                # Footnote 2: forecast next-phase capability from history.
+                self._predictor.observe(1.0 / time_per_item)
+                time_per_item = 1.0 / self._predictor.predict()
+            remaining = self.total_iterations - (iteration + 1)
+            if self.elastic is not None:
+                remaining = self._capped_remaining(remaining, self._last_span)
+                decision = self.strategy.check(
+                    ctx,
+                    self.partition,
+                    time_per_item,
+                    remaining_iterations=remaining,
+                    config=config,
+                    active=self.elastic.active,
+                )
+            else:
+                # Without a membership trace, call through the PR-3 protocol
+                # surface exactly as before, so caller-supplied strategies
+                # written against it keep working unchanged.
+                decision = self.strategy.check(
+                    ctx,
+                    self.partition,
+                    time_per_item,
+                    remaining_iterations=remaining,
+                    config=config,
+                )
         self.stats.lb_check_time += ctx.clock - t0
         self.stats.num_checks += 1
+        self._count("lb.checks")
         self.monitor.reset_window()
         if decision.remap:
             assert decision.new_partition is not None
@@ -511,6 +530,23 @@ class AdaptiveSession:
         if not events:
             return fields
         self.stats.membership_events += len(events)
+        self._count("membership.events", len(events))
+        with self._span("membership-poll", label=f"{len(events)} event(s)"):
+            return self._apply_membership_events(
+                iteration, fields, events, span, t0
+            )
+
+    def _apply_membership_events(
+        self,
+        iteration: int,
+        fields: list[np.ndarray],
+        events: Sequence,
+        span: float,
+        t0: float,
+    ) -> list[np.ndarray]:
+        """Handle one non-empty membership event batch (poll_membership body)."""
+        assert self.elastic is not None
+        ctx = self.ctx
         sizes = self.partition.sizes()
         if any(ev.kind == "fail" and sizes[ev.rank] > 0 for ev in events):
             # An unannounced failure of a data holder: its block is gone,
@@ -636,22 +672,24 @@ class AdaptiveSession:
         ctx = self.ctx
         ctx.barrier()
         t0 = ctx.clock
-        res.checkpoint = take_checkpoint(
-            ctx,
-            self.partition,
-            fields,
-            self.active,
-            next_iteration=next_iteration,
-            epoch=res.epochs_taken,
-            backend=self.backend,
-            replication_factor=getattr(
-                res.policy, "replication_factor", 1
-            ),
-        )
+        with self._span("checkpoint", label=f"epoch {res.epochs_taken}"):
+            res.checkpoint = take_checkpoint(
+                ctx,
+                self.partition,
+                fields,
+                self.active,
+                next_iteration=next_iteration,
+                epoch=res.epochs_taken,
+                backend=self.backend,
+                replication_factor=getattr(
+                    res.policy, "replication_factor", 1
+                ),
+            )
         res.measured_cost = ctx.clock - t0
         res.epochs_taken += 1
         self.stats.checkpoint_time += ctx.clock - t0
         self.stats.num_checkpoints += 1
+        self._count("cp.checkpoints")
         # The next iteration-span sample starts where the checkpoint
         # ended, not where the iteration did.
         self._last_sync_clock = ctx.clock
@@ -725,52 +763,54 @@ class AdaptiveSession:
         t0 = ctx.clock
         self.stats.num_rollbacks += 1
         self.stats.lost_time += max(ctx.clock - cp.clock, 0.0)
-        # Restore the epoch: replicated partition, snapshot data.  The
-        # incoming fields (post-checkpoint progress) are discarded.
-        self.partition = cp.partition
-        fields = [s.copy() for s in cp.snapshot]
-        self.monitor.reset_window()
-        # Survivor split: mandatory (the dead rank holds epoch data while
-        # inactive).  The static baseline keeps its drain-only semantics:
-        # data lands only on active ranks that already hold some.
-        active = self.elastic.active
-        decision_mask = active
-        if self.lb is None or isinstance(self.strategy, NoBalancing):
-            holders = active & (cp.partition.sizes() > 0)
-            if holders.any():
-                decision_mask = holders
-        config = self._priced(
-            self.lb if self.lb is not None else LoadBalanceConfig(),
-            len(fields),
-        )
-        remaining = self._capped_remaining(
-            max(self.total_iterations - cp.next_iteration, 0), span
-        )
-        decision = membership_decision(
-            ctx,
-            self.partition,
-            decision_mask,
-            remaining,
-            config,
-            force=True,
-            iteration_span=span if span > 0 else None,
-        )
-        assert decision.remap and decision.new_partition is not None
-        host0 = time.perf_counter()
-        fields = recover_redistribute_fields(
-            ctx,
-            cp.partition,
-            decision.new_partition,
-            fields,
-            failed=self.elastic.failed,
-            partners=cp.partners,
-            replicas=cp.replicas,
-            backend=self.backend,
-        )
-        self.stats.redistribute_host_s += time.perf_counter() - host0
-        self.partition = decision.new_partition
-        self.inspector = self._rebuild_inspector()
-        ctx.barrier()
+        self._count("cp.rollbacks")
+        with self._span("recovery", label=f"resume@{cp.next_iteration}"):
+            # Restore the epoch: replicated partition, snapshot data.  The
+            # incoming fields (post-checkpoint progress) are discarded.
+            self.partition = cp.partition
+            fields = [s.copy() for s in cp.snapshot]
+            self.monitor.reset_window()
+            # Survivor split: mandatory (the dead rank holds epoch data while
+            # inactive).  The static baseline keeps its drain-only semantics:
+            # data lands only on active ranks that already hold some.
+            active = self.elastic.active
+            decision_mask = active
+            if self.lb is None or isinstance(self.strategy, NoBalancing):
+                holders = active & (cp.partition.sizes() > 0)
+                if holders.any():
+                    decision_mask = holders
+            config = self._priced(
+                self.lb if self.lb is not None else LoadBalanceConfig(),
+                len(fields),
+            )
+            remaining = self._capped_remaining(
+                max(self.total_iterations - cp.next_iteration, 0), span
+            )
+            decision = membership_decision(
+                ctx,
+                self.partition,
+                decision_mask,
+                remaining,
+                config,
+                force=True,
+                iteration_span=span if span > 0 else None,
+            )
+            assert decision.remap and decision.new_partition is not None
+            host0 = time.perf_counter()
+            fields = recover_redistribute_fields(
+                ctx,
+                cp.partition,
+                decision.new_partition,
+                fields,
+                failed=self.elastic.failed,
+                partners=cp.partners,
+                replicas=cp.replicas,
+                backend=self.backend,
+            )
+            self.stats.redistribute_host_s += time.perf_counter() - host0
+            self.partition = decision.new_partition
+            self.inspector = self._rebuild_inspector()
+            ctx.barrier()
         self.stats.rollback_time += ctx.clock - t0
         self._note_remap_span(
             decision.remap_cost - config.rebuild_cost_estimate
@@ -793,16 +833,18 @@ class AdaptiveSession:
         ctx = self.ctx
         fields = list(fields)
         t0 = ctx.clock
-        if fields:
-            host0 = time.perf_counter()
-            fields = redistribute_fields(
-                ctx, self.partition, new_partition, fields,
-                backend=self.backend,
-            )
-            self.stats.redistribute_host_s += time.perf_counter() - host0
-        self.partition = new_partition
-        self.inspector = self._rebuild_inspector()
-        ctx.barrier()
+        with self._span("remap"):
+            if fields:
+                host0 = time.perf_counter()
+                fields = redistribute_fields(
+                    ctx, self.partition, new_partition, fields,
+                    backend=self.backend,
+                )
+                self.stats.redistribute_host_s += time.perf_counter() - host0
+            self.partition = new_partition
+            self.inspector = self._rebuild_inspector()
+            ctx.barrier()
         self.stats.remap_time += ctx.clock - t0
         self.stats.num_remaps += 1
+        self._count("lb.remaps")
         return fields

@@ -444,6 +444,11 @@ class IncrementalInspector:
         result = self._patch(new_partition, d)
         self.num_patches += 1
         self.last_mode = "patched"
+        # The full path counts itself inside run_inspector; the patch
+        # path is the other arm of the same decision.
+        metrics = getattr(self.ctx, "metrics", None)
+        if metrics is not None:
+            metrics.count("inspector.patch_builds")
         return result
 
     def _patch(

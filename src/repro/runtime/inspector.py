@@ -14,10 +14,9 @@ whenever data is redistributed").
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
-
-import numpy as np
 
 from repro.errors import ScheduleError
 from repro.graph.csr import CSRGraph
@@ -75,31 +74,44 @@ def run_inspector(
             f"unknown inspector strategy {strategy!r}; pick from {STRATEGIES}"
         )
     t0 = ctx.clock if ctx is not None else 0.0
-    if strategy == "simple":
-        if ctx is None:
-            raise ScheduleError(
-                "the 'simple' strategy is communication-based and needs a "
-                "RankContext"
+    tracer = getattr(ctx, "tracer", None)
+    span = (
+        tracer.span("inspector", label=strategy)
+        if tracer is not None
+        else nullcontext()
+    )
+    with span:
+        if strategy == "simple":
+            if ctx is None:
+                raise ScheduleError(
+                    "the 'simple' strategy is communication-based and needs "
+                    "a RankContext"
+                )
+            if ctx.rank != rank:
+                raise ScheduleError(
+                    f"ctx.rank={ctx.rank} disagrees with rank={rank}"
+                )
+            schedule = build_schedule_simple(
+                graph, partition, ctx=ctx, cost_model=cost_model,
+                backend=backend,
             )
-        if ctx.rank != rank:
-            raise ScheduleError(
-                f"ctx.rank={ctx.rank} disagrees with rank={rank}"
+        elif strategy == "sort1":
+            schedule = build_schedule_sort1(
+                graph, partition, rank, ctx=ctx, cost_model=cost_model,
+                backend=backend,
             )
-        schedule = build_schedule_simple(
-            graph, partition, ctx=ctx, cost_model=cost_model, backend=backend
-        )
-    elif strategy == "sort1":
-        schedule = build_schedule_sort1(
-            graph, partition, rank, ctx=ctx, cost_model=cost_model,
-            backend=backend,
-        )
-    else:
-        schedule = build_schedule_sort2(
-            graph, partition, rank, ctx=ctx, cost_model=cost_model,
-            backend=backend,
-        )
-    plan = build_kernel_plan(graph, partition, schedule, backend=backend)
+        else:
+            schedule = build_schedule_sort2(
+                graph, partition, rank, ctx=ctx, cost_model=cost_model,
+                backend=backend,
+            )
+        plan = build_kernel_plan(graph, partition, schedule, backend=backend)
     build_time = (ctx.clock - t0) if ctx is not None else 0.0
+    if ctx is not None:
+        metrics = getattr(ctx, "metrics", None)
+        if metrics is not None:
+            metrics.count("inspector.full_builds")
+            metrics.observe("inspector.build_time", build_time)
     return InspectorResult(
         schedule=schedule,
         kernel_plan=plan,

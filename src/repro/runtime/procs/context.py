@@ -60,7 +60,9 @@ from repro.net.message import (
     payload_nbytes,
     unpack_arrays,
 )
-from repro.net.trace import TraceLog
+from repro.net.trace import TraceEvent, TraceLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Tracer
 
 __all__ = ["RealCommunicator", "RealRankContext"]
 
@@ -81,6 +83,8 @@ class RealCommunicator:
         peers: dict[int, socket.socket],
         *,
         recv_timeout: float,
+        trace: bool = False,
+        trace_capacity: int | None = None,
     ):
         self.cluster = cluster
         self.size = cluster.size
@@ -90,7 +94,9 @@ class RealCommunicator:
         #: the adaptive strategy) do, exactly as in the sim world.
         self.network = cluster.make_network()
         self.recv_timeout = recv_timeout
-        self.trace = TraceLog(enabled=False)
+        #: Per-process event log over the latched wall clock; the worker
+        #: ships its events back to the parent on clean shutdown.
+        self.trace = TraceLog(enabled=trace, capacity=trace_capacity)
         self.mailbox = Mailbox(rank)
         self._peers = dict(peers)
         self._t0 = time.perf_counter()
@@ -116,8 +122,9 @@ class RealCommunicator:
         """Raw wall seconds since this communicator was created."""
         return time.perf_counter() - self._t0
 
-    def send_payload(self, dest: int, tag: int, payload: Any) -> None:
-        """Encode and write one payload frame to *dest* (never self)."""
+    def send_payload(self, dest: int, tag: int, payload: Any) -> int:
+        """Encode and write one payload frame to *dest* (never self);
+        returns the wire size in bytes."""
         sock = self._peers.get(dest)
         if sock is None:
             raise CommunicationError(
@@ -125,7 +132,7 @@ class RealCommunicator:
             )
         kind, meta, body = encode_payload(payload)
         try:
-            send_frame(sock, self.rank, tag, kind, meta, body)
+            return send_frame(sock, self.rank, tag, kind, meta, body)
         except OSError as exc:
             raise CommunicationError(
                 f"rank {self.rank}: send to rank {dest} (tag {tag}) failed: "
@@ -209,6 +216,10 @@ class RealRankContext:
         self.proc = comm.cluster.processors[comm.rank]
         self._clock = 0.0
         self._offset = 0.0
+        self.metrics = MetricsRegistry()
+        #: Spans over the latched wall clock: the same kinds and nesting
+        #: as the sim world, so sim-vs-real span structure is comparable.
+        self.tracer = Tracer(comm.trace, comm.rank, clock_fn=self._now)
 
     # -------------------------------------------------------------- #
     # latched wall clock
@@ -244,7 +255,11 @@ class RealRankContext:
         the host, so its real duration is captured by the latch."""
         if work_seconds < 0:
             raise ValueError(f"work_seconds must be >= 0, got {work_seconds}")
+        t0 = self._clock
         self._latch()
+        self._comm.trace.record(
+            TraceEvent("compute", self.rank, t0, self._clock, label=label)
+        )
 
     def compute_items(
         self, n_items: int, sec_per_item: float, *, label: str = ""
@@ -268,8 +283,15 @@ class RealRankContext:
             )
             self._comm.mailbox.deposit(msg)
             return
-        self._comm.send_payload(dest, tag, payload)
+        t0 = self._now()
+        nbytes = self._comm.send_payload(dest, tag, payload)
         self._latch()
+        self._comm.trace.record(
+            TraceEvent("send", self.rank, t0, self._clock,
+                       nbytes=nbytes, peer=dest, tag=tag)
+        )
+        self.metrics.count("net.messages_sent")
+        self.metrics.count("net.bytes_sent", nbytes)
 
     def multicast(
         self, dests: Sequence[int], payload: Any, tag: int = Tags.USER_BASE
@@ -296,11 +318,27 @@ class RealRankContext:
         *,
         return_message: bool = False,
     ) -> Any:
+        t0 = self._now()
         msg = self._comm.mailbox.receive(
             source, tag, timeout=self._comm.recv_timeout
         )
         self._latch()
+        self._note_recv(msg, t0)
         return msg if return_message else msg.payload
+
+    def _note_recv(self, msg: Message, t0: float) -> None:
+        """Record one delivered message (all receive paths, so the bulk
+        drain and the scalar path report identical counts and bytes)."""
+        self._comm.trace.record(
+            TraceEvent("recv", self.rank, t0, self._clock,
+                       nbytes=msg.nbytes, peer=msg.source, tag=msg.tag)
+        )
+        self.metrics.count("net.messages_recv")
+        self.metrics.count("net.bytes_recv", msg.nbytes)
+        self.metrics.observe("net.recv_wait", max(self._clock - t0, 0.0))
+        self.metrics.gauge_max(
+            "net.mailbox_depth", self._comm.mailbox.pending_count()
+        )
 
     def recv_expected(
         self, sources: Iterable[int], tag: int = ANY_TAG
@@ -313,6 +351,7 @@ class RealRankContext:
             )
         received: dict[int, Message] = {}
         while pending:
+            t0 = self._now()
             msg = comm.mailbox.receive(
                 ANY_SOURCE, tag, timeout=comm.recv_timeout
             )
@@ -324,6 +363,8 @@ class RealRankContext:
                 )
             received[msg.source] = msg
             pending.discard(msg.source)
+            self._latch()
+            self._note_recv(msg, t0)
         self._latch()
         return received
 
@@ -358,6 +399,8 @@ class RealRankContext:
         keeping the clock monotonic *and* rank-agreed.
         """
         self._latch()
+        t0 = self._clock
+        self.metrics.count("net.barriers")
         if self.size == 1:
             return
         comm = self._comm
@@ -378,6 +421,10 @@ class RealRankContext:
             )
             agreed = float(msg.payload)
         self._adopt(agreed)
+        comm.trace.record(
+            TraceEvent("barrier", self.rank, t0, self._clock)
+        )
+        self.metrics.observe("net.barrier_wait", max(self._clock - t0, 0.0))
 
     def bcast(self, payload: Any, root: int = 0, *, tag: int = Tags.BCAST) -> Any:
         from repro.net.collectives import bcast

@@ -42,10 +42,16 @@ from repro.errors import (
     MailboxClosedError,
     RankFailedError,
 )
+import logging
+
 from repro.net.cluster import ClusterSpec
 from repro.net.comm import resolve_recv_timeout
+from repro.net.framing import decode_payload, encode_payload
 from repro.net.trace import TraceLog
+from repro.obs.logconf import configure_logging
 from repro.runtime.procs.context import RealCommunicator, RealRankContext
+
+_log = logging.getLogger("repro.procs")
 
 __all__ = ["run_real_spmd"]
 
@@ -114,8 +120,11 @@ def _worker_main(
     kwargs: dict,
     conn: Any,
     recv_timeout: float,
+    trace: bool,
+    trace_capacity: int | None,
 ) -> None:
     comm: RealCommunicator | None = None
+    configure_logging(rank=rank)
     try:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.bind(("127.0.0.1", 0))
@@ -125,13 +134,23 @@ def _worker_main(
         if kind != "ports":  # pragma: no cover - protocol invariant
             raise CommunicationError(f"unexpected control message {kind!r}")
         peers = _build_mesh(rank, cluster.size, listener, ports)
-        comm = RealCommunicator(cluster, rank, peers, recv_timeout=recv_timeout)
+        comm = RealCommunicator(
+            cluster, rank, peers, recv_timeout=recv_timeout,
+            trace=trace, trace_capacity=trace_capacity,
+        )
         ctx = RealRankContext(comm)
         ctx.barrier()  # align the latched-clock epoch across ranks
         value = fn(ctx, *args, **kwargs)
+        # Snapshot the span buffer BEFORE the close (close discards the
+        # communicator); ship it through the framing codec so the wire
+        # format is the one the rest of the real world already speaks.
+        blob = None
+        if trace:
+            kind_, meta, body = encode_payload(comm.trace.events())
+            blob = (kind_, bytes(meta), bytes(body))
         comm.close(clean=True)
         comm = None
-        conn.send(("ok", value, ctx.clock))
+        conn.send(("ok", value, ctx.clock, blob))
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
         if comm is not None:
             comm.close(clean=False)
@@ -156,6 +175,8 @@ def run_real_spmd(
     cluster: ClusterSpec,
     fn: Callable[..., Any],
     *args: Any,
+    trace: bool = False,
+    trace_capacity: int | None = None,
     recv_timeout: float | None = None,
     start_method: str | None = None,
     **kwargs: Any,
@@ -179,7 +200,8 @@ def run_real_spmd(
             parent_conn, child_conn = mp.Pipe()
             p = mp.Process(
                 target=_worker_main,
-                args=(r, cluster, fn, args, kwargs, child_conn, timeout),
+                args=(r, cluster, fn, args, kwargs, child_conn, timeout,
+                      trace, trace_capacity),
                 name=f"repro-rank-{r}",
                 daemon=True,
             )
@@ -211,6 +233,7 @@ def run_real_spmd(
         # without reporting.
         values: list[Any] = [None] * size
         clocks: list[float] = [0.0] * size
+        blobs: list[tuple | None] = [None] * size
         failures: dict[int, BaseException] = {}
         pending = set(range(size))
         while pending:
@@ -228,6 +251,7 @@ def run_real_spmd(
                         continue
                     if msg[0] == "ok":
                         values[r], clocks[r] = msg[1], msg[2]
+                        blobs[r] = msg[3]
                     else:
                         failures[r] = _decode_error(msg)
                     pending.discard(r)
@@ -258,9 +282,20 @@ def run_real_spmd(
         }
         raise RankFailedError(primary or failures)
 
+    merged = TraceLog(enabled=trace, capacity=trace_capacity)
+    if trace:
+        for r in range(size):
+            if blobs[r] is None:
+                continue
+            kind, meta, body = blobs[r]
+            merged.extend(decode_payload(kind, meta, body))
+        _log.debug(
+            "merged %d trace event(s) from %d worker(s)", len(merged), size
+        )
+
     return SPMDResult(
         values=values,
         clocks=clocks,
-        trace=TraceLog(enabled=False),
+        trace=merged,
         cluster=cluster,
     )

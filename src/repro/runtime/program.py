@@ -93,6 +93,11 @@ class ProgramConfig:
     inspector_cost: InspectorCostModel = InspectorCostModel()
     executor_cost: ExecutorCostModel = ExecutorCostModel()
     trace: bool = False
+    #: Ring-buffer cap on the trace event log (``None`` = unbounded).
+    #: With a cap, the newest events win and
+    #: :attr:`~repro.net.trace.TraceLog.dropped_events` counts evictions —
+    #: tracing a scale-huge run cannot OOM (the ``--trace-capacity`` knob).
+    trace_capacity: int | None = None
     barrier_each_iteration: bool = True
     #: Execution world: "sim" (threads + virtual clocks, the default) or
     #: "real" (one OS process per rank over loopback sockets, wall-clock
@@ -116,10 +121,10 @@ class ProgramConfig:
             raise ConfigurationError(
                 f"unknown execution world {self.world!r}; pick from {WORLDS}"
             )
-        if self.world == "real" and self.trace:
+        if self.trace_capacity is not None and self.trace_capacity < 1:
             raise ConfigurationError(
-                "trace capture records virtual-clock events and is only "
-                'available with world="sim"'
+                f"trace_capacity must be >= 1 (or None for unbounded), got "
+                f"{self.trace_capacity}"
             )
         if self.inspector_mode not in ("full", "incremental"):
             raise ConfigurationError(
@@ -222,6 +227,11 @@ class ProgramReport:
     work_per_iteration: float  # unit-speed seconds of one whole-graph sweep
     trace: TraceLog | None = None
     partition_final: IntervalPartition | None = None
+    #: Merged :mod:`repro.obs` snapshot (counters summed, gauges maxed,
+    #: histograms folded across ranks); ``metrics_by_rank`` keeps the
+    #: per-rank snapshots for imbalance diagnostics.
+    metrics: dict[str, Any] | None = None
+    metrics_by_rank: list[dict[str, Any]] | None = None
 
     def _require_stats(self, what: str) -> None:
         """Aggregates over zero ranks are undefined; say so instead of
@@ -372,6 +382,19 @@ def _rank_main(
     caps: np.ndarray,
     config: ProgramConfig,
 ) -> dict[str, Any]:
+    with ctx.tracer.span("program", label=f"world={config.world}"):
+        out = _rank_body(ctx, gperm, y_init, caps, config)
+    out["metrics"] = ctx.metrics.snapshot()
+    return out
+
+
+def _rank_body(
+    ctx: Any,
+    gperm: CSRGraph,
+    y_init: np.ndarray,
+    caps: np.ndarray,
+    config: ProgramConfig,
+) -> dict[str, Any]:
     n = gperm.num_vertices
     stats = RankStats(rank=ctx.rank, n_local_final=0)
 
@@ -402,23 +425,26 @@ def _rank_main(
     # discarded suffix is re-executed.
     it = 0
     while it < config.iterations:
-        ghost = gather(
-            ctx, session.schedule, local, cost_model=config.executor_cost,
-            backend=config.backend, scratch=scratch,
-        )
-        t0 = ctx.clock
-        local = session.kernel_plan.sweep(local, ghost)
-        ctx.compute(
-            config.kernel_cost.sweep_seconds(
-                session.kernel_plan.n_references, local.size
-            ),
-            label="kernel",
-        )
-        stats.compute_time += ctx.clock - t0
-        session.record(ctx.clock - t0, int(local.size))
-        if config.barrier_each_iteration:
-            ctx.barrier()
-        (local,) = session.maybe_rebalance(it, (local,))
+        with ctx.tracer.span("epoch", label=f"iter {it}"):
+            with ctx.tracer.span("executor"):
+                ghost = gather(
+                    ctx, session.schedule, local,
+                    cost_model=config.executor_cost,
+                    backend=config.backend, scratch=scratch,
+                )
+                t0 = ctx.clock
+                local = session.kernel_plan.sweep(local, ghost)
+                ctx.compute(
+                    config.kernel_cost.sweep_seconds(
+                        session.kernel_plan.n_references, local.size
+                    ),
+                    label="kernel",
+                )
+                stats.compute_time += ctx.clock - t0
+            session.record(ctx.clock - t0, int(local.size))
+            if config.barrier_each_iteration:
+                ctx.barrier()
+            (local,) = session.maybe_rebalance(it, (local,))
         it = session.next_iteration(it)
 
     stats.inspector_time = session.stats.inspector_time
@@ -529,6 +555,17 @@ def run_program(
         # Standby machines (inactive at t=0) start with nothing; they get
         # elements only if and when a join's profitability test accepts.
         caps = np.where(trace.active_mask(0.0), caps, 0.0)
+
+    # An open obs capture window (repro bench --trace-out) turns tracing
+    # on for runs whose config the harness does not own; the obs-neutral
+    # invariant guarantees the run's numbers do not change under capture.
+    from repro.obs.capture import active_capture
+
+    capture = active_capture()
+    want_trace = config.trace or capture is not None
+    trace_capacity = config.trace_capacity
+    if trace_capacity is None and capture is not None:
+        trace_capacity = capture.capacity
     result: SPMDResult = run_spmd(
         cluster,
         _rank_main,
@@ -536,10 +573,16 @@ def run_program(
         y_init,
         caps,
         config,
-        trace=config.trace,
+        trace=want_trace,
+        trace_capacity=trace_capacity,
         world=config.world,
         recv_timeout=config.recv_timeout,
     )
+    if capture is not None:
+        capture.deposit(
+            f"{config.world}:{cluster.size}ranks:{config.iterations}it",
+            result.trace,
+        )
 
     full_t = result.values[0]["full"]
     assert full_t is not None
@@ -547,6 +590,9 @@ def run_program(
 
     kc = config.kernel_cost
     work_per_iter = kc.sweep_seconds(int(gperm.indices.size), n)
+    from repro.obs.metrics import merge_snapshots
+
+    per_rank = [v.get("metrics") for v in result.values]
     return ProgramReport(
         values=values,
         makespan=result.makespan,
@@ -555,6 +601,8 @@ def run_program(
         cluster=cluster,
         config=config,
         work_per_iteration=work_per_iter,
-        trace=result.trace if config.trace else None,
+        trace=result.trace if want_trace else None,
         partition_final=result.values[0]["partition"],
+        metrics=merge_snapshots(per_rank),
+        metrics_by_rank=per_rank,
     )

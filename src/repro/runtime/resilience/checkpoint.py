@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 import numpy as np
 
 from repro.errors import ResilienceError, ResilienceWarning
-from repro.net.message import Tags, unpack_arrays
+from repro.net.message import Tags, payload_nbytes, unpack_arrays
 from repro.partition.arrangement import Transfer
 from repro.partition.intervals import IntervalPartition
 from repro.runtime.adaptive.redistribution import (
@@ -238,12 +238,14 @@ def take_checkpoint(
     # holds data) — the interval as a single slab through the shared
     # wire-format implementation, packed once and fanned out.  Sends go
     # in ring order so the virtual clock is deterministic.
+    metrics = getattr(ctx, "metrics", None)
     for partner in partners.get(rank, ()):
-        ctx.send(
-            partner,
-            _pack_slabs(fields, [Transfer(rank, partner, lo, hi)], lo, backend),
-            tag,
+        payload = _pack_slabs(
+            fields, [Transfer(rank, partner, lo, hi)], lo, backend
         )
+        if metrics is not None:
+            metrics.count("cp.checkpoint_bytes", payload_nbytes(payload))
+        ctx.send(partner, payload, tag)
 
     # Local snapshot: the rank's own half of the epoch (free of network
     # cost, like the retained-overlap copy of a redistribution).

@@ -35,6 +35,8 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.net.cluster import ClusterSpec
 from repro.net.loadmodel import ServiceLoad
+from repro.net.trace import TraceEvent, TraceLog
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.job import JobQueue, JobSpec
 from repro.serve.scheduler import ADMISSION_POLICIES, admission_order, place_job
 from repro.utils.tables import format_table
@@ -91,6 +93,11 @@ class ServiceReport:
     backend: str | None
     cluster_size: int
     records: list[JobRecord] = field(default_factory=list)
+    #: Service-time span log (admit / job spans on the service track,
+    #: per-rank job occupancy): populated when the session traces.  Kept
+    #: out of :meth:`metrics` / :meth:`to_dict` — the differential
+    #: contract surface is unchanged by tracing.
+    trace: "TraceLog | None" = None
 
     @property
     def n_jobs(self) -> int:
@@ -211,6 +218,8 @@ class ServiceSession:
         seed: int = 0,
         max_tenants: int = 1,
         backend: str | None = None,
+        trace: bool = False,
+        trace_capacity: int | None = None,
     ):
         if policy not in ADMISSION_POLICIES:
             raise ConfigurationError(
@@ -240,11 +249,38 @@ class ServiceSession:
         self._seed = int(seed)
         self._max_tenants = int(max_tenants)
         self._backend = backend
+        #: Service-time observability: spans land on the service track
+        #: (rank -1) plus one occupancy span per placed rank.  Everything
+        #: recorded is a function of virtual quantities only, so tracing
+        #: never perturbs the report.
+        self._trace = TraceLog(enabled=trace, capacity=trace_capacity)
+        self.metrics = MetricsRegistry()
+        self._next_span = 0
         #: Per physical rank: the (start, end) service-time intervals
         #: during which an admitted job keeps the machine busy.
         self._busy: list[list[tuple[float, float]]] = [
             [] for _ in range(cluster.size)
         ]
+
+    def _record_span(
+        self,
+        kind: str,
+        t0: float,
+        t1: float,
+        *,
+        rank: int = -1,
+        label: str = "",
+        parent: int = -1,
+    ) -> int:
+        """One service-time span; returns its id for child nesting."""
+        sid = self._next_span
+        self._next_span += 1
+        self._trace.record(
+            TraceEvent(
+                kind, rank, t0, t1, label=label, span_id=sid, parent_id=parent
+            )
+        )
+        return sid
 
     def _admit(
         self, job: JobSpec, placement: tuple[int, ...], t: float, index: int
@@ -274,6 +310,28 @@ class ServiceSession:
             end = t + report.clocks[local]
             if end > t:
                 self._busy[rank].append((t, end))
+        self.metrics.count("serve.jobs_admitted")
+        self.metrics.observe("serve.queue_wait", t - 0.0)
+        self.metrics.observe("serve.exec_makespan", report.makespan)
+        if self._trace.enabled:
+            aid = self._record_span(
+                "admit",
+                t,
+                t,
+                label=f"{job.job_id}@{','.join(map(str, placement))}",
+            )
+            jid = self._record_span(
+                "job", t, t + report.makespan, label=job.job_id, parent=aid
+            )
+            for local, rank in enumerate(placement):
+                self._record_span(
+                    "job",
+                    t,
+                    t + report.clocks[local],
+                    rank=rank,
+                    label=job.job_id,
+                    parent=jid,
+                )
         return JobRecord(
             job=job,
             admit_index=index,
@@ -330,4 +388,5 @@ class ServiceSession:
             backend=self._backend,
             cluster_size=self._cluster.size,
             records=records,
+            trace=self._trace if self._trace.enabled else None,
         )

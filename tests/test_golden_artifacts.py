@@ -19,6 +19,7 @@ from pathlib import Path
 import pytest
 
 GOLDEN = Path(__file__).parent / "golden" / "schedule_semantics.json"
+GOLDEN_TRACE = Path(__file__).parent / "golden" / "chrome_trace.json"
 TOOLS = Path(__file__).parent.parent / "tools"
 
 
@@ -83,6 +84,29 @@ def test_resilience_run_decisions_match(current, golden):
     assert golden["resilience_run"]["num_rollbacks"] == 1
     # The dead rank (ws 1) ends with nothing.
     assert golden["resilience_run"]["final_sizes"][1] == 0
+
+
+def test_chrome_trace_fixture_matches():
+    """The exported Chrome trace of a small traced run is pinned byte for
+    byte (virtual timebase, host wall clocks stripped): span nesting,
+    per-rank ``seq`` order, and every virtual timestamp are schedule
+    semantics too (ISSUE 10)."""
+    sys.path.insert(0, str(TOOLS))
+    try:
+        from make_golden import build_golden_trace
+    finally:
+        sys.path.remove(str(TOOLS))
+    got = build_golden_trace()
+    want = json.loads(GOLDEN_TRACE.read_text(encoding="utf-8"))
+    assert got["metadata"] == want["metadata"]
+    assert got["traceEvents"] == want["traceEvents"]
+    # The fixture is a valid repro export: it round-trips through the
+    # loader (what `repro trace summary` consumes).
+    from repro.obs import load_chrome_trace
+
+    log = load_chrome_trace(str(GOLDEN_TRACE))
+    kinds = {e.kind for e in log.spans()}
+    assert {"program", "epoch", "inspector", "executor", "checkpoint"} <= kinds
 
 
 def test_artifact_schema_still_validates():

@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import logging
+
+import pytest
+
+from repro.errors import ConfigurationError
 from repro.net.cluster import uniform_cluster
 from repro.net.message import Tags
 from repro.net.spmd import run_spmd
@@ -48,6 +53,69 @@ class TestTraceLog:
         log = TraceLog()
         log.record(TraceEvent("send", 0, 0.0, 1.0))
         assert [e.kind for e in log] == ["send"]
+
+    def test_seq_is_per_rank_program_order(self):
+        log = TraceLog()
+        log.record(TraceEvent("send", 0, 0.0, 1.0))
+        log.record(TraceEvent("send", 1, 0.0, 1.0))
+        log.record(TraceEvent("recv", 0, 1.0, 2.0))
+        assert [e.seq for e in log.events(rank=0)] == [0, 1]
+        assert [e.seq for e in log.events(rank=1)] == [0]
+
+    def test_spans_filter(self):
+        log = TraceLog()
+        log.record(TraceEvent("send", 0, 0.0, 1.0))
+        log.record(TraceEvent("epoch", 0, 0.0, 2.0, span_id=0))
+        log.record(TraceEvent("executor", 0, 0.0, 1.0, span_id=1,
+                              parent_id=0))
+        assert [e.kind for e in log.spans()] == ["epoch", "executor"]
+        assert [e.kind for e in log.spans("executor")] == ["executor"]
+
+    def test_extend_preserves_shipped_seq(self):
+        # A worker recorded locally; the parent merges the shipped events
+        # and keeps recording on the same rank afterwards.
+        worker = TraceLog()
+        worker.record(TraceEvent("send", 0, 0.0, 1.0))
+        worker.record(TraceEvent("recv", 0, 1.0, 2.0))
+        parent = TraceLog()
+        parent.extend(worker.events())
+        parent.record(TraceEvent("barrier", 0, 2.0, 3.0))
+        assert [e.seq for e in parent.events(rank=0)] == [0, 1, 2]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            TraceLog(capacity=0)
+
+    def test_ring_buffer_keeps_newest(self):
+        log = TraceLog(capacity=2)
+        for i in range(5):
+            log.record(TraceEvent("send", 0, float(i), float(i) + 1.0))
+        assert len(log) == 2
+        assert [e.t_start for e in log.events()] == [3.0, 4.0]
+        assert log.dropped_events == 3
+        # Eviction never disturbs the per-rank program order.
+        assert [e.seq for e in log.events()] == [3, 4]
+
+    def test_ring_buffer_warns_once(self, caplog, monkeypatch):
+        # configure_logging (run by any earlier CLI test) turns off
+        # propagation on the "repro" tree; caplog captures at the root.
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        log = TraceLog(capacity=1)
+        with caplog.at_level(logging.WARNING, logger="repro.net.trace"):
+            for i in range(4):
+                log.record(TraceEvent("send", 0, float(i), float(i) + 1.0))
+        warnings = [r for r in caplog.records if "trace buffer full" in r.message]
+        assert len(warnings) == 1
+
+    def test_clear_resets_drop_accounting(self):
+        log = TraceLog(capacity=1)
+        log.record(TraceEvent("send", 0, 0.0, 1.0))
+        log.record(TraceEvent("send", 0, 1.0, 2.0))
+        assert log.dropped_events == 1
+        log.clear()
+        assert log.dropped_events == 0
+        log.record(TraceEvent("send", 0, 0.0, 1.0))
+        assert log.events()[0].seq == 0  # seq counters restart too
 
 
 class TestTraceIntegration:

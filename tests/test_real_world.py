@@ -26,7 +26,7 @@ from repro.net.framing import (
     send_frame,
 )
 from repro.net.message import PackedArrays, pack_arrays
-from repro.net.spmd import SPMDRunner, run_spmd
+from repro.net.spmd import run_spmd
 from repro.runtime.program import ProgramConfig, run_program
 
 pytestmark = pytest.mark.real
@@ -196,9 +196,26 @@ class TestRealSPMD:
         with pytest.raises(ConfigurationError, match="world"):
             run_spmd(uniform_cluster(2), _ring_and_collectives, world="cloud")
 
-    def test_trace_rejected_in_real_world(self):
-        with pytest.raises(ConfigurationError, match="trace"):
-            SPMDRunner(uniform_cluster(2), trace=True, world="real")
+    def test_trace_ships_spans_from_real_workers(self):
+        res = run_spmd(
+            uniform_cluster(2), _ring_and_collectives,
+            world="real", recv_timeout=30, trace=True,
+        )
+        events = res.trace.events()
+        kinds = {e.kind for e in events}
+        assert {"send", "recv", "barrier"} <= kinds
+        # Both workers' buffers made it back to the parent merge.
+        assert {e.rank for e in events} == {0, 1}
+
+    def test_trace_capacity_caps_real_buffer(self):
+        res = run_spmd(
+            uniform_cluster(2), _ring_and_collectives,
+            world="real", recv_timeout=30, trace=True, trace_capacity=2,
+        )
+        # Each worker keeps at most 2 events; the merged log counts what
+        # each side dropped.
+        assert len(res.trace.events()) <= 4
+        assert res.trace.dropped_events > 0
 
 
 # ------------------------------------------------------------------ #
@@ -253,10 +270,48 @@ class TestDifferential:
     def test_config_world_validation(self):
         with pytest.raises(ConfigurationError, match="world"):
             ProgramConfig(world="really")
-        with pytest.raises(ConfigurationError, match="trace"):
-            ProgramConfig(world="real", trace=True)
+        with pytest.raises(ConfigurationError, match="trace_capacity"):
+            ProgramConfig(trace=True, trace_capacity=0)
         with pytest.raises(ConfigurationError, match="recv_timeout"):
             ProgramConfig(recv_timeout=0.0)
+
+    def test_span_structure_matches_across_worlds(self, tiny_paper_mesh):
+        """The span hierarchy is world-independent: same kinds, same
+        nesting, same order on every rank — only the clocks differ."""
+        y0 = np.random.default_rng(7).uniform(0, 100, 500)
+        cluster = uniform_cluster(2)
+        common = dict(iterations=6, checkpoint="interval:2", trace=True)
+        sim = run_program(
+            tiny_paper_mesh, cluster, ProgramConfig(**common), y0=y0
+        )
+        real = run_program(
+            tiny_paper_mesh, cluster,
+            ProgramConfig(world="real", recv_timeout=30, **common),
+            y0=y0,
+        )
+
+        def span_shape(report):
+            events = [e for e in report.trace.events() if e.span_id >= 0]
+            shape = {}
+            for rank in range(cluster.size):
+                spans = sorted(
+                    (e for e in events if e.rank == rank),
+                    key=lambda e: e.seq,
+                )
+                kind_of = {e.span_id: e.kind for e in spans}
+                shape[rank] = [
+                    (e.kind, kind_of.get(e.parent_id)) for e in spans
+                ]
+            return shape
+
+        sim_shape = span_shape(sim)
+        assert sim_shape == span_shape(real)
+        kinds = {k for spans in sim_shape.values() for k, _ in spans}
+        assert {"program", "epoch", "executor", "inspector", "checkpoint"} <= kinds
+        # Nesting: epochs under the program span, executors under epochs.
+        for spans in sim_shape.values():
+            assert ("epoch", "program") in spans
+            assert ("executor", "epoch") in spans
 
 
 def _checkpoint_probe(ctx, n):

@@ -163,13 +163,47 @@ def build_golden() -> dict:
     }
 
 
+def build_golden_trace() -> dict:
+    """The pinned Chrome trace of one small traced run.
+
+    The export uses the virtual timebase and strips host wall clocks
+    (``include_wall=False``), so every byte — span nesting, per-rank
+    ``seq`` order, virtual timestamps — is a deterministic function of
+    the program and stays stable across machines.
+    """
+    from repro.experiments.catalog import _workload
+    from repro.net.cluster import uniform_cluster
+    from repro.obs import chrome_trace
+    from repro.runtime.program import ProgramConfig, run_program
+
+    graph, y0 = _workload(800, 1995)
+    report = run_program(
+        graph,
+        uniform_cluster(3),
+        ProgramConfig(iterations=8, checkpoint="interval:3", trace=True),
+        y0=y0,
+    )
+    return chrome_trace(
+        report.trace,
+        timebase="clock",
+        include_wall=False,
+        metadata={"fixture": "golden", "command": "tools/make_golden.py"},
+    )
+
+
 def main() -> int:
     golden = build_golden()
+    GOLDEN_PATH.mkdir(parents=True, exist_ok=True)
     out = GOLDEN_PATH / "schedule_semantics.json"
-    out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
     print(f"wrote {out}")
+    trace_out = GOLDEN_PATH / "chrome_trace.json"
+    trace_out.write_text(
+        json.dumps(build_golden_trace(), indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {trace_out}")
     return 0
 
 
